@@ -1,0 +1,104 @@
+"""Ablation — IS-GC's exact partial sums vs approximate gradient coding.
+
+The paper (Sec. II) argues approximate GC "trades off the computation
+load for a lower l2 error, making it difficult to analyze … its
+convergence".  This bench quantifies the comparison on identical
+payloads: for each availability level ``w`` it reports
+
+* IS-GC's recovered fraction (its estimate is an *exact* partial sum —
+  coefficient vector is 0/1 by construction);
+* the ℓ2-optimal linear combiner's coefficient deviation ``‖v − 𝟙‖``;
+* the stochastic-sum (Bitar et al. style) deviation.
+
+Shape to expect: the LS deviation is never worse than stochastic-sum
+(it is optimal), both shrink with ``w``, and IS-GC turns the same
+information into clean partial sums instead of biased estimates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import Table
+from repro.codes import LeastSquaresDecoder, StochasticSumDecoder
+from repro.core import CyclicRepetition, SummationCode, decoder_for
+
+from conftest import register_report
+
+N, C = 12, 3
+TRIALS = 400
+
+
+@pytest.fixture(scope="module")
+def approx_report():
+    placement = CyclicRepetition(N, C)
+    code = SummationCode(placement)
+    rng = np.random.default_rng(0)
+    grads = {p: rng.normal(size=64) for p in range(N)}
+    payloads = code.encode(grads)
+    isgc = decoder_for(placement, rng=np.random.default_rng(1))
+    ls = LeastSquaresDecoder(placement)
+    ss = StochasticSumDecoder(placement)
+
+    table = Table(
+        title=(
+            f"Ablation — exact partial sums (IS-GC) vs approximate GC "
+            f"decoding, CR(n={N}, c={C}), {TRIALS} random rounds per w"
+        ),
+        columns=[
+            "w", "IS-GC recovered %", "LS deviation ‖v-1‖",
+            "stoch-sum deviation", "LS exact rounds %",
+        ],
+    )
+    for w in (2, 4, 6, 8, 10, 12):
+        rec = 0.0
+        ls_dev = 0.0
+        ss_dev = 0.0
+        ls_exact = 0
+        for _ in range(TRIALS):
+            avail = rng.choice(N, size=w, replace=False).tolist()
+            rec += isgc.decode(avail).num_recovered / N
+            ls_result = ls.decode(avail, payloads)
+            ls_dev += ls_result.deviation
+            ls_exact += ls_result.is_exact
+            ss_dev += ss.decode(avail, payloads).deviation
+        table.add_row(
+            w,
+            f"{100 * rec / TRIALS:.1f}",
+            round(ls_dev / TRIALS, 4),
+            round(ss_dev / TRIALS, 4),
+            f"{100 * ls_exact / TRIALS:.1f}",
+        )
+    register_report("ablation_approx_vs_isgc", table.render())
+    return table
+
+
+def test_ls_decode_bench(benchmark, approx_report):
+    placement = CyclicRepetition(N, C)
+    code = SummationCode(placement)
+    rng = np.random.default_rng(2)
+    grads = {p: rng.normal(size=10_000) for p in range(N)}
+    payloads = code.encode(grads)
+    ls = LeastSquaresDecoder(placement)
+    avail = list(range(0, N, 2))
+    benchmark(ls.decode, avail, payloads)
+
+
+def test_stochastic_sum_bench(benchmark, approx_report):
+    placement = CyclicRepetition(N, C)
+    code = SummationCode(placement)
+    rng = np.random.default_rng(3)
+    grads = {p: rng.normal(size=10_000) for p in range(N)}
+    payloads = code.encode(grads)
+    ss = StochasticSumDecoder(placement)
+    avail = list(range(0, N, 2))
+    benchmark(ss.decode, avail, payloads)
+
+
+def test_ls_never_worse_than_stochastic(approx_report):
+    for row in approx_report.rows:
+        assert float(row[2]) <= float(row[3]) + 1e-9
+
+
+def test_deviation_shrinks_with_w(approx_report):
+    devs = [float(row[2]) for row in approx_report.rows]
+    assert devs == sorted(devs, reverse=True)

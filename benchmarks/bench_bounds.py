@@ -1,0 +1,73 @@
+"""Theory table — Theorems 10/11 bounds vs exact and Monte-Carlo recovery.
+
+Regenerates the Sec. VII analysis as a table: for each scheme and each
+``w`` it shows the theoretical band ``[lower, upper]`` on ``α(G[W'])``,
+the exact expectation (closed form for FR, subset enumeration for CR
+and HR), and a Monte-Carlo estimate — all three must agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    expected_alpha_exact,
+    expected_alpha_fr,
+    monte_carlo_recovery,
+)
+from repro.analysis.reporting import Table
+from repro.core import (
+    CyclicRepetition,
+    FractionalRepetition,
+    HybridRepetition,
+    alpha_lower_bound,
+    alpha_upper_bound,
+)
+
+from conftest import register_report
+
+
+@pytest.fixture(scope="module")
+def bounds_report():
+    placements = [
+        ("FR(8,2)", FractionalRepetition(8, 2)),
+        ("CR(8,2)", CyclicRepetition(8, 2)),
+        ("HR(8,2,2,g=2)", HybridRepetition(8, 2, 2, 2)),
+    ]
+    table = Table(
+        title="Theory — Thm 10/11 bounds vs exact and Monte-Carlo E[α]",
+        columns=[
+            "placement", "w", "lower", "upper", "exact E[α]", "MC E[α]",
+        ],
+    )
+    for name, placement in placements:
+        n = placement.num_workers
+        c = placement.partitions_per_worker
+        for w in (2, 4, 6, 8):
+            exact = expected_alpha_exact(placement, w)
+            mc = monte_carlo_recovery(
+                placement, w, trials=2000, seed=1
+            ).mean_recovered / c
+            table.add_row(
+                name, w,
+                alpha_lower_bound(n, c, w), alpha_upper_bound(n, c, w),
+                round(exact, 4), round(mc, 4),
+            )
+    register_report("theory_bounds", table.render())
+    return table
+
+
+def test_exact_alpha_bench(benchmark, bounds_report):
+    placement = CyclicRepetition(12, 3)
+    benchmark(expected_alpha_exact, placement, 6)
+
+
+def test_closed_form_fr_bench(benchmark, bounds_report):
+    result = benchmark(expected_alpha_fr, 48, 4, 24)
+    assert 0 < result <= 12
+
+
+def test_bounds_bracket_exact(bounds_report):
+    for row in bounds_report.rows:
+        _, _, lower, upper, exact, mc = row
+        assert lower - 1e-9 <= exact <= upper + 1e-9
+        assert abs(exact - mc) < 0.15

@@ -1,0 +1,54 @@
+"""Coding-layer ablation — summation code vs classic GC throughput.
+
+IS-GC's worker-side encode is a plain vector sum and its master-side
+decode is a sum over the selected workers; classic GC needs weighted
+combinations and a least-squares solve per straggler pattern.  This
+bench quantifies that gap across gradient sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import ClassicGradientCode
+from repro.core import CyclicRepetition, SummationCode, decoder_for
+
+
+def _gradients(n, dim, seed=0):
+    rng = np.random.default_rng(seed)
+    return {p: rng.normal(size=dim) for p in range(n)}
+
+
+@pytest.mark.parametrize("dim", [1_000, 100_000])
+def test_summation_encode(benchmark, dim):
+    placement = CyclicRepetition(24, 2)
+    code = SummationCode(placement)
+    grads = _gradients(24, dim)
+    benchmark(code.encode, grads)
+
+
+@pytest.mark.parametrize("dim", [1_000, 100_000])
+def test_classic_gc_encode(benchmark, dim):
+    placement = CyclicRepetition(24, 2)
+    code = ClassicGradientCode(placement, rng=np.random.default_rng(0))
+    grads = _gradients(24, dim)
+    benchmark(code.encode, grads)
+
+
+def test_summation_decode(benchmark):
+    placement = CyclicRepetition(24, 2)
+    code = SummationCode(placement)
+    grads = _gradients(24, 100_000)
+    payloads = code.encode(grads)
+    decoder = decoder_for(placement, rng=np.random.default_rng(0))
+    decision = decoder.decode(list(range(0, 24, 2)))
+    benchmark(code.decode_sum, decision, payloads)
+
+
+def test_classic_gc_decode(benchmark):
+    """Classic GC decode includes the least-squares solve."""
+    placement = CyclicRepetition(24, 2)
+    code = ClassicGradientCode(placement, rng=np.random.default_rng(0))
+    grads = _gradients(24, 100_000)
+    payloads = code.encode(grads)
+    survivors = list(range(23))  # one straggler
+    benchmark(code.decode, survivors, payloads)

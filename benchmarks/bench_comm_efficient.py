@@ -1,0 +1,91 @@
+"""Extension bench — communication-efficient GC and its IS extension.
+
+Sweeps the block count ``k`` of Ye-Abbe coding over FR(8, 4) and
+reports the three-way trade-off:
+
+* upload size per worker (shrinks as 1/k),
+* guaranteed straggler tolerance per group (c − k),
+* expected *partial* recovery under random stragglers when decoding
+  with the ignore-straggler extension (``decode_partial``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import Table
+from repro.codes import CommEfficientGC
+from repro.core import FractionalRepetition
+from repro.exceptions import CodingError
+
+from conftest import register_report
+
+N, C = 8, 4
+DIM = 256
+TRIALS = 500
+
+
+@pytest.fixture(scope="module")
+def comm_report():
+    placement = FractionalRepetition(N, C)
+    rng = np.random.default_rng(0)
+    grads = {p: rng.normal(size=DIM) for p in range(N)}
+
+    table = Table(
+        title=(
+            f"Extension — Ye-Abbe block coding over FR({N},{C}) with the "
+            f"IS decode, d={DIM}, random w=4 availability, {TRIALS} rounds"
+        ),
+        columns=[
+            "k", "upload elems", "tolerance/group",
+            "mean recovered %", "round failures %",
+        ],
+    )
+    for k in (1, 2, 3, 4):
+        code = CommEfficientGC(placement, blocks=k)
+        payloads = code.encode(grads)
+        recovered = 0.0
+        failures = 0
+        for _ in range(TRIALS):
+            avail = rng.choice(N, size=4, replace=False).tolist()
+            try:
+                _, rec = code.decode_partial(avail, payloads, DIM)
+                recovered += len(rec) / N
+            except CodingError:
+                failures += 1
+        table.add_row(
+            k,
+            code.payload_elements(DIM),
+            code.max_stragglers_per_group,
+            f"{100 * recovered / TRIALS:.1f}",
+            f"{100 * failures / TRIALS:.1f}",
+        )
+    register_report("extension_comm_efficient", table.render())
+    return table
+
+
+def test_encode_bench(benchmark, comm_report):
+    placement = FractionalRepetition(N, C)
+    code = CommEfficientGC(placement, blocks=2)
+    rng = np.random.default_rng(1)
+    grads = {p: rng.normal(size=10_000) for p in range(N)}
+    benchmark(code.encode, grads)
+
+
+def test_decode_bench(benchmark, comm_report):
+    placement = FractionalRepetition(N, C)
+    code = CommEfficientGC(placement, blocks=2)
+    rng = np.random.default_rng(2)
+    grads = {p: rng.normal(size=10_000) for p in range(N)}
+    payloads = code.encode(grads)
+    benchmark(code.decode, [0, 1, 4, 5], payloads, 10_000)
+
+
+def test_upload_shrinks_with_k(comm_report):
+    sizes = [row[1] for row in comm_report.rows]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_recovery_shrinks_with_k(comm_report):
+    """More compression → fewer decodable rounds at fixed w."""
+    recoveries = [float(str(row[3])) for row in comm_report.rows]
+    assert recoveries == sorted(recoveries, reverse=True)

@@ -1,0 +1,129 @@
+"""Decoder ablation — cost and quality of the decoding algorithms.
+
+The paper claims the scheme decoders run in O(|W'|) time while matching
+the (NP-hard in general) exact maximum independent set.  This bench
+times each decoder across cluster sizes, compares against the exact
+branch-and-bound reference, and reports how much recovery a *naive*
+arrival-order greedy (Fig. 3's strawman) loses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import Table
+from repro.core import (
+    CRDecoder,
+    CyclicRepetition,
+    ExactDecoder,
+    FRDecoder,
+    FractionalRepetition,
+    HRDecoder,
+    HybridRepetition,
+)
+
+from conftest import register_report
+
+
+def _random_avail(n, w, rng):
+    return rng.choice(n, size=w, replace=False).tolist()
+
+
+def _naive_arrival_greedy(placement, arrivals):
+    """Fig. 3's strawman: accept workers in arrival order when they
+    don't conflict with anything accepted so far."""
+    chosen = []
+    for worker in arrivals:
+        if all(not placement.conflicts(worker, kept) for kept in chosen):
+            chosen.append(worker)
+    return chosen
+
+
+@pytest.fixture(scope="module")
+def decoder_quality_report():
+    """Naive-greedy vs conflict-graph decoding recovery (2000 rounds)."""
+    rng = np.random.default_rng(0)
+    table = Table(
+        title="Ablation — decoded partitions: naive arrival-order greedy "
+        "vs IS-GC conflict-graph decoder (2000 random rounds each)",
+        columns=["placement", "w", "naive mean", "is-gc mean", "is-gc gain"],
+    )
+    cases = [
+        (CyclicRepetition(8, 2), 4),
+        (CyclicRepetition(12, 3), 6),
+        (CyclicRepetition(24, 2), 12),
+        (HybridRepetition(8, 2, 2, 2), 4),
+    ]
+    for placement, w in cases:
+        n = placement.num_workers
+        decoder = CRDecoder(placement, rng=np.random.default_rng(1)) \
+            if isinstance(placement, CyclicRepetition) \
+            else HRDecoder(placement, rng=np.random.default_rng(1))
+        naive_sum = coded_sum = 0
+        for _ in range(2000):
+            arrivals = rng.permutation(n)[:w].tolist()
+            naive = _naive_arrival_greedy(placement, arrivals)
+            naive_sum += sum(
+                len(placement.partitions_of(v)) for v in naive
+            )
+            coded_sum += decoder.decode(arrivals).num_recovered
+        gain = 100.0 * (coded_sum - naive_sum) / naive_sum
+        table.add_row(
+            f"{type(placement).__name__}(n={n}, "
+            f"c={placement.partitions_per_worker})",
+            w, naive_sum / 2000, coded_sum / 2000, f"+{gain:.1f}%",
+        )
+    register_report("ablation_decoder_quality", table.render())
+    return table
+
+
+@pytest.mark.parametrize("n", [24, 48, 96])
+def test_cr_decoder_scaling(benchmark, n, decoder_quality_report):
+    """CR decode cost across cluster sizes (linear-time claim)."""
+    placement = CyclicRepetition(n, 2)
+    decoder = CRDecoder(placement, rng=np.random.default_rng(0))
+    rng = np.random.default_rng(1)
+    avail = _random_avail(n, n // 2, rng)
+    benchmark(decoder.decode, avail)
+
+
+def test_fr_decoder(benchmark):
+    placement = FractionalRepetition(48, 4)
+    decoder = FRDecoder(placement, rng=np.random.default_rng(0))
+    avail = _random_avail(48, 24, np.random.default_rng(1))
+    benchmark(decoder.decode, avail)
+
+
+def test_hr_decoder(benchmark):
+    placement = HybridRepetition(48, 3, 1, 12)
+    decoder = HRDecoder(placement, rng=np.random.default_rng(0))
+    avail = _random_avail(48, 24, np.random.default_rng(1))
+    benchmark(decoder.decode, avail)
+
+
+def test_exact_decoder_reference(benchmark):
+    """The branch-and-bound reference the fast decoders are checked
+    against — markedly slower, which is why Algs. 1-3 matter."""
+    placement = CyclicRepetition(24, 2)
+    decoder = ExactDecoder(placement, rng=np.random.default_rng(0), fair=False)
+    avail = _random_avail(24, 12, np.random.default_rng(1))
+    benchmark(decoder.decode, avail)
+
+
+def test_cr_window_starts_vs_all_starts(benchmark):
+    """Alg. 2's c-start window vs exhaustive starts: same optimum,
+    fewer searches."""
+    placement = CyclicRepetition(48, 4)
+    window = CRDecoder(placement, rng=np.random.default_rng(0))
+    exhaustive = CRDecoder(placement, rng=np.random.default_rng(0), starts="all")
+    rng = np.random.default_rng(2)
+
+    def run_both():
+        avail = _random_avail(48, 24, rng)
+        a = window.decode(avail)
+        b = exhaustive.decode(avail)
+        assert len(a.selected_workers) == len(b.selected_workers)
+        return a.num_searches, b.num_searches
+
+    searches_window, searches_all = benchmark(run_both)
+    assert searches_window <= placement.partitions_per_worker
+    assert searches_all >= searches_window

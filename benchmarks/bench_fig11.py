@@ -1,0 +1,70 @@
+"""Fig. 11 reproduction — average step time under exponential stragglers.
+
+Regenerates both panels (E[delay] = 1.5 s and 3.0 s, stragglers on 12
+and on all 24 of 24 workers) and times one simulation condition.
+
+Expected shape vs the paper (Sec. VIII-B):
+* sync-SGD and GC suffer heavily; GC lands above sync-SGD at 1.5 s
+  because of its doubled per-worker compute (c = 2);
+* IS-GC cuts step time dramatically (up to ~70 % vs sync-SGD here,
+  74.9 % in the paper);
+* IS-GC sits above IS-SGD by a constant compute gap whose *relative*
+  size shrinks as delays grow (the paper reports <10 % at 3.0 s).
+"""
+
+import pytest
+
+from repro.experiments import Fig11Config, fig11_tables, run_condition
+
+from conftest import register_report
+
+
+@pytest.fixture(scope="module")
+def fig11_report():
+    cfg = Fig11Config()
+    tables = fig11_tables(cfg)
+    text = "\n\n".join(t.render() for t in tables)
+    register_report("fig11_step_time", text)
+    return tables
+
+
+BENCH_CFG = Fig11Config(num_steps=60)
+
+
+def test_fig11_condition_delay_1_5(benchmark, fig11_report):
+    """Time one full Fig. 11 condition (60 simulated steps/scheme)."""
+    points = benchmark(run_condition, BENCH_CFG, 1.5, 12)
+    sync = next(p for p in points if p.scheme == "sync-sgd")
+    gc = next(p for p in points if p.scheme == "gc")
+    isgc = next(p for p in points if p.scheme == "is-gc(w=6)")
+    # Paper shape assertions.
+    assert gc.avg_step_time > sync.avg_step_time
+    assert isgc.avg_step_time < 0.6 * sync.avg_step_time
+
+
+def test_fig11_condition_delay_3_0(benchmark, fig11_report):
+    points = benchmark(run_condition, BENCH_CFG, 3.0, 24)
+    sync = next(p for p in points if p.scheme == "sync-sgd")
+    isgc = next(p for p in points if p.scheme == "is-gc(w=6)")
+    issgd = next(p for p in points if p.scheme == "is-sgd(w=6)")
+    assert isgc.avg_step_time < 0.5 * sync.avg_step_time
+    # IS-GC above IS-SGD by the constant c-overhead.
+    assert isgc.avg_step_time > issgd.avg_step_time
+
+
+def test_fig11_relative_overhead_shrinks_with_delay(benchmark, fig11_report):
+    """The paper's 'difference reduced' claim, as a measured ratio."""
+
+    def measure():
+        low = run_condition(BENCH_CFG, 1.5, 24)
+        high = run_condition(BENCH_CFG, 3.0, 24)
+
+        def gap(points, w):
+            isgc = next(p for p in points if p.scheme == f"is-gc(w={w})")
+            issgd = next(p for p in points if p.scheme == f"is-sgd(w={w})")
+            return (isgc.avg_step_time - issgd.avg_step_time) / issgd.avg_step_time
+
+        return gap(low, 18), gap(high, 18)
+
+    gap_low, gap_high = benchmark(measure)
+    assert gap_high < gap_low

@@ -1,0 +1,45 @@
+"""Fig. 13 reproduction — the HR trade-off between FR and CR.
+
+Regenerates both panels for HR(8, c1, 4-c1) with g = 2 at w = 2 and
+times the sweep.
+
+Expected shape vs the paper (Sec. VIII-C):
+* (a) recovered gradients increase monotonically with c1 (CR end → FR
+  end);
+* (b) at any fixed step, training loss decreases with c1 — more
+  recovered gradients per step buys faster descent.
+"""
+
+import pytest
+
+from repro.experiments import Fig13Config, fig13_tables, run_fig13
+
+from conftest import register_report
+
+
+@pytest.fixture(scope="module")
+def fig13_report():
+    cfg = Fig13Config()
+    tables = fig13_tables(cfg)
+    text = "\n\n".join(t.render() for t in tables)
+    register_report("fig13_hr_tradeoff", text)
+    return cfg
+
+
+SMALL = Fig13Config(num_steps=60, recovery_trials=500, dataset_samples=512)
+
+
+def test_fig13_sweep(benchmark, fig13_report):
+    points = benchmark(run_fig13, SMALL)
+    recoveries = [p.mean_recovered for p in points]
+    assert recoveries == sorted(recoveries)
+
+
+def test_fig13_full_shape(fig13_report):
+    cfg = fig13_report
+    points = run_fig13(cfg)
+    # (a): recovery strictly improves from the CR end to the FR end.
+    assert points[-1].mean_recovered > points[0].mean_recovered
+    # (b): final loss ordered by c1 (FR-most trains fastest).
+    finals = [p.loss_curve[-1] for p in points]
+    assert finals[-1] < finals[0]

@@ -1,0 +1,82 @@
+"""Extension bench — multi-message uploads vs coded IS-GC payloads.
+
+Regenerates the recovery-vs-deadline head-to-head: multi-message
+recovers earlier (stragglers' partial work counts) at a ``c×``
+bandwidth cost; IS-GC catches up once workers finish their full local
+computation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import Table
+from repro.core import CyclicRepetition
+from repro.partial import MultiMessageRound, recovery_vs_deadline
+from repro.simulation import ComputeModel, NetworkModel
+from repro.straggler import ShiftedExponentialDelay
+
+from conftest import register_report
+
+IDEAL = NetworkModel(latency=0.0, bandwidth=float("inf"))
+PLACEMENT = CyclicRepetition(8, 2)
+COMPUTE = ComputeModel(base=0.1, per_partition=0.4)
+DELAYS = ShiftedExponentialDelay(0.0, 0.5)
+
+
+@pytest.fixture(scope="module")
+def multimessage_report():
+    comparisons = recovery_vs_deadline(
+        PLACEMENT,
+        deadlines=(0.4, 0.7, 1.0, 1.5, 2.5, 4.0),
+        trials=400,
+        compute=COMPUTE,
+        network=IDEAL,
+        delay_model=DELAYS,
+        seed=3,
+    )
+    table = Table(
+        title=(
+            "Extension — recovery vs deadline: multi-message (c× bytes) "
+            "vs IS-GC coded payloads, CR(8,2), exp(0.5s) stragglers"
+        ),
+        columns=[
+            "deadline (s)", "multi-message E[recovered]",
+            "is-gc E[recovered]", "multi-message lead",
+        ],
+    )
+    for comp in comparisons:
+        lead = comp.multimessage_recovered - comp.isgc_recovered
+        table.add_row(
+            comp.deadline,
+            round(comp.multimessage_recovered, 2),
+            round(comp.isgc_recovered, 2),
+            f"{lead:+.2f}",
+        )
+    register_report("extension_multimessage", table.render())
+    return comparisons
+
+
+def test_round_simulation_bench(benchmark, multimessage_report):
+    round_sim = MultiMessageRound(
+        PLACEMENT, compute=COMPUTE, network=IDEAL,
+        delay_model=DELAYS, rng=np.random.default_rng(0),
+    )
+    benchmark(round_sim.simulate, 0)
+
+
+def test_comparison_bench(benchmark, multimessage_report):
+    benchmark(
+        recovery_vs_deadline,
+        PLACEMENT, (0.5, 1.5), 50,
+        COMPUTE, IDEAL, DELAYS,
+    )
+
+
+def test_multimessage_leads_early(multimessage_report):
+    tightest = multimessage_report[0]
+    assert tightest.multimessage_recovered > tightest.isgc_recovered
+
+
+def test_both_converge_late(multimessage_report):
+    loosest = multimessage_report[-1]
+    assert loosest.isgc_recovered >= 0.9 * loosest.multimessage_recovered

@@ -1,0 +1,66 @@
+"""Theory bench — recovery heat-map over (c, w) and the FR/CR gap grid.
+
+Uses the sweep utility to tabulate expected recovered fractions across
+the parameter plane, showing at a glance where IS-GC's placements
+matter most (intermediate w, larger c).
+"""
+
+import pytest
+
+from repro.analysis import expected_recovered_exact
+from repro.core import CyclicRepetition, FractionalRepetition
+from repro.experiments.sweep import Sweep
+
+from conftest import register_report
+
+N = 12
+
+
+def _cr_recovery_pct(c, w):
+    value = expected_recovered_exact(CyclicRepetition(N, c), w)
+    return f"{100 * value / N:.0f}%"
+
+
+def _fr_gap_pct(c, w):
+    """FR advantage over CR in percentage points of recovery."""
+    fr = expected_recovered_exact(FractionalRepetition(N, c), w)
+    cr = expected_recovered_exact(CyclicRepetition(N, c), w)
+    return f"+{100 * (fr - cr) / N:.1f}"
+
+
+@pytest.fixture(scope="module")
+def recovery_grid_report():
+    cr_sweep = Sweep(
+        name=f"Theory — CR(n={N}) expected recovery (% of gradients)",
+        axes={"c": (2, 3, 4, 6), "w": (2, 4, 6, 8, 10, 12)},
+    )
+    cr_sweep.run(_cr_recovery_pct)
+    gap_sweep = Sweep(
+        name=f"Theory — FR advantage over CR (percentage points, n={N})",
+        axes={"c": (2, 3, 4, 6), "w": (2, 4, 6, 8, 10, 12)},
+    )
+    gap_sweep.run(_fr_gap_pct)
+    text = (
+        cr_sweep.to_grid_table("c", "w").render()
+        + "\n\n"
+        + gap_sweep.to_grid_table("c", "w").render()
+    )
+    register_report("theory_recovery_grid", text)
+    return cr_sweep, gap_sweep
+
+
+def test_grid_bench(benchmark, recovery_grid_report):
+    benchmark(_cr_recovery_pct, 3, 6)
+
+
+def test_every_point_computed(recovery_grid_report):
+    cr_sweep, gap_sweep = recovery_grid_report
+    assert all(p.ok for p in cr_sweep.points)
+    assert all(p.ok for p in gap_sweep.points)
+    assert len(cr_sweep.points) == 24
+
+
+def test_fr_never_behind(recovery_grid_report):
+    _, gap_sweep = recovery_grid_report
+    for point in gap_sweep.points:
+        assert float(point.value.lstrip("+")) >= -1e-9

@@ -1,0 +1,36 @@
+"""Benchmark-suite plumbing.
+
+Each bench regenerates one of the paper's tables/figures.  Rendered
+tables are registered here and written both to
+``benchmarks/results/<name>.txt`` and into pytest's terminal summary,
+so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures the full reproduction alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Tuple
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_REPORTS: List[Tuple[str, str]] = []
+
+
+def register_report(name: str, text: str) -> None:
+    """Save a rendered experiment table for the terminal summary."""
+    _REPORTS.append((name, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):  # noqa: D103 - pytest hook
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction tables")
+    for name, text in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"(also saved under {_RESULTS_DIR}/ as one .txt per experiment)"
+    )

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""The design space in one run: sync ↔ IS-GC ↔ async.
+
+Sec. I of the paper motivates IS-GC as a middle ground between two
+extremes.  This example pits all three against the same chronic
+straggler and renders the loss curves as sparklines:
+
+* **sync-SGD** waits for everyone — every step pays the straggler;
+* **async-SGD** never waits — fast updates, but stale gradients
+  (staleness statistics are printed);
+* **IS-GC** waits for ``w`` workers and recovers the maximal partial
+  gradient — near-async speed with near-sync gradient quality.
+
+Run:  python examples/async_vs_isgc.py
+"""
+
+import numpy as np
+
+from repro import (
+    ClusterSimulator,
+    ComputeModel,
+    CyclicRepetition,
+    DistributedTrainer,
+    ISGCStrategy,
+    NetworkModel,
+    PersistentStragglers,
+    SGD,
+    ShiftedExponentialDelay,
+    SoftmaxRegressionModel,
+    SyncSGDStrategy,
+    build_batch_streams,
+    make_classification,
+    partition_dataset,
+)
+from repro.analysis import loss_curve_panel
+from repro.training import AsyncSGDTrainer
+
+N = 8
+UPDATE_BUDGET = 240  # async updates ≈ sync steps × n for fairness
+
+
+def main() -> None:
+    dataset = make_classification(2048, 16, num_classes=4, separation=1.5, seed=0)
+    partitions = partition_dataset(dataset, N, seed=1)
+    streams = build_batch_streams(partitions, batch_size=16, seed=2)
+    straggler = PersistentStragglers([0, 1], ShiftedExponentialDelay(4.0, 0.5))
+    compute = ComputeModel(0.05, 0.05)
+    network = NetworkModel(latency=0.0, bandwidth=float("inf"))
+
+    curves = {}
+    times = {}
+
+    # --- synchronous SGD -------------------------------------------------
+    sync = DistributedTrainer(
+        SoftmaxRegressionModel(16, 4, seed=0), streams, SyncSGDStrategy(N),
+        ClusterSimulator(N, 1, compute=compute, network=network,
+                         delay_model=straggler, rng=np.random.default_rng(3)),
+        SGD(0.3), eval_data=dataset,
+    )
+    s = sync.run(max_steps=UPDATE_BUDGET // N)
+    curves["sync-sgd "] = s.loss_curve
+    times["sync-sgd "] = s.total_sim_time
+
+    # --- IS-GC ------------------------------------------------------------
+    isgc = DistributedTrainer(
+        SoftmaxRegressionModel(16, 4, seed=0), streams,
+        ISGCStrategy(CyclicRepetition(N, 2), wait_for=4,
+                     rng=np.random.default_rng(4)),
+        ClusterSimulator(N, 2, compute=compute, network=network,
+                         delay_model=straggler, rng=np.random.default_rng(3)),
+        SGD(0.3), eval_data=dataset,
+    )
+    s = isgc.run(max_steps=UPDATE_BUDGET // N)
+    curves["is-gc w=4"] = s.loss_curve
+    times["is-gc w=4"] = s.total_sim_time
+    isgc_recovery = s.avg_recovery_fraction
+
+    # --- asynchronous SGD ---------------------------------------------------
+    async_trainer = AsyncSGDTrainer(
+        SoftmaxRegressionModel(16, 4, seed=0), streams, SGD(0.3),
+        compute=compute, network=network, delay_model=straggler,
+        eval_data=dataset, rng=np.random.default_rng(5),
+    )
+    a = async_trainer.run(max_updates=UPDATE_BUDGET)
+    curves["async-sgd"] = a.loss_curve
+    times["async-sgd"] = a.total_sim_time
+
+    print("loss curves (equal update budgets):\n")
+    print(loss_curve_panel(curves))
+    print()
+    for name, t in times.items():
+        print(f"{name}: {t:7.1f} simulated seconds")
+    print(
+        f"\nasync staleness: mean {a.mean_staleness:.2f}, "
+        f"max {a.max_staleness} (sync/IS-GC gradients are never stale)"
+    )
+    print(f"is-gc recovered {100 * isgc_recovery:.1f}% of gradients per step")
+    print(
+        "\nIS-GC finishes near async's wall-clock while keeping the\n"
+        "synchronous, never-stale update rule the paper's Theorem 12\n"
+        "analysis covers."
+    )
+
+
+if __name__ == "__main__":
+    main()

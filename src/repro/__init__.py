@@ -1,0 +1,205 @@
+"""repro — a full reproduction of "On Arbitrary Ignorance of Stragglers
+with Gradient Coding" (IS-GC, ICDCS 2023).
+
+Public API tour
+---------------
+Placements (who stores which dataset partition)::
+
+    from repro import FractionalRepetition, CyclicRepetition, HybridRepetition
+
+Decoding (the master's maximal partial-sum recovery)::
+
+    from repro import decoder_for
+    decoder = decoder_for(CyclicRepetition(8, 2))
+    result = decoder.decode([0, 2, 5, 6])       # any subset of workers
+
+Gradient coding (worker payloads → recovered gradients)::
+
+    from repro import SummationCode, ClassicGradientCode
+
+End-to-end simulated training::
+
+    from repro import (DistributedTrainer, ISGCStrategy, ClusterSimulator,
+                       ExponentialDelay, SGD)
+
+See ``examples/quickstart.py`` for a runnable walk-through and
+``EXPERIMENTS.md`` for the paper-figure reproductions.
+"""
+
+from .exceptions import (
+    CodingError,
+    ConfigurationError,
+    DecodeError,
+    PlacementError,
+    ReproError,
+    SimulationError,
+    TrainingError,
+)
+from .types import DecodeResult, StepRecord, TrainingSummary
+from .core import (
+    CRDecoder,
+    ExplicitPlacement,
+    CyclicRepetition,
+    Decoder,
+    DescentBound,
+    ExactDecoder,
+    FRDecoder,
+    FractionalRepetition,
+    HRDecoder,
+    HybridRepetition,
+    Placement,
+    SummationCode,
+    alpha_lower_bound,
+    alpha_upper_bound,
+    conflict_graph,
+    decoder_for,
+    rank_placements,
+    recommend_placement,
+    recovered_partitions_bounds,
+)
+from .codes import (
+    ClassicGradientCode,
+    CommEfficientGC,
+    LeastSquaresDecoder,
+    StochasticSumDecoder,
+)
+from .straggler import (
+    BernoulliStraggler,
+    EstimatingWaitPolicy,
+    LatencyEstimator,
+    PermanentCrashes,
+    TransientDropouts,
+    DelayModel,
+    DelayTrace,
+    ExponentialDelay,
+    MixtureDelay,
+    NoDelay,
+    ParetoDelay,
+    PersistentStragglers,
+    ShiftedExponentialDelay,
+    TraceReplayModel,
+)
+from .simulation import (
+    AdaptiveWaitK,
+    BestEffortWaitForK,
+    ContendedUploadModel,
+    ClusterSimulator,
+    ComputeModel,
+    DeadlinePolicy,
+    NetworkModel,
+    WaitForAll,
+    WaitForK,
+    WaitPolicy,
+)
+from .training import (
+    AsyncSGDTrainer,
+    ClassicGCStrategy,
+    DistributedTrainer,
+    ISGCStrategy,
+    ISSGDStrategy,
+    LinearRegressionModel,
+    LogisticRegressionModel,
+    MLPClassifier,
+    SGD,
+    SoftmaxRegressionModel,
+    SyncSGDStrategy,
+    build_batch_streams,
+    make_cifar_like,
+    make_classification,
+    make_regression,
+    partition_dataset,
+)
+from .analysis import monte_carlo_recovery, recovery_curve, summarize_trials
+from .runtime import SimulatedRuntime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "PlacementError",
+    "DecodeError",
+    "CodingError",
+    "SimulationError",
+    "TrainingError",
+    # types
+    "DecodeResult",
+    "StepRecord",
+    "TrainingSummary",
+    # core
+    "Placement",
+    "FractionalRepetition",
+    "CyclicRepetition",
+    "HybridRepetition",
+    "conflict_graph",
+    "Decoder",
+    "decoder_for",
+    "FRDecoder",
+    "CRDecoder",
+    "HRDecoder",
+    "ExactDecoder",
+    "SummationCode",
+    "DescentBound",
+    "alpha_lower_bound",
+    "alpha_upper_bound",
+    "recovered_partitions_bounds",
+    # codes
+    "ClassicGradientCode",
+    # straggler
+    "DelayModel",
+    "NoDelay",
+    "ExponentialDelay",
+    "ShiftedExponentialDelay",
+    "ParetoDelay",
+    "BernoulliStraggler",
+    "PersistentStragglers",
+    "MixtureDelay",
+    "DelayTrace",
+    "TraceReplayModel",
+    # simulation
+    "ClusterSimulator",
+    "ComputeModel",
+    "NetworkModel",
+    "WaitPolicy",
+    "WaitForK",
+    "WaitForAll",
+    "DeadlinePolicy",
+    "AdaptiveWaitK",
+    # training
+    "SGD",
+    "LinearRegressionModel",
+    "LogisticRegressionModel",
+    "SoftmaxRegressionModel",
+    "MLPClassifier",
+    "make_regression",
+    "make_classification",
+    "make_cifar_like",
+    "partition_dataset",
+    "build_batch_streams",
+    "SyncSGDStrategy",
+    "ISSGDStrategy",
+    "ClassicGCStrategy",
+    "ISGCStrategy",
+    "DistributedTrainer",
+    # analysis
+    "monte_carlo_recovery",
+    "recovery_curve",
+    "summarize_trials",
+    # extensions
+    "ExplicitPlacement",
+    "rank_placements",
+    "recommend_placement",
+    "CommEfficientGC",
+    "LeastSquaresDecoder",
+    "StochasticSumDecoder",
+    "LatencyEstimator",
+    "EstimatingWaitPolicy",
+    "PermanentCrashes",
+    "TransientDropouts",
+    "BestEffortWaitForK",
+    "ContendedUploadModel",
+    "AsyncSGDTrainer",
+    "SimulatedRuntime",
+    "__version__",
+]

@@ -1,0 +1,135 @@
+"""Empirical validation of the Theorem 12 convergence bound.
+
+Theorem 12 bounds each step's expected loss decrease in terms of the
+Lipschitz constant ``L`` of the gradient, the second-moment bound
+``σ²``, and the decoded sample count.  This module estimates those
+constants empirically for a given model/dataset and checks the bound
+against an actual training run — the theory/practice bridge the paper
+sketches but does not plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from ..core.bounds import DescentBound
+from ..exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # imported for annotations only — avoids a circular
+    # import (training → core.advisor → analysis → this module).
+    from ..training.datasets import Dataset
+    from ..training.models import Model
+
+
+def estimate_lipschitz(
+    model: "Model",
+    dataset: "Dataset",
+    probes: int = 40,
+    radius: float = 0.5,
+    seed: int = 0,
+) -> float:
+    """Empirical ``L``: max ratio ``‖∇f(β₁) − ∇f(β₂)‖ / ‖β₁ − β₂‖``
+    over random parameter pairs near the current iterate.
+
+    A lower bound on the true constant (sampling can only miss the
+    max), which is the right direction for *testing* the bound — see
+    tests for how it is inflated before use.
+    """
+    if probes <= 0 or radius <= 0:
+        raise ConfigurationError(
+            f"need probes > 0 and radius > 0, got {probes}, {radius}"
+        )
+    rng = np.random.default_rng(seed)
+    base = model.get_parameters()
+    best = 0.0
+    for _ in range(probes):
+        p1 = base + radius * rng.normal(size=base.size)
+        p2 = base + radius * rng.normal(size=base.size)
+        model.set_parameters(p1)
+        g1 = model.gradient(dataset.features, dataset.labels)
+        model.set_parameters(p2)
+        g2 = model.gradient(dataset.features, dataset.labels)
+        denom = float(np.linalg.norm(p1 - p2))
+        if denom > 1e-12:
+            best = max(best, float(np.linalg.norm(g1 - g2)) / denom)
+    model.set_parameters(base)
+    return best
+
+
+def estimate_sigma_squared(
+    model: "Model",
+    dataset: "Dataset",
+    batch_size: int,
+    probes: int = 60,
+    seed: int = 0,
+) -> float:
+    """Empirical ``σ²``: max over sampled mini-batches of ``‖g_B‖²``
+    at the current parameters (Assumption 3's second-moment bound)."""
+    if probes <= 0 or batch_size <= 0:
+        raise ConfigurationError(
+            f"need probes > 0 and batch_size > 0, got {probes}, {batch_size}"
+        )
+    rng = np.random.default_rng(seed)
+    worst = 0.0
+    for _ in range(probes):
+        idx = rng.integers(dataset.num_samples, size=batch_size)
+        grad = model.gradient(dataset.features[idx], dataset.labels[idx])
+        worst = max(worst, float(np.dot(grad, grad)))
+    return worst
+
+
+@dataclass(frozen=True)
+class BoundValidation:
+    """Outcome of checking Theorem 12 along a training trajectory."""
+
+    steps_checked: int
+    violations: int
+    mean_slack: float
+
+    @property
+    def holds(self) -> bool:
+        return self.violations == 0
+
+
+def validate_descent_bound(
+    losses: Sequence[float],
+    grad_norms: Sequence[float],
+    decoded_samples: Sequence[float],
+    bound: DescentBound,
+    learning_rate: float,
+) -> BoundValidation:
+    """Check ``loss[t+1] ≤`` Theorem 12's bound for every recorded step.
+
+    ``decoded_samples`` is ``|D_d^{(t)}|`` normalised the same way the
+    update was (here: the mean-gradient convention, i.e. 1.0).  The
+    check uses realised losses as a proxy for expectations, so rare
+    single-step violations are possible under heavy batch noise;
+    aggregate behaviour is what the test asserts.
+    """
+    if not (len(losses) == len(grad_norms) + 1 == len(decoded_samples) + 1):
+        raise ConfigurationError(
+            "need len(losses) == len(grad_norms)+1 == len(decoded_samples)+1"
+        )
+    violations = 0
+    slacks = []
+    for t, (g, d) in enumerate(zip(grad_norms, decoded_samples)):
+        predicted = bound.expected_decrease(
+            loss=losses[t],
+            grad_norm_squared=g * g,
+            learning_rate=learning_rate,
+            decoded_samples=d,
+        )
+        slack = predicted - losses[t + 1]
+        slacks.append(slack)
+        if slack < 0:
+            violations += 1
+    return BoundValidation(
+        steps_checked=len(slacks),
+        violations=violations,
+        mean_slack=float(np.mean(slacks)) if slacks else 0.0,
+    )

@@ -1,0 +1,105 @@
+"""Monte-Carlo recovery statistics (Figs. 12a, 13a).
+
+Given a placement and its decoder, these helpers measure how many
+gradients the master recovers as a function of the number of available
+workers ``w``, plus the fairness diagnostics the paper's Assumption 2
+relies on (every partition equally likely to appear in ``ĝ``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.decoders import Decoder, decoder_for
+from ..core.placement import Placement
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """Recovery distribution for one (placement, w) point."""
+
+    num_workers: int
+    wait_for: int
+    trials: int
+    mean_recovered: float
+    min_recovered: int
+    max_recovered: int
+    mean_fraction: float
+    partition_frequency: np.ndarray  # P(partition ∈ I), shape (n,)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the stats."""
+        return (
+            f"w={self.wait_for}: recovered {self.mean_recovered:.2f}/"
+            f"{self.num_workers} partitions on average "
+            f"({100 * self.mean_fraction:.1f}%), "
+            f"range [{self.min_recovered}, {self.max_recovered}]"
+        )
+
+
+def monte_carlo_recovery(
+    placement: Placement,
+    wait_for: int,
+    trials: int = 2000,
+    seed: int = 0,
+    decoder: Decoder | None = None,
+) -> RecoveryStats:
+    """Sample uniformly random available sets of size ``w`` and decode.
+
+    Models homogeneous i.i.d. stragglers: each step the ``w`` fastest
+    workers are a uniform random subset.
+    """
+    n = placement.num_workers
+    if not 1 <= wait_for <= n:
+        raise ConfigurationError(f"need 1 <= w <= n, got w={wait_for}, n={n}")
+    if trials <= 0:
+        raise ConfigurationError(f"trials must be positive, got {trials}")
+    rng = np.random.default_rng(seed)
+    dec = decoder if decoder is not None else decoder_for(placement, rng=rng)
+
+    counts: List[int] = []
+    freq = np.zeros(n)
+    for _ in range(trials):
+        available = rng.choice(n, size=wait_for, replace=False)
+        result = dec.decode(available.tolist())
+        counts.append(result.num_recovered)
+        for p in result.recovered_partitions:
+            freq[p] += 1
+    arr = np.asarray(counts)
+    return RecoveryStats(
+        num_workers=n,
+        wait_for=wait_for,
+        trials=trials,
+        mean_recovered=float(arr.mean()),
+        min_recovered=int(arr.min()),
+        max_recovered=int(arr.max()),
+        mean_fraction=float(arr.mean() / n),
+        partition_frequency=freq / trials,
+    )
+
+
+def recovery_curve(
+    placement: Placement,
+    trials: int = 2000,
+    seed: int = 0,
+) -> Dict[int, RecoveryStats]:
+    """Recovery stats for every ``w`` in ``1..n`` (a Fig. 12(a) series)."""
+    return {
+        w: monte_carlo_recovery(placement, w, trials=trials, seed=seed + w)
+        for w in range(1, placement.num_workers + 1)
+    }
+
+
+def fairness_gap(stats: RecoveryStats) -> float:
+    """Max deviation of per-partition inclusion probability from uniform.
+
+    Under Assumption 2 every partition appears in ``I`` with equal
+    probability; this returns ``max_p |P(p ∈ I) − mean|``, which should
+    shrink as ``1/√trials``.
+    """
+    freq = stats.partition_frequency
+    return float(np.abs(freq - freq.mean()).max())

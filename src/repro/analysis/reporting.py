@@ -1,0 +1,89 @@
+"""Plain-text tables and series for experiment output.
+
+The benchmark harness regenerates the paper's figures as printed
+tables; this module owns the formatting so every bench looks the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass
+class Table:
+    """A titled column-aligned table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        """Render the table as column-aligned plain text."""
+        def fmt(cell: object) -> str:
+            if isinstance(cell, float):
+                return f"{cell:.4g}"
+            return str(cell)
+
+        header = [str(c) for c in self.columns]
+        body = [[fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append(sep)
+        for row in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendered table with surrounding blank lines."""
+        print()
+        print(self.render())
+        print()
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named (x, y) series — one line of a paper figure."""
+
+    name: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ConfigurationError(
+                f"series {self.name!r}: {len(self.x)} x-values vs "
+                f"{len(self.y)} y-values"
+            )
+
+
+def series_table(title: str, x_label: str, series: Sequence[Series]) -> Table:
+    """Tabulate several series over a shared x-axis."""
+    if not series:
+        raise ConfigurationError("need at least one series")
+    base_x = list(series[0].x)
+    for s in series:
+        if list(s.x) != base_x:
+            raise ConfigurationError(
+                f"series {s.name!r} has a different x-axis"
+            )
+    table = Table(title=title, columns=[x_label, *(s.name for s in series)])
+    for i, x in enumerate(base_x):
+        table.add_row(x, *(s.y[i] for s in series))
+    return table

@@ -1,0 +1,265 @@
+"""Command-line interface.
+
+Exposes the library's main entry points without writing Python::
+
+    python -m repro placement --scheme cr -n 8 -c 2
+    python -m repro decode    --scheme cr -n 8 -c 2 --available 0,2,5
+    python -m repro recovery  --scheme fr -n 8 -c 2 --trials 2000
+    python -m repro bounds    -n 8 -c 2
+    python -m repro experiment fig13
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis.recovery import monte_carlo_recovery
+from .analysis.reporting import Table
+from .core.bounds import alpha_lower_bound, alpha_upper_bound
+from .core.conflict import conflict_graph
+from .core.cyclic import CyclicRepetition
+from .core.decoders import decoder_for
+from .core.fractional import FractionalRepetition
+from .core.hybrid import HybridRepetition
+from .core.placement import Placement
+from .exceptions import ReproError
+
+
+def _build_placement(args: argparse.Namespace) -> Placement:
+    if args.scheme == "fr":
+        return FractionalRepetition(args.n, args.c)
+    if args.scheme == "cr":
+        return CyclicRepetition(args.n, args.c)
+    if args.scheme == "hr":
+        if args.g is None or args.c1 is None:
+            raise ReproError("HR needs --g and --c1 (c2 = c - c1)")
+        return HybridRepetition(args.n, args.c1, args.c - args.c1, args.g)
+    raise ReproError(f"unknown scheme {args.scheme!r}")
+
+
+def _add_placement_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheme", choices=("fr", "cr", "hr"), required=True,
+        help="placement family",
+    )
+    parser.add_argument("-n", type=int, required=True, help="number of workers")
+    parser.add_argument("-c", type=int, required=True, help="partitions per worker")
+    parser.add_argument("--g", type=int, default=None, help="HR: number of groups")
+    parser.add_argument("--c1", type=int, default=None, help="HR: upper-part rows")
+
+
+def cmd_placement(args: argparse.Namespace) -> int:
+    """Describe a placement and render its conflict graph."""
+    from .graphs.render import adjacency_art, edge_list_art
+
+    placement = _build_placement(args)
+    print(placement.describe())
+    graph = conflict_graph(placement)
+    print(f"\nconflict graph ({graph.number_of_edges()} edges):")
+    print(adjacency_art(graph))
+    print()
+    print(edge_list_art(graph))
+    return 0
+
+
+def cmd_decode(args: argparse.Namespace) -> int:
+    """Decode one round for an explicit available-worker set."""
+    placement = _build_placement(args)
+    available = [int(tok) for tok in args.available.split(",") if tok]
+    decoder = decoder_for(placement, rng=np.random.default_rng(args.seed))
+    result = decoder.decode(available)
+    print(f"available workers : {sorted(result.available_workers)}")
+    print(f"selected workers  : {sorted(result.selected_workers)}")
+    print(f"recovered         : {sorted(result.recovered_partitions)}")
+    print(
+        f"recovery          : {result.num_recovered}/{placement.num_partitions} "
+        f"partitions ({100 * result.num_recovered / placement.num_partitions:.1f}%)"
+    )
+    return 0
+
+
+def cmd_recovery(args: argparse.Namespace) -> int:
+    """Print the Monte-Carlo recovery curve for a placement."""
+    placement = _build_placement(args)
+    table = Table(
+        title=f"Recovery curve — {type(placement).__name__}"
+        f"(n={args.n}, c={args.c}), {args.trials} trials per w",
+        columns=["w", "mean recovered", "% of gradients", "min", "max"],
+    )
+    for w in range(1, args.n + 1):
+        stats = monte_carlo_recovery(
+            placement, w, trials=args.trials, seed=args.seed
+        )
+        table.add_row(
+            w, round(stats.mean_recovered, 3),
+            f"{100 * stats.mean_fraction:.1f}%",
+            stats.min_recovered, stats.max_recovered,
+        )
+    table.show()
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    """Print the Theorem 10/11 bound table for (n, c)."""
+    table = Table(
+        title=f"Theorem 10/11 bounds on α(G[W']) — n={args.n}, c={args.c}",
+        columns=["w", "lower (Thm 10)", "upper (Thm 11)"],
+    )
+    for w in range(1, args.n + 1):
+        table.add_row(
+            w,
+            alpha_lower_bound(args.n, args.c, w),
+            alpha_upper_bound(args.n, args.c, w),
+        )
+    table.show()
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    """Rank all candidate placements for (n, c, w)."""
+    from .core.advisor import rank_placements
+
+    ranking = rank_placements(
+        args.n, args.c, args.w, trials=args.trials, seed=args.seed
+    )
+    table = Table(
+        title=f"Placement ranking for n={args.n}, c={args.c}, w={args.w}",
+        columns=["rank", "placement", "E[recovered partitions]", "method"],
+    )
+    for idx, score in enumerate(ranking, start=1):
+        table.add_row(
+            idx, score.label, round(score.expected_recovered, 4),
+            "exact" if score.exact else "monte-carlo",
+        )
+    table.show()
+    print(f"recommended: {ranking[0].label}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run a short simulated training job and print its summary."""
+    from .analysis.plotting import downsample, sparkline
+    from .simulation.cluster import ClusterSimulator
+    from .straggler.models import ExponentialDelay
+    from .training.datasets import (
+        build_batch_streams, make_classification, partition_dataset,
+    )
+    from .training.models import SoftmaxRegressionModel
+    from .training.optimizers import SGD
+    from .training.strategies import ISGCStrategy, ISSGDStrategy
+    from .training.trainer import DistributedTrainer
+
+    placement = _build_placement(args)
+    n = placement.num_workers
+    dataset = make_classification(
+        1024, 12, num_classes=3, separation=2.0, seed=args.seed
+    )
+    streams = build_batch_streams(
+        partition_dataset(dataset, n, seed=args.seed + 1),
+        batch_size=32, seed=args.seed + 2,
+    )
+    if args.c == 1:
+        strategy = ISSGDStrategy(n, args.w)
+    else:
+        strategy = ISGCStrategy(
+            placement, wait_for=args.w,
+            rng=np.random.default_rng(args.seed),
+        )
+    cluster = ClusterSimulator(
+        n, placement.partitions_per_worker,
+        delay_model=ExponentialDelay(args.delay),
+        rng=np.random.default_rng(args.seed + 3),
+    )
+    trainer = DistributedTrainer(
+        SoftmaxRegressionModel(12, 3, seed=0), streams, strategy,
+        cluster, SGD(args.lr), eval_data=dataset,
+    )
+    summary = trainer.run(max_steps=args.steps)
+    print(summary.describe())
+    print("loss: " + sparkline(downsample(list(summary.loss_curve), 60)))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one of the paper experiments end to end."""
+    from .experiments.runner import main as runner_main
+    runner_main([args.figure])
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IS-GC (ICDCS 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("placement", help="describe a placement")
+    _add_placement_args(p)
+    p.set_defaults(func=cmd_placement)
+
+    p = sub.add_parser("decode", help="decode one round")
+    _add_placement_args(p)
+    p.add_argument(
+        "--available", required=True,
+        help="comma-separated available worker ids, e.g. 0,2,5",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_decode)
+
+    p = sub.add_parser("recovery", help="Monte-Carlo recovery curve")
+    _add_placement_args(p)
+    p.add_argument("--trials", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_recovery)
+
+    p = sub.add_parser("bounds", help="Theorem 10/11 bound table")
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument("-c", type=int, required=True)
+    p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser("advise", help="rank placements for (n, c, w)")
+    p.add_argument("-n", type=int, required=True)
+    p.add_argument("-c", type=int, required=True)
+    p.add_argument("-w", type=int, required=True)
+    p.add_argument("--trials", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_advise)
+
+    p = sub.add_parser("simulate", help="quick simulated training run")
+    _add_placement_args(p)
+    p.add_argument("-w", type=int, required=True, help="workers to wait for")
+    p.add_argument("--steps", type=int, default=100)
+    p.add_argument("--delay", type=float, default=1.0,
+                   help="mean exponential straggler delay (s)")
+    p.add_argument("--lr", type=float, default=0.3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("experiment", help="run a paper experiment")
+    p.add_argument(
+        "figure", choices=("fig11", "fig12", "fig13", "extra", "all"),
+    )
+    p.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

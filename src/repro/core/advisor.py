@@ -1,0 +1,123 @@
+"""Placement advisor: pick the placement for your cluster.
+
+The paper leaves placement selection to the operator: FR recovers the
+most but needs ``c | n``; CR always fits; HR interpolates via ``c1``.
+This module automates the choice with the exact recovery machinery:
+
+* :func:`candidate_placements` — every valid FR/CR/HR placement for
+  given ``(n, c)``;
+* :func:`evaluate_placement` — exact (or Monte-Carlo, for big ``n``)
+  expected recovered partitions at a target ``w``;
+* :func:`recommend_placement` — the candidate maximising expected
+  recovery, with the full ranking for transparency.
+
+``HR(n, c, 0)`` with ``n0 = c`` places identically to FR, so only
+the first-constructed of any identical pair survives deduplication
+(FR wins, being constructed before the HR variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import List
+
+from ..analysis.closed_form import expected_recovered_exact
+from ..analysis.recovery import monte_carlo_recovery
+from ..exceptions import ConfigurationError, PlacementError
+from .cyclic import CyclicRepetition
+from .fractional import FractionalRepetition
+from .hybrid import HybridRepetition
+from .placement import Placement
+
+#: Above this subset count we fall back to Monte-Carlo evaluation.
+_EXACT_LIMIT = 50_000
+
+
+@dataclass(frozen=True)
+class PlacementScore:
+    """One ranked candidate."""
+
+    placement: Placement
+    expected_recovered: float
+    exact: bool
+
+    @property
+    def label(self) -> str:
+        p = self.placement
+        if isinstance(p, HybridRepetition):
+            return f"HR(n={p.num_workers}, c1={p.c1}, c2={p.c2}, g={p.num_groups})"
+        return f"{type(p).__name__}(n={p.num_workers}, c={p.partitions_per_worker})"
+
+
+def candidate_placements(n: int, c: int) -> List[Placement]:
+    """All valid FR/CR/HR placements for ``(n, c)``, deduplicated by
+    assignment table."""
+    if n <= 0 or not 1 <= c <= n:
+        raise ConfigurationError(f"invalid (n, c) = ({n}, {c})")
+    candidates: List[Placement] = [CyclicRepetition(n, c)]
+    if n % c == 0:
+        candidates.append(FractionalRepetition(n, c))
+    for g in range(2, n + 1):
+        if n % g != 0:
+            continue
+        for c1 in range(0, c + 1):
+            try:
+                candidates.append(HybridRepetition(n, c1, c - c1, g))
+            except PlacementError:
+                continue
+    unique: List[Placement] = []
+    seen = set()
+    for cand in candidates:
+        key = tuple(sorted(
+            (w, tuple(sorted(cand.partitions_of(w))))
+            for w in range(cand.num_workers)
+        ))
+        if key not in seen:
+            seen.add(key)
+            unique.append(cand)
+    return unique
+
+
+def evaluate_placement(
+    placement: Placement,
+    wait_for: int,
+    trials: int = 4000,
+    seed: int = 0,
+) -> PlacementScore:
+    """Expected recovered partitions at ``w`` — exact when affordable."""
+    n = placement.num_workers
+    if not 1 <= wait_for <= n:
+        raise ConfigurationError(f"invalid w = {wait_for} for n = {n}")
+    if comb(n, wait_for) <= _EXACT_LIMIT:
+        value = expected_recovered_exact(placement, wait_for)
+        return PlacementScore(placement, value, exact=True)
+    stats = monte_carlo_recovery(placement, wait_for, trials=trials, seed=seed)
+    return PlacementScore(placement, stats.mean_recovered, exact=False)
+
+
+def rank_placements(
+    n: int,
+    c: int,
+    wait_for: int,
+    trials: int = 4000,
+    seed: int = 0,
+) -> List[PlacementScore]:
+    """All candidates, best expected recovery first."""
+    scores = [
+        evaluate_placement(p, wait_for, trials=trials, seed=seed)
+        for p in candidate_placements(n, c)
+    ]
+    return sorted(scores, key=lambda s: (-s.expected_recovered, s.label))
+
+
+def recommend_placement(
+    n: int,
+    c: int,
+    wait_for: int,
+    trials: int = 4000,
+    seed: int = 0,
+) -> PlacementScore:
+    """The single best candidate for ``(n, c)`` at wait count ``w``."""
+    ranking = rank_placements(n, c, wait_for, trials=trials, seed=seed)
+    return ranking[0]

@@ -1,0 +1,142 @@
+"""Theoretical bounds — Sec. VII.
+
+Theorems 10 and 11 bound the independence number of the induced
+conflict graph (hence the recovered-gradient count) for FR, CR *and* HR
+alike:
+
+    min(⌈w/c⌉, ⌊n/c⌋)  ≤  α(G[W'])  ≤  min(w, ⌊n/c⌋)
+
+with ``w = |W'| = n - s`` available workers.  Theorem 12 gives the
+per-step descent bound used in the convergence analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def alpha_lower_bound(n: int, c: int, w: int) -> int:
+    """Theorem 10: worst-case number of decodable workers."""
+    _validate(n, c, w)
+    if w == 0:
+        return 0
+    return min(math.ceil(w / c), n // c)
+
+
+def alpha_upper_bound(n: int, c: int, w: int) -> int:
+    """Theorem 11: best-case number of decodable workers."""
+    _validate(n, c, w)
+    return min(w, n // c)
+
+
+def hr_alpha_bounds(
+    n: int, c1: int, c2: int, g: int, w: int
+) -> tuple[int, int]:
+    """Corrected α bounds for HR placements with ``n0 > c``.
+
+    Theorems 10/11 as printed share one bound across FR, CR and HR, but
+    they implicitly assume ``n0 = c`` (where HR truly interpolates the
+    two).  With ``n0 > c`` and ``c1 > 0`` every same-group pair
+    conflicts (the validity condition ``n0 ≤ c + c1``), so at most one
+    worker per group can ever be selected and
+
+        min(⌈w/n0⌉, g)  ≤  α(G[W'])  ≤  min(w, g)
+
+    — the group count ``g = n/n0 < n/c`` replaces ``⌊n/c⌋``.  The test
+    suite demonstrates the printed Theorem 10 bound is violated for
+    e.g. ``HR(12, 4, 0, g=2)`` at ``w = 12`` (α = 2 < 3) and that this
+    corrected form holds across the valid grid.  For ``n0 = c`` or
+    ``c1 = 0`` this reduces to the classical bounds.
+    """
+    c = c1 + c2
+    _validate(n, c, w)
+    if g <= 0 or n % g != 0:
+        raise ValueError(f"need g | n with g > 0, got n={n}, g={g}")
+    n0 = n // g
+    if c1 == 0 or g == 1 or n0 == c:
+        # Classical regimes: CR (c1=0 / g=1) or FR-interpolating (n0=c).
+        return alpha_lower_bound(n, c, w), alpha_upper_bound(n, c, w)
+    if w == 0:
+        return 0, 0
+    # Group-wise composition: each group behaves like a CR(n0, c)
+    # circulant (complete when n0 <= 2c-1), contributing at most
+    # n0 // c selected workers.  The adversary packs the w available
+    # workers into as few consecutive groups as possible.
+    per_group_cap = n0 // c
+    full_groups, remainder = divmod(w, n0)
+    lower = full_groups * per_group_cap
+    if remainder:
+        lower += min(-(-remainder // c), per_group_cap)
+    upper = min(w, g * per_group_cap)
+    return lower, upper
+
+
+def recovered_partitions_bounds(n: int, c: int, w: int) -> tuple[int, int]:
+    """Bounds on ``|I| = α(G[W']) · c``, capped at ``n`` partitions."""
+    lo = min(alpha_lower_bound(n, c, w) * c, n)
+    hi = min(alpha_upper_bound(n, c, w) * c, n)
+    return lo, hi
+
+
+def _validate(n: int, c: int, w: int) -> None:
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 1 <= c <= n:
+        raise ValueError(f"need 1 <= c <= n, got c={c}, n={n}")
+    if not 0 <= w <= n:
+        raise ValueError(f"need 0 <= w <= n, got w={w}")
+
+
+@dataclass(frozen=True)
+class DescentBound:
+    """Theorem 12 per-step expected descent bound.
+
+    E[f(β_{t+1})] ≤ f(β_t) − η·|D_d|·‖∇f(β_t)‖² + L·η²·σ²·|D_d|²/2
+
+    where ``|D_d|`` is the number of samples behind the decoded
+    gradient, ``η`` the learning rate, ``L`` the Lipschitz constant of
+    the gradient and ``σ²`` the gradient second-moment bound.
+    """
+
+    lipschitz: float
+    sigma_squared: float
+
+    def expected_decrease(
+        self,
+        loss: float,
+        grad_norm_squared: float,
+        learning_rate: float,
+        decoded_samples: float,
+    ) -> float:
+        """Upper bound on the *next* step's expected loss."""
+        if self.lipschitz <= 0:
+            raise ValueError(f"L must be positive, got {self.lipschitz}")
+        if learning_rate <= 0:
+            raise ValueError(f"η must be positive, got {learning_rate}")
+        if decoded_samples < 0:
+            raise ValueError(
+                f"|D_d| must be non-negative, got {decoded_samples}"
+            )
+        descent = learning_rate * decoded_samples * grad_norm_squared
+        noise = (
+            self.lipschitz
+            * learning_rate**2
+            * self.sigma_squared
+            * decoded_samples**2
+            / 2.0
+        )
+        return loss - descent + noise
+
+    def max_stable_learning_rate(self, decoded_samples: float) -> float:
+        """Largest ``η`` keeping the noise term below the descent term
+        when ``‖∇f‖² = σ²`` (the conservative balance point).
+
+        Setting descent = noise with ``‖∇f‖² = σ²`` gives
+        ``η* = 2 / (L · |D_d|)``.
+        """
+        if decoded_samples <= 0:
+            raise ValueError(
+                f"|D_d| must be positive, got {decoded_samples}"
+            )
+        return 2.0 / (self.lipschitz * decoded_samples)

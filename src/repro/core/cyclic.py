@@ -1,0 +1,45 @@
+"""Cyclic repetition (CR) placement — Sec. III, Fig. 2(b) and Sec. V.
+
+CR places partitions round-robin: worker ``i`` stores partitions
+``{(i + r) mod n | r = 0..c-1}`` (paper, 1-indexed:
+``{D_{((j-1) mod n)+1} | j = i..i+c-1}``).  Unlike FR it does *not*
+require ``c | n``, which is the flexibility HR later builds on.
+
+Theorem 1 proves the CR conflict graph is the circulant graph
+``C_n^{1..c-1}``: workers ``x`` and ``y`` conflict iff their circular
+distance ``d(x, y) = min(|x-y|, n-|x-y|)`` is below ``c``.
+"""
+
+from __future__ import annotations
+
+from ..graphs.circulant import circular_distance
+from .placement import Placement
+
+
+class CyclicRepetition(Placement):
+    """The CR placement ``CR(n, c)`` for any ``1 <= c <= n``."""
+
+    scheme = "cr"
+
+    def __init__(self, num_workers: int, partitions_per_worker: int):
+        super().__init__(num_workers, partitions_per_worker)
+        n, c = self._n, self._c
+        assignments = {
+            worker: tuple((worker + r) % n for r in range(c))
+            for worker in range(n)
+        }
+        self._finalize(assignments)
+
+    def distance(self, worker_a: int, worker_b: int) -> int:
+        """Circular distance ``d(a, b)`` on the worker circle."""
+        return circular_distance(worker_a, worker_b, self._n)
+
+    def conflicts_by_distance(self, worker_a: int, worker_b: int) -> bool:
+        """Theorem 1 closed form: conflict iff ``d(a, b) < c``.
+
+        Ground truth remains :meth:`Placement.conflicts` (shared
+        partitions); tests assert the two predicates agree for all pairs.
+        """
+        if worker_a == worker_b:
+            return True
+        return self.distance(worker_a, worker_b) < self._c

@@ -1,0 +1,116 @@
+"""Decoder interface and registry.
+
+A *decoder* implements the master's ``Decode()`` function: given the set
+``W'`` of workers whose coded gradients arrived, select a pairwise
+non-conflicting subset (an independent set of ``G[W']``) whose summed
+payloads recover ``ĝ = Σ_{i∈I} g_i`` with ``|I|`` maximal.
+
+All decoders share two contracts the paper relies on:
+
+* **optimality** — the returned worker set is a *maximum* independent
+  set of ``G[W']`` (verified against exact branch-and-bound in tests);
+* **fairness** — under homogeneous stragglers every partition has the
+  same probability of appearing in ``I`` (randomized tie-breaking,
+  driven by an injected :class:`numpy.random.Generator`).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, FrozenSet, Iterable, Type
+
+import numpy as np
+
+from ..exceptions import DecodeError
+from ..types import DecodeResult
+from .placement import Placement
+
+_REGISTRY: Dict[str, Type["Decoder"]] = {}
+
+
+def register_decoder(scheme: str) -> Callable[[Type["Decoder"]], Type["Decoder"]]:
+    """Class decorator registering a decoder under ``scheme``."""
+
+    def wrap(cls: Type["Decoder"]) -> Type["Decoder"]:
+        _REGISTRY[scheme] = cls
+        cls.scheme = scheme
+        return cls
+
+    return wrap
+
+
+def decoder_for(placement: Placement, rng: np.random.Generator | None = None) -> "Decoder":
+    """Instantiate the registered decoder matching ``placement.scheme``.
+
+    Falls back to the exact-MIS decoder for unknown schemes, which is
+    correct for *any* placement (just not linear-time).
+    """
+    cls = _REGISTRY.get(placement.scheme)
+    if cls is None:
+        cls = _REGISTRY["exact"]
+    return cls(placement, rng=rng)
+
+
+class Decoder(abc.ABC):
+    """Base class for the master's ``Decode()`` function."""
+
+    scheme: str = "abstract"
+
+    def __init__(self, placement: Placement, rng: np.random.Generator | None = None):
+        self._placement = placement
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def placement(self) -> Placement:
+        return self._placement
+
+    def decode(self, available_workers: Iterable[int]) -> DecodeResult:
+        """Run one decoding round.
+
+        Parameters
+        ----------
+        available_workers:
+            The workers ``W'`` whose coded gradients the master received
+            this step.  Must be non-empty and within ``[0, n)``.
+        """
+        available = frozenset(available_workers)
+        n = self._placement.num_workers
+        if not available:
+            raise DecodeError("cannot decode with zero available workers")
+        bad = [w for w in available if not 0 <= w < n]
+        if bad:
+            raise DecodeError(f"available workers out of range [0, {n}): {bad}")
+        selected, searches = self._select(available)
+        if not selected:
+            raise DecodeError(
+                "decoder selected no workers despite availability "
+                f"{sorted(available)}"
+            )
+        self._check_disjoint(selected)
+        recovered = frozenset(
+            p for w in selected for p in self._placement.partitions_of(w)
+        )
+        return DecodeResult(
+            selected_workers=frozenset(selected),
+            recovered_partitions=recovered,
+            available_workers=available,
+            num_searches=searches,
+        )
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _select(self, available: FrozenSet[int]) -> tuple[FrozenSet[int], int]:
+        """Return (selected worker set, number of greedy searches run)."""
+
+    def _check_disjoint(self, selected: Iterable[int]) -> None:
+        """Internal invariant: selected workers' partitions are disjoint."""
+        seen: set[int] = set()
+        for w in selected:
+            parts = set(self._placement.partitions_of(w))
+            overlap = seen & parts
+            if overlap:
+                raise DecodeError(
+                    f"decoder bug: worker {w} re-covers partitions "
+                    f"{sorted(overlap)}"
+                )
+            seen |= parts

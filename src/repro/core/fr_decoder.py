@@ -1,0 +1,39 @@
+"""Decoder for fractional repetition — Alg. 1 of the paper.
+
+All workers in an FR group carry identical payloads (the sum of the
+group's partitions), so the master simply keeps one *random* survivor
+per non-empty group.  Complexity O(|W'|); randomness keeps the fairness
+guarantee (every worker — hence every partition — equally likely to
+contribute when stragglers are homogeneous).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from .decoders import Decoder, register_decoder
+from .fractional import FractionalRepetition
+
+
+@register_decoder("fr")
+class FRDecoder(Decoder):
+    """Alg. 1: one random available worker per FR group."""
+
+    def __init__(self, placement: FractionalRepetition, rng=None):
+        if not isinstance(placement, FractionalRepetition):
+            raise TypeError(
+                f"FRDecoder requires a FractionalRepetition placement, "
+                f"got {type(placement).__name__}"
+            )
+        super().__init__(placement, rng=rng)
+
+    def _select(self, available: FrozenSet[int]) -> tuple[FrozenSet[int], int]:
+        placement: FractionalRepetition = self._placement  # type: ignore[assignment]
+        by_group: Dict[int, List[int]] = {}
+        for worker in available:
+            by_group.setdefault(placement.group_of(worker), []).append(worker)
+        selected = frozenset(
+            int(self._rng.choice(sorted(members)))
+            for members in by_group.values()
+        )
+        return selected, 1

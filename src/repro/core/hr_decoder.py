@@ -1,0 +1,155 @@
+"""Decoder for hybrid repetition — Alg. 3 + Alg. 4 of the paper.
+
+The general HR conflict graph is "FR-like within a group, CR-like across
+neighbouring groups".  Alg. 3 adapts the CR greedy walk:
+
+* start vertices are the available workers of **one random non-empty
+  group** (Theorem 8: some maximum independent set touches any group
+  with survivors);
+* the clockwise walk admits a candidate iff it conflicts with neither
+  the previously admitted vertex nor the start vertex, where conflict is
+  the closed-form predicate of Alg. 4 (within-group completeness plus
+  neighbouring-group CR spill-over).
+
+Consecutive + wrap checks suffice for pairwise independence by the
+observation in Theorem 9 (conflict "monotonicity" along the circle).
+
+Special cases route to simpler algorithms:
+
+* ``c1 = 0`` or ``g = 1`` → the placement *is* CR, use the CR walk;
+* ``c2 = 0`` → groups are conflict-isolated; decode each group
+  independently with the CR walk on its local circle (which degenerates
+  to "pick one worker per group" when ``n0 ≤ 2c - 1``, i.e. FR).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from ..graphs.circulant import circular_distance
+from .decoders import Decoder, register_decoder
+from .hybrid import HybridRepetition
+
+
+@register_decoder("hr")
+class HRDecoder(Decoder):
+    """Alg. 3/4: group-seeded greedy walk with the HR conflict predicate."""
+
+    def __init__(self, placement: HybridRepetition, rng=None):
+        if not isinstance(placement, HybridRepetition):
+            raise TypeError(
+                f"HRDecoder requires a HybridRepetition placement, "
+                f"got {type(placement).__name__}"
+            )
+        super().__init__(placement, rng=rng)
+
+    def _select(self, available: FrozenSet[int]) -> tuple[FrozenSet[int], int]:
+        placement: HybridRepetition = self._placement  # type: ignore[assignment]
+        n = placement.num_workers
+        c = placement.partitions_per_worker
+
+        if placement.c1 == 0 or placement.num_groups == 1:
+            return self._cr_walk(available, n, c)
+        if placement.c2 == 0:
+            return self._per_group(available)
+        return self._general_walk(available)
+
+    # ------------------------------------------------------------------
+    # Pure-CR degenerate case
+    # ------------------------------------------------------------------
+    def _cr_walk(
+        self, available: FrozenSet[int], n: int, c: int
+    ) -> tuple[FrozenSet[int], int]:
+        """Alg. 2 on the global circle (HR(n, 0, c) ≡ CR(n, c))."""
+        u = int(self._rng.choice(sorted(available)))
+        starts = sorted({(u + v) % n for v in range(c)} & available)
+        # Random start order keeps tie-breaking fair (see CRDecoder).
+        self._rng.shuffle(starts)
+        best: FrozenSet[int] = frozenset()
+        for start in starts:
+            chain: List[int] = [start]
+            last = start
+            for offset in range(1, n):
+                cand = (start + offset) % n
+                if cand not in available:
+                    continue
+                if (
+                    circular_distance(last, cand, n) >= c
+                    and circular_distance(cand, start, n) >= c
+                ):
+                    chain.append(cand)
+                    last = cand
+            if len(chain) > len(best):
+                best = frozenset(chain)
+        return best, len(starts)
+
+    # ------------------------------------------------------------------
+    # Grouped-CR case (c2 = 0): groups are conflict-isolated
+    # ------------------------------------------------------------------
+    def _per_group(self, available: FrozenSet[int]) -> tuple[FrozenSet[int], int]:
+        placement: HybridRepetition = self._placement  # type: ignore[assignment]
+        n0 = placement.group_size
+        c = placement.partitions_per_worker
+        selected: set[int] = set()
+        searches = 0
+        for group in range(placement.num_groups):
+            base = group * n0
+            local_avail = frozenset(
+                w - base for w in available if base <= w < base + n0
+            )
+            if not local_avail:
+                continue
+            u = int(self._rng.choice(sorted(local_avail)))
+            starts = sorted({(u + v) % n0 for v in range(c)} & local_avail)
+            self._rng.shuffle(starts)
+            best_local: FrozenSet[int] = frozenset()
+            for start in starts:
+                searches += 1
+                chain: List[int] = [start]
+                last = start
+                for offset in range(1, n0):
+                    cand = (start + offset) % n0
+                    if cand not in local_avail:
+                        continue
+                    if (
+                        circular_distance(last, cand, n0) >= c
+                        and circular_distance(cand, start, n0) >= c
+                    ):
+                        chain.append(cand)
+                        last = cand
+                if len(chain) > len(best_local):
+                    best_local = frozenset(chain)
+            selected |= {base + v for v in best_local}
+        return frozenset(selected), max(searches, 1)
+
+    # ------------------------------------------------------------------
+    # General HR (c1 > 0 and c2 > 0): Alg. 3
+    # ------------------------------------------------------------------
+    def _general_walk(self, available: FrozenSet[int]) -> tuple[FrozenSet[int], int]:
+        placement: HybridRepetition = self._placement  # type: ignore[assignment]
+        n = placement.num_workers
+        n0 = placement.group_size
+        non_empty = sorted({w // n0 for w in available})
+        group = int(self._rng.choice(non_empty))
+        starts = sorted(
+            w for w in available if w // n0 == group
+        )
+        # Alg. 3: "as long as i is randomly permutated, gradients on each
+        # worker have an equal chance" — permute the start order.
+        self._rng.shuffle(starts)
+        best: FrozenSet[int] = frozenset()
+        for start in starts:
+            chain: List[int] = [start]
+            last = start
+            for offset in range(1, n):
+                cand = (start + offset) % n
+                if cand not in available:
+                    continue
+                if not placement.conflicts_fast(last, cand) and not (
+                    placement.conflicts_fast(cand, start)
+                ):
+                    chain.append(cand)
+                    last = cand
+            if len(chain) > len(best):
+                best = frozenset(chain)
+        return best, len(starts)

@@ -1,0 +1,163 @@
+"""Dataset-partition placements (Sec. III of the paper).
+
+A *placement* assigns each of ``n`` workers a tuple of ``c`` dataset
+partitions out of ``n`` total partitions.  Everything downstream —
+conflict graphs, decoders, coded-gradient payloads — is derived from the
+placement, so this module is the single source of truth for "who stores
+what".
+
+Indexing convention
+-------------------
+The paper is 1-indexed; this library is 0-indexed throughout: workers
+``0..n-1``, partitions ``0..n-1``.  Docstrings note the paper formula
+being implemented whenever the translation is non-trivial.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..exceptions import PlacementError
+
+
+class Placement(abc.ABC):
+    """Abstract base class for dataset-partition placements.
+
+    Subclasses must populate ``_assignments`` (worker → partition tuple)
+    during ``__init__`` via :meth:`_finalize`, which validates the
+    standard invariants:
+
+    * every worker stores exactly ``c`` distinct partitions,
+    * every partition index lies in ``[0, n)``,
+    * every partition is stored on at least one worker (no data loss).
+    """
+
+    #: short machine-readable identifier, e.g. ``"fr"``, ``"cr"``, ``"hr"``.
+    scheme: str = "abstract"
+
+    def __init__(self, num_workers: int, partitions_per_worker: int):
+        if num_workers <= 0:
+            raise PlacementError(f"need at least one worker, got n={num_workers}")
+        if not 1 <= partitions_per_worker <= num_workers:
+            raise PlacementError(
+                f"partitions per worker must satisfy 1 <= c <= n; "
+                f"got c={partitions_per_worker}, n={num_workers}"
+            )
+        self._n = num_workers
+        self._c = partitions_per_worker
+        self._assignments: Dict[int, Tuple[int, ...]] = {}
+        self._replicas: Dict[int, FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Subclass hook
+    # ------------------------------------------------------------------
+    def _finalize(self, assignments: Dict[int, Tuple[int, ...]]) -> None:
+        """Install and validate the worker → partitions table."""
+        n, c = self._n, self._c
+        if set(assignments) != set(range(n)):
+            raise PlacementError(
+                f"assignments must cover workers 0..{n - 1} exactly"
+            )
+        covered: Dict[int, List[int]] = {p: [] for p in range(n)}
+        for worker, parts in assignments.items():
+            if len(parts) != c or len(set(parts)) != c:
+                raise PlacementError(
+                    f"worker {worker} must store exactly c={c} distinct "
+                    f"partitions, got {parts}"
+                )
+            for p in parts:
+                if not 0 <= p < n:
+                    raise PlacementError(
+                        f"worker {worker} references partition {p} "
+                        f"outside [0, {n})"
+                    )
+                covered[p].append(worker)
+        orphans = [p for p, ws in covered.items() if not ws]
+        if orphans:
+            raise PlacementError(f"partitions never placed: {orphans}")
+        self._assignments = dict(assignments)
+        self._replicas = {p: frozenset(ws) for p, ws in covered.items()}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        """``n``: number of workers (equals the number of partitions)."""
+        return self._n
+
+    @property
+    def num_partitions(self) -> int:
+        """Total dataset partitions; the paper always uses ``n``."""
+        return self._n
+
+    @property
+    def partitions_per_worker(self) -> int:
+        """``c``: storage/computation overhead per worker."""
+        return self._c
+
+    def partitions_of(self, worker: int) -> Tuple[int, ...]:
+        """Partitions stored on ``worker`` (paper's ``D_{i,1..c}``)."""
+        try:
+            return self._assignments[worker]
+        except KeyError:
+            raise PlacementError(
+                f"worker {worker} out of range [0, {self._n})"
+            ) from None
+
+    def workers_of(self, partition: int) -> FrozenSet[int]:
+        """All workers holding a replica of ``partition``."""
+        try:
+            return self._replicas[partition]
+        except KeyError:
+            raise PlacementError(
+                f"partition {partition} out of range [0, {self._n})"
+            ) from None
+
+    def conflicts(self, worker_a: int, worker_b: int) -> bool:
+        """Ground-truth conflict: do the two workers share a partition?
+
+        Two workers' coded (summed) gradients can be added up iff their
+        partition sets are disjoint; sharing any partition would double-
+        count its gradient (Sec. V-A).
+        """
+        if worker_a == worker_b:
+            return True
+        return bool(
+            set(self.partitions_of(worker_a)) & set(self.partitions_of(worker_b))
+        )
+
+    def assignment_table(self) -> Dict[int, Tuple[int, ...]]:
+        """A defensive copy of the full worker → partitions mapping."""
+        return dict(self._assignments)
+
+    def replication_factor(self) -> float:
+        """Average number of replicas per partition (always ``c`` here)."""
+        total = sum(len(ws) for ws in self._replicas.values())
+        return total / self._n
+
+    def describe(self) -> str:
+        """Multi-line human-readable table, mirroring the paper figures."""
+        lines = [f"{type(self).__name__}(n={self._n}, c={self._c})"]
+        for worker in range(self._n):
+            parts = ", ".join(f"D{p}" for p in self.partitions_of(worker))
+            lines.append(f"  W{worker}: [{parts}]")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self._n}, c={self._c})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Placement):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._c == other._c
+            and self._assignments == other._assignments
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._n, self._c, tuple(sorted(self._assignments.items())))
+        )

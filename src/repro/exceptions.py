@@ -1,0 +1,42 @@
+"""Typed exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without masking programming errors
+(``TypeError``/``ValueError`` raised by NumPy, etc. still propagate as-is
+unless they stem from invalid *library* configuration, in which case they
+are translated into one of the classes below).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid parameters for a placement, code, or experiment.
+
+    Raised eagerly at construction time (never mid-training) so that a
+    misconfigured run fails fast.
+    """
+
+
+class PlacementError(ConfigurationError):
+    """Invalid placement parameters (e.g. FR with ``c`` not dividing ``n``)."""
+
+
+class DecodeError(ReproError):
+    """The master could not decode anything from the available workers."""
+
+
+class CodingError(ReproError):
+    """Failure while encoding or decoding gradient payloads."""
+
+
+class SimulationError(ReproError):
+    """Inconsistent state inside the discrete-event cluster simulator."""
+
+
+class TrainingError(ReproError):
+    """Failure inside the distributed-training driver."""

@@ -1,0 +1,141 @@
+"""Fig. 13 — the HR trade-off between FR and CR.
+
+Sweep ``HR(8, c1, 4 - c1)`` with ``g = 2`` groups:
+
+* ``c1 = 0``  → pure CR;
+* ``c1 = 3``  → places identically to ``HR(8, 4, 0)``, i.e. FR
+  (``n0 = c = 4``);
+* intermediate ``c1`` interpolates — the conflict graph loses edges as
+  ``c1`` grows (Theorem 7), so recovery improves monotonically.
+
+Panel (a): recovered gradients vs ``c1`` at ``w = 2`` (Monte-Carlo).
+Panel (b): training-loss curves vs step at ``w = 2`` for each ``c1`` —
+more recovery per step means faster loss descent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..analysis.recovery import monte_carlo_recovery
+from ..analysis.reporting import Table
+from ..core.hybrid import HybridRepetition
+from ..simulation.cluster import ClusterSimulator
+from ..straggler.models import ExponentialDelay
+from ..straggler.traces import DelayTrace, TraceReplayModel
+from ..training.datasets import build_batch_streams, make_cifar_like, partition_dataset
+from ..training.models import MLPClassifier
+from ..training.optimizers import SGD
+from ..training.strategies import ISGCStrategy
+from ..training.trainer import DistributedTrainer
+from .config import Fig13Config
+
+
+@dataclass(frozen=True)
+class HRPoint:
+    """One c1 setting of the sweep."""
+
+    c1: int
+    c2: int
+    mean_recovered: float
+    mean_fraction: float
+    loss_curve: Tuple[float, ...]
+
+
+def _placement(cfg: Fig13Config, c1: int) -> HybridRepetition:
+    return HybridRepetition(
+        cfg.num_workers, c1, cfg.total_c - c1, cfg.num_groups
+    )
+
+
+def run_fig13(cfg: Fig13Config | None = None) -> List[HRPoint]:
+    """Both panels for every ``c1``."""
+    cfg = cfg or Fig13Config()
+    n = cfg.num_workers
+
+    dataset = make_cifar_like(cfg.dataset_samples, side=8, seed=cfg.seed)
+    partitions = partition_dataset(dataset, n, seed=cfg.seed + 1)
+    streams = build_batch_streams(partitions, cfg.batch_size, seed=cfg.seed + 2)
+    trace = DelayTrace.record(
+        ExponentialDelay(1.0),
+        n, cfg.num_steps, np.random.default_rng(cfg.seed + 3),
+    )
+
+    points: List[HRPoint] = []
+    for c1 in cfg.c1_values:
+        placement = _placement(cfg, c1)
+        stats = monte_carlo_recovery(
+            placement, cfg.wait_for, trials=cfg.recovery_trials, seed=cfg.seed
+        )
+        strategy = ISGCStrategy(
+            placement, wait_for=cfg.wait_for,
+            rng=np.random.default_rng(cfg.seed + c1),
+        )
+        model = MLPClassifier(8 * 8 * 3, hidden_units=32, num_classes=10, seed=0)
+        cluster = ClusterSimulator(
+            num_workers=n,
+            partitions_per_worker=placement.partitions_per_worker,
+            delay_model=TraceReplayModel(trace),
+            rng=np.random.default_rng(cfg.seed),
+        )
+        trainer = DistributedTrainer(
+            model, streams, strategy, cluster, SGD(cfg.learning_rate),
+            eval_data=dataset,
+        )
+        summary = trainer.run(cfg.num_steps)
+        points.append(
+            HRPoint(
+                c1=c1,
+                c2=cfg.total_c - c1,
+                mean_recovered=stats.mean_recovered,
+                mean_fraction=stats.mean_fraction,
+                loss_curve=summary.loss_curve,
+            )
+        )
+    return points
+
+
+def fig13_tables(cfg: Fig13Config | None = None) -> List[Table]:
+    """Both panels as printable tables."""
+    cfg = cfg or Fig13Config()
+    points = run_fig13(cfg)
+
+    recovery = Table(
+        title=(
+            f"Fig 13(a) — recovered gradients vs c1, "
+            f"HR({cfg.num_workers}, c1, {cfg.total_c}-c1), w={cfg.wait_for}"
+        ),
+        columns=["c1", "c2", "mean recovered partitions", "% of gradients"],
+    )
+    for p in points:
+        recovery.add_row(
+            p.c1, p.c2, p.mean_recovered, f"{100 * p.mean_fraction:.1f}%"
+        )
+
+    checkpoints = [
+        s for s in (9, 19, 39, 59, 79, 99, cfg.num_steps - 1)
+        if s < cfg.num_steps
+    ]
+    losses = Table(
+        title=f"Fig 13(b) — training loss vs step, w={cfg.wait_for}",
+        columns=["step", *(f"c1={p.c1}" for p in points)],
+    )
+    for s in checkpoints:
+        losses.add_row(
+            s + 1, *(p.loss_curve[s] if s < len(p.loss_curve) else float("nan")
+                     for p in points)
+        )
+    return [recovery, losses]
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    """Print every table of this experiment."""
+    for table in fig13_tables():
+        table.show()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,53 @@
+"""Run every paper experiment and print its tables.
+
+Used by the benchmark harness (``benchmarks/``) and runnable directly::
+
+    python -m repro.experiments.runner [fig11|fig12|fig13|all]
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List
+
+from ..analysis.reporting import Table
+from .config import Fig11Config, Fig12Config, Fig13Config
+from .fig11 import fig11_tables
+from .fig12 import fig12_tables
+from .fig13 import fig13_tables
+from .extra import adaptive_policy_table, enduring_straggler_table
+
+EXPERIMENTS: Dict[str, Callable[[], List[Table]]] = {
+    "fig11": lambda: fig11_tables(Fig11Config()),
+    "fig12": lambda: fig12_tables(Fig12Config()),
+    "fig13": lambda: fig13_tables(Fig13Config()),
+    "extra": lambda: [enduring_straggler_table(), adaptive_policy_table()],
+}
+
+
+def run(name: str) -> List[Table]:
+    """Run one experiment by id and return its tables."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[name]()
+
+
+def run_all() -> Dict[str, List[Table]]:
+    """Run the whole evaluation section."""
+    return {name: fn() for name, fn in EXPERIMENTS.items()}
+
+
+def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
+    """Run the experiments named in ``argv`` (default: all)."""
+    argv = argv if argv is not None else sys.argv[1:]
+    targets = argv or ["all"]
+    names = sorted(EXPERIMENTS) if "all" in targets else targets
+    for name in names:
+        for table in run(name):
+            table.show()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,125 @@
+"""Generic parameter sweeps.
+
+Experiment harnesses keep wanting the same thing: run a function over
+the cartesian product of named parameter values and tabulate the
+results.  :class:`Sweep` does exactly that, with deterministic
+ordering, per-point error capture, and direct rendering into the
+reporting tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from ..analysis.reporting import Table
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated grid point."""
+
+    params: Dict[str, Any]
+    value: Any
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class Sweep:
+    """A named cartesian-product sweep.
+
+    ``axes`` maps parameter name → values; :meth:`run` calls
+    ``fn(**params)`` for every combination in row-major order.  Errors
+    from individual points are captured (as ``SweepPoint.error``), not
+    raised, so one bad corner doesn't kill a long sweep — unless
+    ``strict=True``.
+    """
+
+    name: str
+    axes: Mapping[str, Sequence[Any]]
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ConfigurationError("sweep needs at least one axis")
+        for axis, values in self.axes.items():
+            if not values:
+                raise ConfigurationError(f"axis {axis!r} has no values")
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def combinations(self):
+        """Yield every parameter combination in row-major order."""
+        names = list(self.axes)
+        for combo in itertools.product(*(self.axes[k] for k in names)):
+            yield dict(zip(names, combo))
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        strict: bool = False,
+    ) -> List[SweepPoint]:
+        """Evaluate ``fn`` over the grid; results land in ``points``."""
+        self.points = []
+        for params in self.combinations():
+            try:
+                value = fn(**params)
+                self.points.append(SweepPoint(params=params, value=value))
+            except Exception as exc:  # noqa: BLE001 - captured by design
+                if strict:
+                    raise
+                self.points.append(
+                    SweepPoint(params=params, value=None, error=str(exc))
+                )
+        return self.points
+
+    # ------------------------------------------------------------------
+    def to_table(self, value_label: str = "value") -> Table:
+        """Long-format table: one row per grid point."""
+        if not self.points:
+            raise ConfigurationError("run() the sweep before tabulating")
+        names = list(self.axes)
+        table = Table(title=self.name, columns=[*names, value_label])
+        for point in self.points:
+            cell = point.value if point.ok else f"error: {point.error}"
+            table.add_row(*(point.params[k] for k in names), cell)
+        return table
+
+    def to_grid_table(
+        self, row_axis: str, col_axis: str, value_label: str = ""
+    ) -> Table:
+        """Wide-format table for exactly two axes (a heat-map layout)."""
+        if set(self.axes) != {row_axis, col_axis}:
+            raise ConfigurationError(
+                f"grid layout needs exactly the axes {row_axis!r} and "
+                f"{col_axis!r}; sweep has {sorted(self.axes)}"
+            )
+        if not self.points:
+            raise ConfigurationError("run() the sweep before tabulating")
+        lookup = {
+            (p.params[row_axis], p.params[col_axis]):
+                (p.value if p.ok else "err")
+            for p in self.points
+        }
+        cols = list(self.axes[col_axis])
+        table = Table(
+            title=self.name,
+            columns=[
+                f"{row_axis} \\ {col_axis}",
+                *(str(c) for c in cols),
+            ],
+        )
+        for r in self.axes[row_axis]:
+            table.add_row(r, *(lookup.get((r, c), "-") for c in cols))
+        return table

@@ -1,0 +1,111 @@
+"""Independent-set algorithms.
+
+Decoding IS-GC is a maximum-independent-set (MIS) problem on the induced
+conflict graph ``G[W']`` (Sec. V-A of the paper).  The scheme-specific
+linear-time decoders live in :mod:`repro.core`; this module provides
+
+* an exact branch-and-bound MIS used as the reference ("ground truth")
+  in tests and as the decoder for arbitrary placements, and
+* a generic greedy MIS used for comparisons and as a fallback.
+
+MIS is NP-hard in general, but conflict graphs have one vertex per
+*worker*, so ``n`` is tens at most and the exact solver is plenty fast.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from typing import FrozenSet, List, Set
+
+from .graph import Graph
+
+Vertex = Hashable
+
+
+def greedy_independent_set(
+    graph: Graph, order: Iterable[Vertex] | None = None
+) -> FrozenSet[Vertex]:
+    """Greedy maximal independent set.
+
+    Vertices are considered in ``order`` (default: ascending degree, the
+    classic heuristic); each vertex is added if it conflicts with nothing
+    chosen so far.  The result is *maximal* (cannot be extended) but not
+    necessarily *maximum*.
+    """
+    if order is None:
+        order = sorted(graph.vertices, key=lambda v: (graph.degree(v), repr(v)))
+    chosen: Set[Vertex] = set()
+    blocked: Set[Vertex] = set()
+    for v in order:
+        if v in blocked or v in chosen:
+            continue
+        chosen.add(v)
+        blocked |= graph.neighbors(v)
+    return frozenset(chosen)
+
+
+def maximum_independent_set(graph: Graph) -> FrozenSet[Vertex]:
+    """Exact maximum independent set via branch and bound.
+
+    Branches on a highest-degree vertex (either exclude it or include it
+    and discard its neighbourhood), pruning when the remaining vertex
+    count cannot beat the incumbent.  Exponential worst case, perfectly
+    fine for worker-scale graphs (``n`` ≲ 60 in every experiment).
+    """
+    vertices = sorted(graph.vertices, key=repr)
+    best: List[FrozenSet[Vertex]] = [greedy_independent_set(graph)]
+
+    def branch(candidates: Set[Vertex], chosen: Set[Vertex]) -> None:
+        if len(chosen) + len(candidates) <= len(best[0]):
+            return  # cannot improve on the incumbent
+        if not candidates:
+            if len(chosen) > len(best[0]):
+                best[0] = frozenset(chosen)
+            return
+        # Pick the candidate with the most candidate-neighbours: deciding
+        # it prunes the search space fastest.
+        pivot = max(
+            candidates,
+            key=lambda v: (len(graph.neighbors(v) & candidates), repr(v)),
+        )
+        # Branch 1: include pivot.
+        branch(candidates - graph.neighbors(pivot) - {pivot}, chosen | {pivot})
+        # Branch 2: exclude pivot.
+        branch(candidates - {pivot}, chosen)
+
+    branch(set(vertices), set())
+    return best[0]
+
+
+def independence_number(graph: Graph) -> int:
+    """``α(G)``: the size of a maximum independent set of ``graph``."""
+    return len(maximum_independent_set(graph))
+
+
+def all_maximum_independent_sets(graph: Graph) -> List[FrozenSet[Vertex]]:
+    """Enumerate *all* maximum independent sets (small graphs only).
+
+    Used by fairness tests: the paper requires every partition to have an
+    equal chance of appearing in the decoded gradient, which we validate
+    against the full optimum set family.
+    """
+    alpha = independence_number(graph)
+    results: List[FrozenSet[Vertex]] = []
+    vertices = sorted(graph.vertices, key=repr)
+
+    def extend(idx: int, chosen: Set[Vertex], blocked: Set[Vertex]) -> None:
+        if len(chosen) == alpha:
+            results.append(frozenset(chosen))
+            return
+        remaining = len(vertices) - idx
+        if len(chosen) + remaining < alpha:
+            return
+        if idx == len(vertices):
+            return
+        v = vertices[idx]
+        if v not in blocked:
+            extend(idx + 1, chosen | {v}, blocked | graph.neighbors(v))
+        extend(idx + 1, chosen, blocked)
+
+    extend(0, set(), set())
+    return results

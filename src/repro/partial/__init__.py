@@ -1,0 +1,19 @@
+"""Multi-message partial-gradient uploads (refs [19]-[21])."""
+
+from .multimessage import (
+    DeadlineComparison,
+    MessageArrival,
+    MultiMessageRound,
+    collect_by_deadline,
+    collect_first_k_messages,
+    recovery_vs_deadline,
+)
+
+__all__ = [
+    "MessageArrival",
+    "MultiMessageRound",
+    "collect_by_deadline",
+    "collect_first_k_messages",
+    "DeadlineComparison",
+    "recovery_vs_deadline",
+]

@@ -1,0 +1,15 @@
+"""Actor runtime: the Ray-like substrate the paper's implementation used."""
+
+from .messages import GradientUpload, Message, ParameterBroadcast, StopTraining
+from .actors import MasterActor, WorkerActor
+from .system import SimulatedRuntime
+
+__all__ = [
+    "Message",
+    "ParameterBroadcast",
+    "GradientUpload",
+    "StopTraining",
+    "MasterActor",
+    "WorkerActor",
+    "SimulatedRuntime",
+]

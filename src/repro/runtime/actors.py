@@ -1,0 +1,167 @@
+"""Master and worker actors.
+
+These mirror the paper's Ray implementation (Sec. VIII-A) one-to-one:
+
+* each :class:`WorkerActor` owns its dataset partitions and per-
+  partition seeded batch streams ("multiple copies of the same model"
+  in the paper — here one shared model evaluated per partition, which
+  is numerically identical), computes per-partition gradients at the
+  broadcast parameters, *encodes* them with the strategy's code, and
+  uploads one payload;
+* the :class:`MasterActor` collects uploads until its wait policy is
+  satisfied (the ``ray.wait(num_returns=w)`` call), decodes via the
+  strategy, performs the unbiased update, and broadcasts new
+  parameters.
+
+Actors are pure state machines: the :mod:`repro.runtime.system`
+scheduler owns all timing, so the same actors can later be driven by a
+real transport.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import TrainingError
+from ..training.datasets import BatchStream
+from ..training.models import Model
+from ..training.optimizers import SGD
+from ..training.strategies import TrainingStrategy
+from ..types import StepRecord
+from .messages import GradientUpload, ParameterBroadcast
+
+
+class WorkerActor:
+    """Owns a subset of partitions; computes and encodes gradients."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        strategy: TrainingStrategy,
+        model: Model,
+        streams: Sequence[BatchStream],
+    ):
+        self._id = worker_id
+        self._strategy = strategy
+        self._model = model
+        self._streams = streams
+        self._partitions = strategy.placement.partitions_of(worker_id)
+
+    @property
+    def worker_id(self) -> int:
+        return self._id
+
+    @property
+    def partitions(self) -> tuple:
+        return self._partitions
+
+    def handle_broadcast(
+        self, msg: ParameterBroadcast, now: float
+    ) -> GradientUpload:
+        """Compute this step's coded gradient at the received params."""
+        if msg.parameters is None:
+            raise TrainingError("broadcast carried no parameters")
+        self._model.set_parameters(msg.parameters)
+        partition_gradients = {}
+        for p in self._partitions:
+            x, y = self._streams[p].batch(msg.step)
+            _, grad = self._model.loss_and_gradient(x, y)
+            partition_gradients[p] = grad
+        payload = self._strategy.encode_worker_payload(
+            self._id, partition_gradients
+        )
+        return GradientUpload(
+            sender=f"worker-{self._id}",
+            send_time=now,
+            step=msg.step,
+            worker=self._id,
+            payload=payload,
+        )
+
+
+class MasterActor:
+    """Collects uploads, decodes, updates, and re-broadcasts."""
+
+    def __init__(
+        self,
+        strategy: TrainingStrategy,
+        model: Model,
+        optimizer: SGD,
+        eval_features: Optional[np.ndarray] = None,
+        eval_labels: Optional[np.ndarray] = None,
+    ):
+        self._strategy = strategy
+        self._model = model
+        self._optimizer = optimizer
+        self._eval = (
+            (eval_features, eval_labels)
+            if eval_features is not None and eval_labels is not None
+            else None
+        )
+        self._step = 0
+        self._pending: Dict[int, GradientUpload] = {}
+        self.records: List[StepRecord] = []
+
+    @property
+    def step(self) -> int:
+        return self._step
+
+    def broadcast(self, now: float) -> ParameterBroadcast:
+        """Start a step: hand current parameters to every worker."""
+        self._pending = {}
+        return ParameterBroadcast(
+            sender="master",
+            send_time=now,
+            step=self._step,
+            parameters=self._model.get_parameters(),
+        )
+
+    def receive(self, msg: GradientUpload) -> None:
+        """Accept one upload for the current step."""
+        if msg.step != self._step:
+            raise TrainingError(
+                f"upload for step {msg.step} during step {self._step}"
+            )
+        self._pending[msg.worker] = msg
+
+    def num_received(self) -> int:
+        """Uploads accepted so far this step."""
+        return len(self._pending)
+
+    def complete_step(
+        self, accepted_workers: Sequence[int], now: float, wait_time: float
+    ) -> None:
+        """Decode the accepted uploads and apply the update."""
+        payloads = {
+            w: self._pending[w].payload for w in accepted_workers
+        }
+        missing = [w for w, p in payloads.items() if p is None]
+        if missing:
+            raise TrainingError(f"empty payloads from workers {missing}")
+        grad_sum, recovered = self._strategy.decode(accepted_workers, payloads)
+        if not recovered:
+            raise TrainingError(f"step {self._step}: nothing recovered")
+        mean_grad = grad_sum / len(recovered)
+        params = self._optimizer.update(self._model.get_parameters(), mean_grad)
+        self._model.set_parameters(params)
+
+        if self._eval is not None:
+            loss = self._model.loss(*self._eval)
+        else:
+            loss = float("nan")
+        n = self._strategy.placement.num_partitions
+        self.records.append(
+            StepRecord(
+                step=self._step,
+                sim_time=now,
+                wait_time=wait_time,
+                num_available=len(accepted_workers),
+                num_recovered=len(recovered),
+                recovery_fraction=len(recovered) / n,
+                loss=loss,
+                grad_norm=float(np.linalg.norm(mean_grad)),
+            )
+        )
+        self._step += 1

@@ -1,0 +1,57 @@
+"""Discrete-event cluster simulation: events, network, wait policies."""
+
+from .events import Event, EventQueue
+from .network import IDEAL_NETWORK, NetworkModel
+from .policies import (
+    AdaptiveWaitK,
+    BestEffortWaitForK,
+    DeadlinePolicy,
+    WaitForAll,
+    WaitForK,
+    WaitOutcome,
+    WaitPolicy,
+    linear_rampup,
+)
+from .cluster import ClusterSimulator, ComputeModel, RoundResult
+from .metrics import StepStatistics, moving_average, steps_to_threshold
+from .contention import (
+    ContendedRound,
+    ContendedUploadModel,
+    fair_share_finish_times,
+)
+from .heterogeneous import (
+    HeterogeneousComputeModel,
+    HeterogeneousDelayAdapter,
+    lognormal_speed_profile,
+    tiered_speed_profile,
+    uniform_speed_profile,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "NetworkModel",
+    "IDEAL_NETWORK",
+    "WaitPolicy",
+    "WaitForK",
+    "WaitForAll",
+    "BestEffortWaitForK",
+    "DeadlinePolicy",
+    "AdaptiveWaitK",
+    "WaitOutcome",
+    "linear_rampup",
+    "ClusterSimulator",
+    "ComputeModel",
+    "RoundResult",
+    "StepStatistics",
+    "moving_average",
+    "steps_to_threshold",
+    "HeterogeneousComputeModel",
+    "HeterogeneousDelayAdapter",
+    "uniform_speed_profile",
+    "tiered_speed_profile",
+    "lognormal_speed_profile",
+    "fair_share_finish_times",
+    "ContendedUploadModel",
+    "ContendedRound",
+]

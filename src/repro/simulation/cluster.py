@@ -1,0 +1,190 @@
+"""Event-driven master/worker cluster simulator.
+
+One :class:`ClusterSimulator` models a synchronous training round:
+
+1. at step start the master broadcasts parameters (one broadcast time);
+2. every worker computes gradients on its ``c`` partitions
+   (``base_compute + c · per_partition_compute`` seconds), suffers a
+   straggler delay from the injected :class:`~repro.straggler.DelayModel`,
+   and uploads its coded gradient (network transfer time);
+3. arrival events are pushed into an :class:`EventQueue`; the caller's
+   wait policy then decides who is accepted and when the master moves on.
+
+All time is simulated seconds.  The same simulator instance can be
+replayed for several schemes by fixing the delay model to a recorded
+:class:`~repro.straggler.DelayTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, SimulationError
+from ..straggler.failures import FailureModel, NoFailures
+from ..straggler.models import DelayModel, NoDelay
+from .contention import ContendedUploadModel
+from .events import Event, EventQueue
+from .network import NetworkModel
+from .policies import WaitOutcome, WaitPolicy
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Per-worker gradient computation cost.
+
+    ``base`` covers batch loading and framework overhead;
+    ``per_partition`` is the marginal cost of one more dataset
+    partition, so a worker with ``c`` partitions spends
+    ``base + c · per_partition`` seconds before upload.
+    """
+
+    base: float = 0.05
+    per_partition: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.per_partition < 0:
+            raise ConfigurationError(
+                f"compute costs must be >= 0, got base={self.base}, "
+                f"per_partition={self.per_partition}"
+            )
+
+    def step_time(self, partitions: int) -> float:
+        """Seconds of compute for a worker holding ``partitions``."""
+        if partitions <= 0:
+            raise ConfigurationError(
+                f"partitions must be positive, got {partitions}"
+            )
+        return self.base + partitions * self.per_partition
+
+
+@dataclass(frozen=True)
+class RoundResult:
+    """Everything a training strategy needs from one simulated round."""
+
+    arrivals: Dict[int, float]
+    outcome: WaitOutcome
+    step_start: float
+    step_end: float
+    #: Compute-seconds spent by workers whose uploads the master did
+    #: not accept this round — the price of ignoring stragglers, and
+    #: the quantity the multi-message extension (repro.partial) exists
+    #: to harvest.
+    wasted_compute: float = 0.0
+
+    @property
+    def step_time(self) -> float:
+        return self.step_end - self.step_start
+
+
+class ClusterSimulator:
+    """Simulates rounds of distributed gradient computation."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        partitions_per_worker: int,
+        compute: ComputeModel | None = None,
+        network: NetworkModel | None = None,
+        delay_model: DelayModel | None = None,
+        gradient_elements: int = 10_000,
+        rng: np.random.Generator | None = None,
+        failure_model: FailureModel | None = None,
+        contended_link: ContendedUploadModel | None = None,
+    ):
+        if num_workers <= 0:
+            raise ConfigurationError(
+                f"num_workers must be positive, got {num_workers}"
+            )
+        if partitions_per_worker <= 0:
+            raise ConfigurationError(
+                f"partitions_per_worker must be positive, "
+                f"got {partitions_per_worker}"
+            )
+        self._n = num_workers
+        self._c = partitions_per_worker
+        self._compute = compute if compute is not None else ComputeModel()
+        self._network = network if network is not None else NetworkModel()
+        self._delays = delay_model if delay_model is not None else NoDelay()
+        self._gradient_elements = gradient_elements
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._failures = failure_model if failure_model is not None else NoFailures()
+        self._link = contended_link
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_workers(self) -> int:
+        return self._n
+
+    @property
+    def clock(self) -> float:
+        """Current simulated time in seconds."""
+        return self._clock
+
+    def reset(self) -> None:
+        """Rewind the simulated clock to zero."""
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------
+    def run_round(self, step: int, policy: WaitPolicy) -> RoundResult:
+        """Simulate one synchronous round under ``policy``.
+
+        Crashed/dropped workers (``failure_model``) produce no arrival;
+        with a ``contended_link`` the uploads fair-share the master's
+        ingress bandwidth instead of transferring independently.
+        """
+        start = self._clock
+        broadcast = self._network.broadcast_time(
+            self._gradient_elements, self._n
+        )
+        upload_starts = {}
+        for worker in range(self._n):
+            if not self._failures.is_alive(worker, step, self._rng):
+                continue
+            compute_t = self._compute.step_time(self._c)
+            straggle_t = self._delays.sample(worker, step, self._rng)
+            upload_starts[worker] = start + broadcast + compute_t + straggle_t
+        if not upload_starts:
+            raise SimulationError(
+                f"step {step}: every worker failed; nothing to wait for"
+            )
+
+        if self._link is not None:
+            contended = self._link.round_arrivals(
+                upload_starts, self._gradient_elements
+            )
+            arrivals = contended.arrivals
+        else:
+            queue = EventQueue()
+            upload_t = self._network.transfer_time(self._gradient_elements)
+            for worker, begun in upload_starts.items():
+                queue.push(
+                    Event(
+                        time=begun + upload_t,
+                        kind="gradient_arrival",
+                        worker=worker,
+                    )
+                )
+            arrivals = {ev.worker: ev.time for ev in queue.drain()}
+        # Policies reason in step-relative time (deadlines); convert.
+        relative = {w: t - start for w, t in arrivals.items()}
+        outcome = policy.wait(relative, step)
+        end = start + outcome.proceed_time
+        self._clock = end
+        per_worker_compute = self._compute.step_time(self._c)
+        wasted = per_worker_compute * sum(
+            1 for w in arrivals if w not in outcome.accepted_workers
+        )
+        return RoundResult(
+            arrivals=arrivals,
+            outcome=WaitOutcome(
+                accepted_workers=outcome.accepted_workers,
+                proceed_time=end,
+            ),
+            step_start=start,
+            step_end=end,
+            wasted_compute=wasted,
+        )

@@ -1,0 +1,139 @@
+"""Shared-link contention: fair-share uplink into the master.
+
+The paper infers that "most time is spent on uploading gradients to the
+master" (Sec. VIII-C) — in a real cluster those uploads *share* the
+master's ingress link, so simultaneous uploads slow each other down.
+The plain :class:`~repro.simulation.NetworkModel` ignores this; this
+module adds a processor-sharing model:
+
+:func:`fair_share_finish_times` — given each flow's start time and
+size, computes finish times under max-min fair sharing of one link of
+capacity ``C`` (progressive filling: between consecutive events, every
+active flow receives ``C / #active`` bytes per second).
+
+:class:`ContendedUploadModel` wraps it into a round-level helper the
+experiments use to see how contention changes scheme ordering (an
+ablation the paper's analysis motivates but does not run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from ..exceptions import ConfigurationError, SimulationError
+
+
+def fair_share_finish_times(
+    start_times: Sequence[float],
+    sizes: Sequence[float],
+    capacity: float,
+) -> List[float]:
+    """Finish times of flows sharing one link max-min fairly.
+
+    Event-driven progressive filling: advance to the next start or the
+    earliest projected finish, draining each active flow at
+    ``capacity / num_active`` in between.  O((F log F)·F) worst case —
+    trivial at worker scale.
+    """
+    if len(start_times) != len(sizes):
+        raise ConfigurationError(
+            f"{len(start_times)} start times vs {len(sizes)} sizes"
+        )
+    if capacity <= 0:
+        raise ConfigurationError(f"capacity must be > 0, got {capacity}")
+    for i, (t, s) in enumerate(zip(start_times, sizes)):
+        if t < 0 or s < 0:
+            raise ConfigurationError(
+                f"flow {i} has negative start or size ({t}, {s})"
+            )
+
+    remaining = {i: float(s) for i, s in enumerate(sizes)}
+    finish: Dict[int, float] = {}
+    # Flows with zero bytes finish the instant they start.
+    for i, s in enumerate(sizes):
+        if s == 0.0:
+            finish[i] = float(start_times[i])
+            del remaining[i]
+
+    pending = sorted(
+        (float(start_times[i]), i) for i in remaining
+    )
+    active: set[int] = set()
+    now = pending[0][0] if pending else 0.0
+    next_start_idx = 0
+
+    while remaining:
+        # Admit flows that have started by `now`.
+        while next_start_idx < len(pending) and pending[next_start_idx][0] <= now:
+            active.add(pending[next_start_idx][1])
+            next_start_idx += 1
+        if not active:
+            now = pending[next_start_idx][0]
+            continue
+
+        rate = capacity / len(active)
+        soonest_finish = min(remaining[i] / rate for i in active)
+        next_event = now + soonest_finish
+        if next_start_idx < len(pending):
+            next_event = min(next_event, pending[next_start_idx][0])
+
+        elapsed = next_event - now
+        drained = rate * elapsed
+        done = []
+        for i in active:
+            remaining[i] -= drained
+            if remaining[i] <= 1e-12:
+                done.append(i)
+        for i in done:
+            finish[i] = next_event
+            active.discard(i)
+            del remaining[i]
+        now = next_event
+
+    return [finish[i] for i in range(len(sizes))]
+
+
+@dataclass(frozen=True)
+class ContendedRound:
+    """Arrival times for one round under link contention."""
+
+    arrivals: Dict[int, float]
+    link_busy_until: float
+
+
+class ContendedUploadModel:
+    """Round-level upload timing under a shared master ingress link."""
+
+    def __init__(self, capacity_bytes_per_s: float, bytes_per_element: int = 4):
+        if capacity_bytes_per_s <= 0:
+            raise ConfigurationError(
+                f"capacity must be > 0, got {capacity_bytes_per_s}"
+            )
+        if bytes_per_element <= 0:
+            raise ConfigurationError(
+                f"bytes_per_element must be > 0, got {bytes_per_element}"
+            )
+        self._capacity = capacity_bytes_per_s
+        self._elem_bytes = bytes_per_element
+
+    def round_arrivals(
+        self,
+        upload_start_times: Mapping[int, float],
+        gradient_elements: int,
+    ) -> ContendedRound:
+        """Each worker starts uploading when its compute finishes; the
+        shared link serialises/fair-shares the transfers."""
+        if gradient_elements < 0:
+            raise SimulationError(
+                f"gradient_elements must be >= 0, got {gradient_elements}"
+            )
+        workers = sorted(upload_start_times)
+        starts = [upload_start_times[w] for w in workers]
+        sizes = [gradient_elements * self._elem_bytes] * len(workers)
+        finishes = fair_share_finish_times(starts, sizes, self._capacity)
+        arrivals = dict(zip(workers, finishes))
+        return ContendedRound(
+            arrivals=arrivals,
+            link_busy_until=max(finishes) if finishes else 0.0,
+        )

@@ -1,0 +1,120 @@
+"""Heterogeneous clusters: per-worker speed factors.
+
+The paper's experiments assume homogeneous hardware with injected
+delays, but its discussion (and cited work on heterogeneity-aware GC,
+[21]) motivates clusters where some machines are simply slower.  This
+module provides a per-worker compute model and a helper to build the
+speed profile from common shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .cluster import ComputeModel
+
+
+class HeterogeneousComputeModel:
+    """Per-worker compute cost: base model scaled by a speed factor.
+
+    A factor of 2.0 means the worker takes twice as long per step.
+    Exposes ``step_time_for(worker, partitions)``;
+    :meth:`worker_view` adapts one worker's cost to the homogeneous
+    :class:`ComputeModel` interface for reuse.
+    """
+
+    def __init__(self, base: ComputeModel, speed_factors: Mapping[int, float]):
+        for worker, factor in speed_factors.items():
+            if factor <= 0:
+                raise ConfigurationError(
+                    f"worker {worker} has non-positive speed factor {factor}"
+                )
+        self._base = base
+        self._factors = dict(speed_factors)
+
+    @property
+    def speed_factors(self) -> Dict[int, float]:
+        return dict(self._factors)
+
+    def factor(self, worker: int) -> float:
+        """Speed factor of ``worker`` (1.0 when unlisted)."""
+        return self._factors.get(worker, 1.0)
+
+    def step_time_for(self, worker: int, partitions: int) -> float:
+        """Per-step compute seconds for ``worker``."""
+        return self._base.step_time(partitions) * self.factor(worker)
+
+    def worker_view(self, worker: int) -> ComputeModel:
+        """A homogeneous-model adapter for one worker."""
+        f = self.factor(worker)
+        return ComputeModel(
+            base=self._base.base * f,
+            per_partition=self._base.per_partition * f,
+        )
+
+
+def uniform_speed_profile(num_workers: int) -> Dict[int, float]:
+    """Everybody at factor 1.0 (a homogeneous cluster)."""
+    if num_workers <= 0:
+        raise ConfigurationError(f"num_workers must be positive, got {num_workers}")
+    return {w: 1.0 for w in range(num_workers)}
+
+
+def tiered_speed_profile(
+    num_workers: int, slow_workers: Sequence[int], slow_factor: float = 3.0
+) -> Dict[int, float]:
+    """A two-tier cluster: listed workers run ``slow_factor×`` slower."""
+    profile = uniform_speed_profile(num_workers)
+    for worker in slow_workers:
+        if not 0 <= worker < num_workers:
+            raise ConfigurationError(
+                f"slow worker {worker} outside [0, {num_workers})"
+            )
+        profile[worker] = slow_factor
+    return profile
+
+
+def lognormal_speed_profile(
+    num_workers: int, sigma: float = 0.3, seed: int = 0
+) -> Dict[int, float]:
+    """A realistic spread: factors ~ LogNormal(0, sigma), median 1.0."""
+    if sigma < 0:
+        raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+    rng = np.random.default_rng(seed)
+    return {
+        w: float(rng.lognormal(mean=0.0, sigma=sigma))
+        for w in range(num_workers)
+    }
+
+
+class HeterogeneousDelayAdapter:
+    """Expose heterogeneous *compute* as a DelayModel-compatible extra.
+
+    The homogeneous :class:`~repro.simulation.ClusterSimulator` charges
+    every worker the same compute time; this adapter converts the
+    per-worker surplus ``(factor − 1) × base_step_time`` into an
+    additive delay so heterogeneous clusters can be simulated without
+    changing the simulator.
+    """
+
+    def __init__(
+        self, model: HeterogeneousComputeModel, partitions_per_worker: int
+    ):
+        if partitions_per_worker <= 0:
+            raise ConfigurationError(
+                f"partitions_per_worker must be positive, "
+                f"got {partitions_per_worker}"
+            )
+        self._model = model
+        self._partitions = partitions_per_worker
+
+    def sample(self, worker: int, step: int, rng) -> float:
+        """Extra delay: the worker surplus over the homogeneous cost."""
+        base_time = self._model.step_time_for(worker, self._partitions)
+        homogeneous = self._model.step_time_for(worker, self._partitions) / (
+            self._model.factor(worker)
+        )
+        return max(0.0, base_time - homogeneous)

@@ -1,0 +1,74 @@
+"""Communication model.
+
+The paper's Fig. 12(c) discussion infers that "most time is spent on
+uploading gradients to the master", so the simulator models uploads
+explicitly: a fixed per-message latency plus a size/bandwidth term.
+Coded gradients in IS-GC are a single vector regardless of ``c`` (the
+sum of ``c`` per-partition gradients), so upload size depends on the
+model dimension only — one of the reasons IS-GC's per-step overhead over
+IS-SGD stays modest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency + bandwidth transfer-time model.
+
+    Attributes
+    ----------
+    latency:
+        Per-message fixed cost in seconds (propagation + framing).
+    bandwidth:
+        Bytes per second; ``float("inf")`` models an ideal network.
+    bytes_per_element:
+        Gradient element width; 4 for fp32 (the paper's setting).
+    """
+
+    latency: float = 0.001
+    bandwidth: float = 1.25e9  # 10 Gbit/s
+    bytes_per_element: int = 4
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be > 0, got {self.bandwidth}"
+            )
+        if self.bytes_per_element <= 0:
+            raise ConfigurationError(
+                f"bytes_per_element must be > 0, got {self.bytes_per_element}"
+            )
+
+    def transfer_time(self, num_elements: int) -> float:
+        """Seconds to ship a gradient of ``num_elements`` floats."""
+        if num_elements < 0:
+            raise ConfigurationError(
+                f"num_elements must be >= 0, got {num_elements}"
+            )
+        size_bytes = num_elements * self.bytes_per_element
+        return self.latency + size_bytes / self.bandwidth
+
+    def broadcast_time(self, num_elements: int, num_workers: int) -> float:
+        """Master → workers broadcast of the decoded gradient.
+
+        Modelled as a single pipelined transfer (tree broadcast), i.e.
+        independent of ``num_workers`` beyond one latency; a sequential
+        model would penalise all schemes identically and change nothing
+        in relative comparisons.
+        """
+        if num_workers <= 0:
+            raise ConfigurationError(
+                f"num_workers must be > 0, got {num_workers}"
+            )
+        return self.transfer_time(num_elements)
+
+
+#: An ideal network for experiments that isolate compute stragglers.
+IDEAL_NETWORK = NetworkModel(latency=0.0, bandwidth=float("inf"))

@@ -1,0 +1,170 @@
+"""Master wait policies.
+
+The master decides *when to stop waiting* for coded gradients each
+step.  The paper highlights that IS-GC frees this choice entirely:
+
+* classic GC / sync-SGD must wait for a fixed count (``n - s`` resp.
+  ``n``),
+* IS-SGD / IS-GC wait for any ``w`` (``ray.wait(num_returns=w)``),
+* a deadline policy ("we can set a deadline in each step") and an
+  adaptive schedule ("receive gradients from fewer workers at the
+  beginning … more afterwards") are also described in Sec. IV.
+
+A policy consumes the full arrival-time vector for a step and returns
+the accepted worker set plus the simulated time at which the master
+proceeds.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Mapping, Tuple
+
+from ..exceptions import ConfigurationError, SimulationError
+
+
+@dataclass(frozen=True)
+class WaitOutcome:
+    """What a wait policy decided for one step."""
+
+    accepted_workers: FrozenSet[int]
+    proceed_time: float
+
+
+class WaitPolicy(abc.ABC):
+    """Decide which arrivals the master accepts and when it moves on."""
+
+    @abc.abstractmethod
+    def wait(self, arrivals: Mapping[int, float], step: int) -> WaitOutcome:
+        """``arrivals`` maps worker → absolute arrival time (this step)."""
+
+    @staticmethod
+    def _sorted_arrivals(arrivals: Mapping[int, float]) -> list[Tuple[float, int]]:
+        if not arrivals:
+            raise SimulationError("wait policy invoked with zero arrivals")
+        return sorted((t, w) for w, t in arrivals.items())
+
+
+class WaitForK(WaitPolicy):
+    """Accept the ``k`` fastest workers; proceed at the k-th arrival.
+
+    ``k = n`` is synchronous SGD; ``k = n - c + 1`` is classic GC;
+    any smaller ``k`` is the IS-SGD / IS-GC regime.
+    """
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        self._k = k
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def wait(self, arrivals: Mapping[int, float], step: int) -> WaitOutcome:
+        ordered = self._sorted_arrivals(arrivals)
+        if len(ordered) < self._k:
+            raise SimulationError(
+                f"policy needs {self._k} arrivals but only "
+                f"{len(ordered)} workers reported"
+            )
+        chosen = ordered[: self._k]
+        return WaitOutcome(
+            accepted_workers=frozenset(w for _, w in chosen),
+            proceed_time=chosen[-1][0],
+        )
+
+
+class BestEffortWaitForK(WaitPolicy):
+    """Accept the ``k`` fastest, or everyone when fewer than ``k``
+    workers report (crashes/dropouts).  The ignore-straggler decoders
+    handle whatever subset arrives, so training survives failures that
+    would deadlock a strict wait."""
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        self._k = k
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def wait(self, arrivals: Mapping[int, float], step: int) -> WaitOutcome:
+        ordered = self._sorted_arrivals(arrivals)
+        chosen = ordered[: min(self._k, len(ordered))]
+        return WaitOutcome(
+            accepted_workers=frozenset(w for _, w in chosen),
+            proceed_time=chosen[-1][0],
+        )
+
+
+class WaitForAll(WaitForK):
+    """Synchronous SGD: wait for every worker."""
+
+    def __init__(self, num_workers: int):
+        super().__init__(num_workers)
+
+
+class DeadlinePolicy(WaitPolicy):
+    """Accept everything that lands within ``deadline`` seconds of the
+    step start; if nobody makes it, wait for the first arrival (the
+    master can never proceed empty-handed)."""
+
+    def __init__(self, deadline: float):
+        if deadline < 0:
+            raise ConfigurationError(
+                f"deadline must be >= 0, got {deadline}"
+            )
+        self._deadline = deadline
+
+    @property
+    def deadline(self) -> float:
+        return self._deadline
+
+    def wait(self, arrivals: Mapping[int, float], step: int) -> WaitOutcome:
+        ordered = self._sorted_arrivals(arrivals)
+        within = [(t, w) for t, w in ordered if t <= self._deadline]
+        if not within:
+            first_time, first_worker = ordered[0]
+            return WaitOutcome(
+                accepted_workers=frozenset({first_worker}),
+                proceed_time=first_time,
+            )
+        return WaitOutcome(
+            accepted_workers=frozenset(w for _, w in within),
+            proceed_time=max(self._deadline, within[-1][0]),
+        )
+
+
+class AdaptiveWaitK(WaitPolicy):
+    """``k`` as a function of the step index (Sec. IV's ramp-up idea)."""
+
+    def __init__(self, schedule: Callable[[int], int]):
+        self._schedule = schedule
+
+    def wait(self, arrivals: Mapping[int, float], step: int) -> WaitOutcome:
+        k = self._schedule(step)
+        if k <= 0:
+            raise SimulationError(
+                f"adaptive schedule produced invalid k={k} at step {step}"
+            )
+        return WaitForK(min(k, len(arrivals))).wait(arrivals, step)
+
+
+def linear_rampup(start_k: int, end_k: int, over_steps: int) -> Callable[[int], int]:
+    """A ready-made ramp: ``start_k`` → ``end_k`` linearly over
+    ``over_steps`` steps, then constant ``end_k``."""
+    if start_k <= 0 or end_k <= 0 or over_steps <= 0:
+        raise ConfigurationError(
+            "start_k, end_k and over_steps must all be positive"
+        )
+
+    def schedule(step: int) -> int:
+        if step >= over_steps:
+            return end_k
+        frac = step / over_steps
+        return round(start_k + frac * (end_k - start_k))
+
+    return schedule

@@ -1,0 +1,45 @@
+"""Straggler delay models and trace record/replay."""
+
+from .models import (
+    BernoulliStraggler,
+    BurstyDelay,
+    DiurnalDelay,
+    DelayModel,
+    ExponentialDelay,
+    MixtureDelay,
+    NoDelay,
+    ParetoDelay,
+    PersistentStragglers,
+    ShiftedExponentialDelay,
+)
+from .traces import DelayTrace, TraceReplayModel
+from .estimators import EstimatingWaitPolicy, LatencyEstimator
+from .failures import (
+    CompositeFailures,
+    FailureModel,
+    NoFailures,
+    PermanentCrashes,
+    TransientDropouts,
+)
+
+__all__ = [
+    "DelayModel",
+    "NoDelay",
+    "ExponentialDelay",
+    "ShiftedExponentialDelay",
+    "ParetoDelay",
+    "BernoulliStraggler",
+    "PersistentStragglers",
+    "MixtureDelay",
+    "DiurnalDelay",
+    "BurstyDelay",
+    "DelayTrace",
+    "TraceReplayModel",
+    "LatencyEstimator",
+    "EstimatingWaitPolicy",
+    "FailureModel",
+    "NoFailures",
+    "PermanentCrashes",
+    "TransientDropouts",
+    "CompositeFailures",
+]

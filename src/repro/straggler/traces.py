@@ -1,0 +1,98 @@
+"""Delay traces: record once, replay across schemes.
+
+For apples-to-apples scheme comparisons (Fig. 11/12) every scheme must
+face the *same* straggler realisations.  A :class:`DelayTrace` freezes a
+delay model into a ``(steps × workers)`` table that replays
+deterministically; it also serialises to/from plain dicts for storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, SimulationError
+from .models import DelayModel
+
+
+@dataclass(frozen=True)
+class DelayTrace:
+    """A frozen table of per-(step, worker) delays."""
+
+    delays: np.ndarray  # shape (num_steps, num_workers)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.delays, dtype=float)
+        if arr.ndim != 2:
+            raise ConfigurationError(
+                f"trace must be 2-D (steps × workers), got shape {arr.shape}"
+            )
+        if (arr < 0).any():
+            raise ConfigurationError("trace contains negative delays")
+        object.__setattr__(self, "delays", arr)
+
+    @property
+    def num_steps(self) -> int:
+        return self.delays.shape[0]
+
+    @property
+    def num_workers(self) -> int:
+        return self.delays.shape[1]
+
+    def delay(self, worker: int, step: int) -> float:
+        """Delay for ``worker`` at ``step``; steps wrap modulo the trace
+        length so a short recorded trace can drive a long training run."""
+        if not 0 <= worker < self.num_workers:
+            raise SimulationError(
+                f"worker {worker} outside trace width {self.num_workers}"
+            )
+        return float(self.delays[step % self.num_steps, worker])
+
+    # ------------------------------------------------------------------
+    # Construction / serialisation
+    # ------------------------------------------------------------------
+    @classmethod
+    def record(
+        cls,
+        model: DelayModel,
+        num_workers: int,
+        num_steps: int,
+        rng: np.random.Generator,
+    ) -> "DelayTrace":
+        """Sample ``model`` into a frozen trace."""
+        if num_workers <= 0 or num_steps <= 0:
+            raise ConfigurationError(
+                f"need positive dimensions, got {num_steps} × {num_workers}"
+            )
+        table = np.zeros((num_steps, num_workers))
+        for step in range(num_steps):
+            for worker in range(num_workers):
+                table[step, worker] = model.sample(worker, step, rng)
+        return cls(table)
+
+    def to_dict(self) -> Dict[str, List[List[float]]]:
+        """A JSON-ready dict (inverse of :meth:`from_dict`)."""
+        return {"delays": self.delays.tolist()}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, List[List[float]]]) -> "DelayTrace":
+        if "delays" not in payload:
+            raise ConfigurationError("trace dict missing 'delays' key")
+        return cls(np.asarray(payload["delays"], dtype=float))
+
+
+class TraceReplayModel(DelayModel):
+    """Adapter: replay a :class:`DelayTrace` through the DelayModel API."""
+
+    def __init__(self, trace: DelayTrace):
+        self._trace = trace
+
+    @property
+    def trace(self) -> DelayTrace:
+        return self._trace
+
+    def sample(self, worker: int, step: int, rng: np.random.Generator) -> float:
+        # rng intentionally unused: replay is deterministic.
+        return self._trace.delay(worker, step)

@@ -1,0 +1,77 @@
+"""Training substrate: datasets, models, optimizers, strategies, trainer."""
+
+from .datasets import (
+    BatchStream,
+    Dataset,
+    build_batch_streams,
+    make_cifar_like,
+    make_classification,
+    make_regression,
+    partition_dataset,
+)
+from .losses import BinaryCrossEntropy, MeanSquaredError, SoftmaxCrossEntropy
+from .models import (
+    LinearRegressionModel,
+    LogisticRegressionModel,
+    MLPClassifier,
+    Model,
+    SoftmaxRegressionModel,
+)
+from .optimizers import SGD, constant_lr, inverse_time_decay, step_decay
+from .strategies import (
+    ClassicGCStrategy,
+    ISGCStrategy,
+    ISSGDStrategy,
+    SyncSGDStrategy,
+    TrainingStrategy,
+)
+from .convergence import LossTracker
+from .trainer import DistributedTrainer
+from .async_trainer import AsyncSGDTrainer, AsyncSummary, AsyncUpdateRecord
+from .evaluation import EvaluationReport, accuracy_curve, evaluate
+from .conv import Conv2DClassifier
+from .adaptive_trainer import AdaptivePlacementTrainer, MigrationEvent
+from .compression import CompressedISGCStrategy, TopKCompressor, nonzero_fraction
+from .local_sgd import LocalUpdateTrainer
+
+__all__ = [
+    "Dataset",
+    "BatchStream",
+    "build_batch_streams",
+    "make_regression",
+    "make_classification",
+    "make_cifar_like",
+    "partition_dataset",
+    "MeanSquaredError",
+    "BinaryCrossEntropy",
+    "SoftmaxCrossEntropy",
+    "Model",
+    "LinearRegressionModel",
+    "LogisticRegressionModel",
+    "SoftmaxRegressionModel",
+    "MLPClassifier",
+    "SGD",
+    "constant_lr",
+    "step_decay",
+    "inverse_time_decay",
+    "TrainingStrategy",
+    "SyncSGDStrategy",
+    "ISSGDStrategy",
+    "ClassicGCStrategy",
+    "ISGCStrategy",
+    "LossTracker",
+    "DistributedTrainer",
+    "AsyncSGDTrainer",
+    "AsyncSummary",
+    "AsyncUpdateRecord",
+    "EvaluationReport",
+    "evaluate",
+    "accuracy_curve",
+    "Conv2DClassifier",
+    "AdaptivePlacementTrainer",
+    "MigrationEvent",
+    "TopKCompressor",
+    "CompressedISGCStrategy",
+    "nonzero_fraction",
+    "LocalUpdateTrainer",
+]

@@ -1,0 +1,77 @@
+"""Convergence tracking utilities."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+class LossTracker:
+    """Tracks a loss curve and decides when training is "done".
+
+    ``threshold`` — training stops once the (optionally smoothed) loss
+    drops to or below it, the paper's stopping rule ("train the model
+    until the training loss reaches a given threshold").
+    """
+
+    def __init__(
+        self,
+        threshold: Optional[float] = None,
+        smoothing_window: int = 1,
+    ):
+        if smoothing_window <= 0:
+            raise ConfigurationError(
+                f"smoothing_window must be positive, got {smoothing_window}"
+            )
+        self._threshold = threshold
+        self._window = smoothing_window
+        self._losses: List[float] = []
+
+    @property
+    def losses(self) -> List[float]:
+        return list(self._losses)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self._losses)
+
+    def record(self, loss: float) -> None:
+        """Append one loss value; rejects NaN/inf (divergence)."""
+        if not np.isfinite(loss):
+            raise ConfigurationError(
+                f"non-finite loss {loss} at step {len(self._losses)}: "
+                "training diverged (lower the learning rate)"
+            )
+        self._losses.append(float(loss))
+
+    def smoothed_loss(self) -> float:
+        """Mean loss over the trailing smoothing window."""
+        if not self._losses:
+            raise ConfigurationError("no losses recorded yet")
+        tail = self._losses[-self._window:]
+        return float(np.mean(tail))
+
+    def reached_threshold(self) -> bool:
+        """Whether the smoothed loss is at or below the threshold."""
+        if self._threshold is None or not self._losses:
+            return False
+        return self.smoothed_loss() <= self._threshold
+
+    def best_loss(self) -> float:
+        """The minimum loss recorded so far."""
+        if not self._losses:
+            raise ConfigurationError("no losses recorded yet")
+        return float(min(self._losses))
+
+    def steps_to_threshold(self) -> Optional[int]:
+        """1-based first step whose smoothed loss hit the threshold."""
+        if self._threshold is None:
+            return None
+        for i in range(len(self._losses)):
+            lo = max(0, i - self._window + 1)
+            if float(np.mean(self._losses[lo:i + 1])) <= self._threshold:
+                return i + 1
+        return None

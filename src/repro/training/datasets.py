@@ -1,0 +1,206 @@
+"""Synthetic datasets and dataset partitioning.
+
+The paper trains ResNet-18 on CIFAR-10/ImageNet; per DESIGN.md we
+substitute NumPy-friendly synthetic workloads that preserve what the
+experiments measure (recovered-gradient fraction → convergence speed):
+
+* :func:`make_regression` — noisy linear teacher (convex, analysable);
+* :func:`make_classification` — Gaussian class blobs for logistic /
+  softmax models;
+* :func:`make_cifar_like` — random-feature "images" with a planted
+  non-linear teacher, sized like small vision inputs, for the MLP.
+
+Partitioning follows Sec. VIII-A's seed discipline: each partition owns
+an independent seeded batch stream, so every scheme sees byte-identical
+mini-batches for the same (partition, step) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An in-memory supervised dataset."""
+
+    features: np.ndarray  # shape (num_samples, num_features)
+    labels: np.ndarray  # shape (num_samples,) or (num_samples, k)
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        if self.features.ndim != 2:
+            raise ConfigurationError(
+                f"features must be 2-D, got shape {self.features.shape}"
+            )
+        if self.labels.shape[0] != self.features.shape[0]:
+            raise ConfigurationError(
+                f"features/labels row mismatch: {self.features.shape[0]} "
+                f"vs {self.labels.shape[0]}"
+            )
+
+    @property
+    def num_samples(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """A new dataset restricted to ``indices`` (rows copied by view)."""
+        return Dataset(
+            features=self.features[indices],
+            labels=self.labels[indices],
+            name=self.name,
+        )
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def make_regression(
+    num_samples: int,
+    num_features: int,
+    noise: float = 0.1,
+    seed: int = 0,
+) -> Dataset:
+    """Noisy linear-teacher regression: ``y = Xβ* + ε``."""
+    _check_sizes(num_samples, num_features)
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(num_samples, num_features))
+    beta = rng.normal(size=num_features) / np.sqrt(num_features)
+    y = x @ beta + noise * rng.normal(size=num_samples)
+    return Dataset(features=x, labels=y, name="regression")
+
+
+def make_classification(
+    num_samples: int,
+    num_features: int,
+    num_classes: int = 2,
+    separation: float = 2.0,
+    seed: int = 0,
+) -> Dataset:
+    """Gaussian blobs: ``num_classes`` clusters with unit covariance."""
+    _check_sizes(num_samples, num_features)
+    if num_classes < 2:
+        raise ConfigurationError(
+            f"need at least 2 classes, got {num_classes}"
+        )
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(num_classes, num_features)) * separation
+    labels = rng.integers(num_classes, size=num_samples)
+    x = centers[labels] + rng.normal(size=(num_samples, num_features))
+    return Dataset(features=x, labels=labels.astype(np.int64), name="blobs")
+
+
+def make_cifar_like(
+    num_samples: int = 2048,
+    side: int = 8,
+    num_classes: int = 10,
+    seed: int = 0,
+) -> Dataset:
+    """A CIFAR-10 stand-in: ``side × side × 3`` random images whose class
+    is a planted non-linear function of random projections.
+
+    Small enough for laptop-scale runs, non-linear enough that the MLP
+    has something real to learn (training loss falls well below the
+    trivial ``log(num_classes)``).
+    """
+    _check_sizes(num_samples, side)
+    rng = np.random.default_rng(seed)
+    dim = side * side * 3
+    x = rng.normal(size=(num_samples, dim)).astype(np.float64)
+    # Planted teacher: class = argmax over random ReLU features.
+    w1 = rng.normal(size=(dim, 4 * num_classes)) / np.sqrt(dim)
+    w2 = rng.normal(size=(4 * num_classes, num_classes))
+    logits = np.maximum(x @ w1, 0.0) @ w2
+    labels = logits.argmax(axis=1).astype(np.int64)
+    return Dataset(features=x, labels=labels, name="cifar-like")
+
+
+def _check_sizes(num_samples: int, num_features: int) -> None:
+    if num_samples <= 0 or num_features <= 0:
+        raise ConfigurationError(
+            f"sizes must be positive, got samples={num_samples}, "
+            f"features={num_features}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Partitioning & batch streams
+# ----------------------------------------------------------------------
+def partition_dataset(
+    dataset: Dataset, num_partitions: int, seed: int = 0
+) -> List[Dataset]:
+    """Shuffle once, then split into ``num_partitions`` near-equal parts.
+
+    Sizes differ by at most one sample; the shuffle keeps class balance
+    statistical rather than positional.
+    """
+    if num_partitions <= 0:
+        raise ConfigurationError(
+            f"num_partitions must be positive, got {num_partitions}"
+        )
+    if num_partitions > dataset.num_samples:
+        raise ConfigurationError(
+            f"cannot split {dataset.num_samples} samples into "
+            f"{num_partitions} partitions"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(dataset.num_samples)
+    chunks = np.array_split(order, num_partitions)
+    return [dataset.subset(chunk) for chunk in chunks]
+
+
+class BatchStream:
+    """Reproducible mini-batch stream over one partition.
+
+    Batches are sampled with replacement from a per-partition
+    :class:`numpy.random.Generator` seeded by ``(seed, partition_id)``,
+    so any two runs — regardless of scheme — draw identical batches for
+    the same (partition, step).  This is the paper's "carefully control
+    all random seeds" discipline (Sec. VIII-A).
+    """
+
+    def __init__(self, partition: Dataset, partition_id: int, batch_size: int, seed: int = 0):
+        if batch_size <= 0:
+            raise ConfigurationError(
+                f"batch_size must be positive, got {batch_size}"
+            )
+        self._partition = partition
+        self._batch_size = min(batch_size, partition.num_samples)
+        self._seed = seed
+        self._partition_id = partition_id
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    def batch(self, step: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The (features, labels) mini-batch for ``step``.
+
+        Stateless by construction: a fresh generator is derived from
+        ``(seed, partition_id, step)`` so batches can be re-materialised
+        in any order.
+        """
+        rng = np.random.default_rng(
+            (self._seed, self._partition_id, step)
+        )
+        idx = rng.integers(self._partition.num_samples, size=self._batch_size)
+        return self._partition.features[idx], self._partition.labels[idx]
+
+
+def build_batch_streams(
+    partitions: List[Dataset], batch_size: int, seed: int = 0
+) -> List[BatchStream]:
+    """One stream per partition, sharing the master seed."""
+    return [
+        BatchStream(part, pid, batch_size, seed=seed)
+        for pid, part in enumerate(partitions)
+    ]

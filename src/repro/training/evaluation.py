@@ -1,0 +1,81 @@
+"""Model evaluation utilities.
+
+The paper reports training loss; downstream users also want accuracy
+and calibration-style summaries.  These helpers work on any model
+exposing ``predict`` and the flat-parameter interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..exceptions import TrainingError
+from .datasets import Dataset
+from .models import Model
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    """Loss + accuracy (+ per-class accuracy for classifiers)."""
+
+    loss: float
+    accuracy: float | None
+    per_class_accuracy: Dict[int, float]
+
+    def describe(self) -> str:
+        """One-line loss/accuracy summary."""
+        if self.accuracy is None:
+            return f"loss {self.loss:.4f}"
+        return f"loss {self.loss:.4f}, accuracy {100 * self.accuracy:.1f}%"
+
+
+def evaluate(model: Model, dataset: Dataset) -> EvaluationReport:
+    """Loss (all models) plus accuracy when the model can classify."""
+    if dataset.num_samples == 0:
+        raise TrainingError("cannot evaluate on an empty dataset")
+    loss = model.loss(dataset.features, dataset.labels)
+
+    predict = getattr(model, "predict", None)
+    if predict is None:
+        return EvaluationReport(loss=loss, accuracy=None, per_class_accuracy={})
+    predictions = np.asarray(predict(dataset.features))
+    labels = np.asarray(dataset.labels)
+    if not np.issubdtype(labels.dtype, np.integer):
+        # Regression-style labels: accuracy is meaningless.
+        return EvaluationReport(loss=loss, accuracy=None, per_class_accuracy={})
+
+    accuracy = float(np.mean(predictions == labels))
+    per_class: Dict[int, float] = {}
+    for cls in np.unique(labels):
+        mask = labels == cls
+        per_class[int(cls)] = float(np.mean(predictions[mask] == cls))
+    return EvaluationReport(
+        loss=loss, accuracy=accuracy, per_class_accuracy=per_class
+    )
+
+
+def accuracy_curve(
+    model: Model,
+    parameter_snapshots: list[np.ndarray],
+    dataset: Dataset,
+) -> list[float]:
+    """Accuracy at each parameter snapshot (restores the model after)."""
+    if not parameter_snapshots:
+        raise TrainingError("no parameter snapshots given")
+    original = model.get_parameters()
+    curve = []
+    try:
+        for params in parameter_snapshots:
+            model.set_parameters(params)
+            report = evaluate(model, dataset)
+            if report.accuracy is None:
+                raise TrainingError(
+                    "accuracy_curve needs a classifier with integer labels"
+                )
+            curve.append(report.accuracy)
+    finally:
+        model.set_parameters(original)
+    return curve

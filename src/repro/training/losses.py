@@ -1,0 +1,88 @@
+"""Loss functions with analytic gradients.
+
+Each loss exposes ``value(pred, y)`` and ``grad(pred, y)`` (gradient
+w.r.t. the prediction), letting models chain their own backward pass.
+All values are means over the batch, matching the optimizer's
+"gradient of the average loss" convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import TrainingError
+
+
+def _check_batch(pred: np.ndarray, target: np.ndarray) -> None:
+    if pred.shape[0] != target.shape[0]:
+        raise TrainingError(
+            f"prediction/target batch mismatch: {pred.shape[0]} vs "
+            f"{target.shape[0]}"
+        )
+    if pred.shape[0] == 0:
+        raise TrainingError("empty batch")
+
+
+class MeanSquaredError:
+    """``0.5 · mean((pred - y)²)`` — the 0.5 makes the gradient clean."""
+
+    @staticmethod
+    def value(pred: np.ndarray, target: np.ndarray) -> float:
+        _check_batch(pred, target)
+        diff = pred - target
+        return float(0.5 * np.mean(diff * diff))
+
+    @staticmethod
+    def grad(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        _check_batch(pred, target)
+        return (pred - target) / pred.shape[0]
+
+
+class BinaryCrossEntropy:
+    """Logistic loss on raw scores (sigmoid applied internally).
+
+    Targets are 0/1; uses the numerically stable log-sum-exp form
+    ``log(1 + exp(-s·t̃))`` with ``t̃ = 2t - 1``.
+    """
+
+    @staticmethod
+    def value(scores: np.ndarray, target: np.ndarray) -> float:
+        _check_batch(scores, target)
+        signed = np.where(target > 0.5, 1.0, -1.0)
+        margin = scores * signed
+        # log(1 + exp(-m)) computed stably.
+        loss = np.logaddexp(0.0, -margin)
+        return float(loss.mean())
+
+    @staticmethod
+    def grad(scores: np.ndarray, target: np.ndarray) -> np.ndarray:
+        _check_batch(scores, target)
+        signed = np.where(target > 0.5, 1.0, -1.0)
+        sigma = 1.0 / (1.0 + np.exp(scores * signed))
+        return (-signed * sigma) / scores.shape[0]
+
+
+class SoftmaxCrossEntropy:
+    """Multi-class cross entropy on raw logits with integer targets."""
+
+    @staticmethod
+    def _probabilities(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    @classmethod
+    def value(cls, logits: np.ndarray, target: np.ndarray) -> float:
+        _check_batch(logits, target)
+        probs = cls._probabilities(logits)
+        idx = np.arange(logits.shape[0])
+        picked = np.clip(probs[idx, target.astype(int)], 1e-12, None)
+        return float(-np.log(picked).mean())
+
+    @classmethod
+    def grad(cls, logits: np.ndarray, target: np.ndarray) -> np.ndarray:
+        _check_batch(logits, target)
+        probs = cls._probabilities(logits)
+        idx = np.arange(logits.shape[0])
+        probs[idx, target.astype(int)] -= 1.0
+        return probs / logits.shape[0]

@@ -1,0 +1,272 @@
+"""NumPy models with flat-parameter interfaces.
+
+Every model exposes
+
+* ``num_parameters`` and ``get_parameters() / set_parameters(vec)``
+  over a single flat ``float64`` vector — the unit the coded-gradient
+  pipeline ships around;
+* ``loss(x, y)`` — mean loss on a batch;
+* ``gradient(x, y)`` — flat gradient of the mean batch loss;
+* ``loss_and_gradient(x, y)`` — both in one pass.
+
+Gradients are analytic (no autograd) and are validated against finite
+differences in the tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import TrainingError
+from .losses import BinaryCrossEntropy, MeanSquaredError, SoftmaxCrossEntropy
+
+
+class Model(abc.ABC):
+    """Base class for flat-parameter models."""
+
+    @property
+    @abc.abstractmethod
+    def num_parameters(self) -> int:
+        ...
+
+    @abc.abstractmethod
+    def get_parameters(self) -> np.ndarray:
+        """Copy of the flat parameter vector."""
+
+    @abc.abstractmethod
+    def set_parameters(self, flat: np.ndarray) -> None:
+        """Install a flat parameter vector."""
+
+    @abc.abstractmethod
+    def loss_and_gradient(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Mean batch loss and its flat gradient."""
+
+    def loss(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean batch loss at the current parameters."""
+        return self.loss_and_gradient(x, y)[0]
+
+    def gradient(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Flat gradient of the mean batch loss."""
+        return self.loss_and_gradient(x, y)[1]
+
+    def _validate_flat(self, flat: np.ndarray) -> np.ndarray:
+        arr = np.asarray(flat, dtype=float).ravel()
+        if arr.size != self.num_parameters:
+            raise TrainingError(
+                f"parameter vector of size {arr.size} does not match "
+                f"model size {self.num_parameters}"
+            )
+        return arr
+
+
+class LinearRegressionModel(Model):
+    """``pred = Xw + b`` under mean-squared error."""
+
+    def __init__(self, num_features: int, seed: int = 0):
+        if num_features <= 0:
+            raise TrainingError(
+                f"num_features must be positive, got {num_features}"
+            )
+        rng = np.random.default_rng(seed)
+        self._w = rng.normal(scale=0.01, size=num_features)
+        self._b = 0.0
+        self._d = num_features
+
+    @property
+    def num_parameters(self) -> int:
+        return self._d + 1
+
+    def get_parameters(self) -> np.ndarray:
+        return np.concatenate([self._w, [self._b]])
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        """Install a flat parameter vector."""
+        arr = self._validate_flat(flat)
+        self._w = arr[: self._d].copy()
+        self._b = float(arr[self._d])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Real-valued predictions ``Xw + b``."""
+        return x @ self._w + self._b
+
+    def loss_and_gradient(self, x, y):
+        pred = self.predict(x)
+        loss = MeanSquaredError.value(pred, y)
+        dpred = MeanSquaredError.grad(pred, y)
+        grad_w = x.T @ dpred
+        grad_b = dpred.sum()
+        return loss, np.concatenate([grad_w, [grad_b]])
+
+
+class LogisticRegressionModel(Model):
+    """Binary logistic regression on raw scores."""
+
+    def __init__(self, num_features: int, seed: int = 0):
+        if num_features <= 0:
+            raise TrainingError(
+                f"num_features must be positive, got {num_features}"
+            )
+        rng = np.random.default_rng(seed)
+        self._w = rng.normal(scale=0.01, size=num_features)
+        self._b = 0.0
+        self._d = num_features
+
+    @property
+    def num_parameters(self) -> int:
+        return self._d + 1
+
+    def get_parameters(self) -> np.ndarray:
+        return np.concatenate([self._w, [self._b]])
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        """Install a flat parameter vector."""
+        arr = self._validate_flat(flat)
+        self._w = arr[: self._d].copy()
+        self._b = float(arr[self._d])
+
+    def scores(self, x: np.ndarray) -> np.ndarray:
+        """Raw (pre-sigmoid) decision scores."""
+        return x @ self._w + self._b
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions."""
+        return (self.scores(x) > 0).astype(np.int64)
+
+    def loss_and_gradient(self, x, y):
+        s = self.scores(x)
+        loss = BinaryCrossEntropy.value(s, y)
+        ds = BinaryCrossEntropy.grad(s, y)
+        return loss, np.concatenate([x.T @ ds, [ds.sum()]])
+
+
+class SoftmaxRegressionModel(Model):
+    """Multinomial logistic regression (linear softmax classifier)."""
+
+    def __init__(self, num_features: int, num_classes: int, seed: int = 0):
+        if num_features <= 0 or num_classes < 2:
+            raise TrainingError(
+                f"need num_features > 0 and num_classes >= 2, got "
+                f"{num_features}, {num_classes}"
+            )
+        rng = np.random.default_rng(seed)
+        self._w = rng.normal(scale=0.01, size=(num_features, num_classes))
+        self._b = np.zeros(num_classes)
+        self._d = num_features
+        self._k = num_classes
+
+    @property
+    def num_parameters(self) -> int:
+        return self._d * self._k + self._k
+
+    def get_parameters(self) -> np.ndarray:
+        return np.concatenate([self._w.ravel(), self._b])
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        """Install a flat parameter vector."""
+        arr = self._validate_flat(flat)
+        split = self._d * self._k
+        self._w = arr[:split].reshape(self._d, self._k).copy()
+        self._b = arr[split:].copy()
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        """Raw class scores."""
+        return x @ self._w + self._b
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions."""
+        return self.logits(x).argmax(axis=1)
+
+    def loss_and_gradient(self, x, y):
+        z = self.logits(x)
+        loss = SoftmaxCrossEntropy.value(z, y)
+        dz = SoftmaxCrossEntropy.grad(z, y)
+        grad_w = x.T @ dz
+        grad_b = dz.sum(axis=0)
+        return loss, np.concatenate([grad_w.ravel(), grad_b])
+
+
+class MLPClassifier(Model):
+    """One-hidden-layer ReLU network with a softmax head.
+
+    The non-convex stand-in for the paper's ResNet-18: small enough for
+    simulation-speed steps, expressive enough that recovered-gradient
+    fraction visibly controls convergence speed.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        hidden_units: int,
+        num_classes: int,
+        seed: int = 0,
+    ):
+        if num_features <= 0 or hidden_units <= 0 or num_classes < 2:
+            raise TrainingError(
+                "need num_features > 0, hidden_units > 0, num_classes >= 2; "
+                f"got {num_features}, {hidden_units}, {num_classes}"
+            )
+        rng = np.random.default_rng(seed)
+        self._w1 = rng.normal(
+            scale=np.sqrt(2.0 / num_features), size=(num_features, hidden_units)
+        )
+        self._b1 = np.zeros(hidden_units)
+        self._w2 = rng.normal(
+            scale=np.sqrt(2.0 / hidden_units), size=(hidden_units, num_classes)
+        )
+        self._b2 = np.zeros(num_classes)
+        self._shapes = [
+            self._w1.shape,
+            self._b1.shape,
+            self._w2.shape,
+            self._b2.shape,
+        ]
+
+    @property
+    def num_parameters(self) -> int:
+        return sum(int(np.prod(s)) for s in self._shapes)
+
+    def get_parameters(self) -> np.ndarray:
+        return np.concatenate(
+            [self._w1.ravel(), self._b1, self._w2.ravel(), self._b2]
+        )
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        """Install a flat parameter vector."""
+        arr = self._validate_flat(flat)
+        offset = 0
+        tensors = []
+        for shape in self._shapes:
+            size = int(np.prod(shape))
+            tensors.append(arr[offset:offset + size].reshape(shape).copy())
+            offset += size
+        self._w1, self._b1, self._w2, self._b2 = tensors
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        """Raw class scores."""
+        hidden = np.maximum(x @ self._w1 + self._b1, 0.0)
+        return hidden @ self._w2 + self._b2
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions."""
+        return self.logits(x).argmax(axis=1)
+
+    def loss_and_gradient(self, x, y):
+        pre = x @ self._w1 + self._b1
+        hidden = np.maximum(pre, 0.0)
+        z = hidden @ self._w2 + self._b2
+        loss = SoftmaxCrossEntropy.value(z, y)
+        dz = SoftmaxCrossEntropy.grad(z, y)
+        grad_w2 = hidden.T @ dz
+        grad_b2 = dz.sum(axis=0)
+        dhidden = dz @ self._w2.T
+        dpre = dhidden * (pre > 0)
+        grad_w1 = x.T @ dpre
+        grad_b1 = dpre.sum(axis=0)
+        return loss, np.concatenate(
+            [grad_w1.ravel(), grad_b1, grad_w2.ravel(), grad_b2]
+        )

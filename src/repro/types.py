@@ -1,0 +1,91 @@
+"""Shared value types used across the library.
+
+These are deliberately plain frozen dataclasses: they cross module
+boundaries (core → simulation → training → analysis) and serve as the
+stable contract between the decoding layer and everything built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of one decoding round at the master.
+
+    Attributes
+    ----------
+    selected_workers:
+        The pairwise non-conflicting workers whose coded gradients are
+        added up (an independent set of the conflict graph ``G[W']``).
+    recovered_partitions:
+        The set ``I`` of dataset-partition indices whose gradients appear
+        in ``ĝ = Σ_{i∈I} g_i``.  Always the disjoint union of the
+        selected workers' partition sets.
+    available_workers:
+        The workers ``W'`` the master heard from this round.
+    num_searches:
+        How many greedy searches (start vertices) the decoder performed;
+        useful for validating the O(|W'|) complexity claims.
+    """
+
+    selected_workers: FrozenSet[int]
+    recovered_partitions: FrozenSet[int]
+    available_workers: FrozenSet[int]
+    num_searches: int = 1
+
+    @property
+    def num_recovered(self) -> int:
+        """``|I|`` — the number of recovered partitions."""
+        return len(self.recovered_partitions)
+
+    @property
+    def recovery_fraction(self) -> float:
+        """``|I| / n`` is not computable without ``n``; callers divide."""
+        raise AttributeError(
+            "recovery_fraction needs the total partition count; "
+            "use result.num_recovered / placement.num_partitions"
+        )
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Metrics for a single simulated training step."""
+
+    step: int
+    sim_time: float
+    wait_time: float
+    num_available: int
+    num_recovered: int
+    recovery_fraction: float
+    loss: float
+    grad_norm: float = 0.0
+    extras: Mapping[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TrainingSummary:
+    """Aggregate outcome of a simulated training run."""
+
+    scheme: str
+    num_steps: int
+    total_sim_time: float
+    final_loss: float
+    reached_threshold: bool
+    avg_step_time: float
+    avg_recovery_fraction: float
+    loss_curve: Tuple[float, ...]
+    time_curve: Tuple[float, ...]
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by example scripts."""
+        status = "converged" if self.reached_threshold else "budget exhausted"
+        return (
+            f"{self.scheme}: {self.num_steps} steps, "
+            f"{self.total_sim_time:.2f}s simulated ({status}); "
+            f"avg step {self.avg_step_time:.3f}s, "
+            f"avg recovery {100 * self.avg_recovery_fraction:.1f}%, "
+            f"final loss {self.final_loss:.4f}"
+        )

@@ -1,0 +1,117 @@
+"""Tests for the placement advisor."""
+
+import pytest
+
+from repro.core import (
+    CyclicRepetition,
+    FractionalRepetition,
+    HybridRepetition,
+    candidate_placements,
+    evaluate_placement,
+    rank_placements,
+    recommend_placement,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestCandidates:
+    def test_cr_always_present(self):
+        for n, c in ((5, 2), (7, 3), (8, 4)):
+            cands = candidate_placements(n, c)
+            assert any(isinstance(p, CyclicRepetition) for p in cands)
+
+    def test_fr_when_divisible(self):
+        cands = candidate_placements(8, 4)
+        assert any(isinstance(p, FractionalRepetition) for p in cands)
+
+    def test_no_fr_when_not_divisible(self):
+        cands = candidate_placements(7, 3)
+        assert not any(isinstance(p, FractionalRepetition) for p in cands)
+
+    def test_hr_variants_included(self):
+        """HR(8,3,1) and HR(8,0,4) place identically to FR and CR and
+        are deduplicated away; the strictly-intermediate c1 remain."""
+        cands = candidate_placements(8, 4)
+        hr = [p for p in cands if isinstance(p, HybridRepetition)]
+        assert {(p.c1, p.c2) for p in hr} == {(1, 3), (2, 2)}
+
+    def test_all_valid(self):
+        for p in candidate_placements(12, 4):
+            assert p.num_workers == 12
+            assert p.partitions_per_worker == 4
+
+    def test_deduplicated(self):
+        cands = candidate_placements(8, 4)
+        tables = [
+            tuple(sorted(
+                (w, tuple(sorted(p.partitions_of(w)))) for w in range(8)
+            ))
+            for p in cands
+        ]
+        assert len(tables) == len(set(tables))
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            candidate_placements(0, 1)
+        with pytest.raises(ConfigurationError):
+            candidate_placements(4, 5)
+
+
+class TestEvaluation:
+    def test_exact_for_small_n(self):
+        score = evaluate_placement(CyclicRepetition(8, 2), 4)
+        assert score.exact
+
+    def test_monte_carlo_for_large_n(self):
+        score = evaluate_placement(
+            CyclicRepetition(40, 2), 20, trials=200, seed=0
+        )
+        assert not score.exact
+        assert 0 < score.expected_recovered <= 40
+
+    def test_invalid_w(self):
+        with pytest.raises(ConfigurationError):
+            evaluate_placement(CyclicRepetition(4, 2), 9)
+
+    def test_label(self):
+        assert "CyclicRepetition" in evaluate_placement(
+            CyclicRepetition(4, 2), 2
+        ).label
+        assert "c1=2" in evaluate_placement(
+            HybridRepetition(8, 2, 2, 2), 2
+        ).label
+
+
+class TestRanking:
+    def test_sorted_descending(self):
+        ranking = rank_placements(8, 4, 2, trials=200)
+        values = [s.expected_recovered for s in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_fr_tops_ranking_when_available(self):
+        """Sec. V-C: FR dominates CR; nothing beats it at its own (n, c)."""
+        best = recommend_placement(8, 4, 2, trials=200)
+        top = rank_placements(8, 4, 2, trials=200)[0]
+        assert best.expected_recovered == top.expected_recovered
+        fr_score = evaluate_placement(FractionalRepetition(8, 4), 2)
+        assert best.expected_recovered == pytest.approx(
+            fr_score.expected_recovered, abs=1e-9
+        )
+
+    def test_cr_recommended_when_fr_impossible(self):
+        """n=7, c=3: only CR (and trivial HR g=1 duplicates) exist."""
+        best = recommend_placement(7, 3, 3, trials=200)
+        assert best.placement.num_workers == 7
+
+    def test_hr_c1_ordering_respected(self):
+        """Within the HR(8, c1, 4-c1) family the ranking is by c1."""
+        ranking = rank_placements(8, 4, 2, trials=200)
+        hr_scores = [
+            (s.placement.c1, s.expected_recovered)
+            for s in ranking
+            if isinstance(s.placement, HybridRepetition)
+            and s.placement.num_groups == 2
+        ]
+        by_c1 = sorted(hr_scores)
+        values = [v for _, v in by_c1]
+        assert values == sorted(values)

@@ -1,0 +1,130 @@
+"""Tests for the analysis layer: recovery stats, theory checks, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Series,
+    Table,
+    check_bounds_sampled,
+    expected_alpha,
+    fairness_gap,
+    monte_carlo_recovery,
+    recovery_curve,
+    series_table,
+)
+from repro.core import CyclicRepetition, FractionalRepetition
+from repro.exceptions import ConfigurationError
+
+
+class TestMonteCarloRecovery:
+    def test_full_availability_full_recovery(self):
+        stats = monte_carlo_recovery(CyclicRepetition(4, 2), 4, trials=50)
+        assert stats.mean_recovered == pytest.approx(4.0)
+        assert stats.min_recovered == 4
+
+    def test_w1_recovers_c(self):
+        stats = monte_carlo_recovery(CyclicRepetition(6, 3), 1, trials=50)
+        assert stats.mean_recovered == pytest.approx(3.0)
+
+    def test_fr_beats_cr_at_w2_n4(self):
+        """The Fig. 12(a) effect at w=2."""
+        fr = monte_carlo_recovery(FractionalRepetition(4, 2), 2, trials=3000)
+        cr = monte_carlo_recovery(CyclicRepetition(4, 2), 2, trials=3000)
+        assert fr.mean_recovered > cr.mean_recovered
+
+    def test_exact_expected_value_fr(self):
+        """FR(4,2), w=2: P(same group) = 2/6 → E[recovered] = 10/3."""
+        stats = monte_carlo_recovery(
+            FractionalRepetition(4, 2), 2, trials=20_000, seed=3
+        )
+        assert stats.mean_recovered == pytest.approx(10 / 3, rel=0.02)
+
+    def test_exact_expected_value_cr(self):
+        """CR(4,2), w=2: 4 of 6 pairs adjacent → E = (4·2 + 2·4)/6."""
+        stats = monte_carlo_recovery(
+            CyclicRepetition(4, 2), 2, trials=20_000, seed=4
+        )
+        assert stats.mean_recovered == pytest.approx(16 / 6, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            monte_carlo_recovery(CyclicRepetition(4, 2), 0)
+        with pytest.raises(ConfigurationError):
+            monte_carlo_recovery(CyclicRepetition(4, 2), 2, trials=0)
+
+    def test_describe(self):
+        stats = monte_carlo_recovery(CyclicRepetition(4, 2), 2, trials=20)
+        assert "w=2" in stats.describe()
+
+    def test_recovery_curve_monotone_in_w(self):
+        curve = recovery_curve(CyclicRepetition(6, 2), trials=1500, seed=0)
+        means = [curve[w].mean_recovered for w in range(1, 7)]
+        assert all(b >= a - 0.1 for a, b in zip(means, means[1:]))
+
+    def test_fairness_gap_zero_for_symmetric_full(self):
+        stats = monte_carlo_recovery(CyclicRepetition(4, 2), 4, trials=100)
+        assert fairness_gap(stats) == pytest.approx(0.0)
+
+
+class TestTheoryHelpers:
+    def test_sampled_bounds_hold(self):
+        pl = CyclicRepetition(10, 3)
+        for check in check_bounds_sampled(pl, 5, trials=100, seed=0):
+            assert check.holds
+
+    def test_expected_alpha_between_bounds(self):
+        from repro.core import alpha_lower_bound, alpha_upper_bound
+        pl = CyclicRepetition(8, 2)
+        val = expected_alpha(pl, 4, trials=500, seed=1)
+        assert alpha_lower_bound(8, 2, 4) <= val <= alpha_upper_bound(8, 2, 4)
+
+    def test_sampled_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(check_bounds_sampled(CyclicRepetition(4, 2), 9, trials=1))
+
+
+class TestReporting:
+    def test_table_render_contains_cells(self):
+        t = Table(title="T", columns=["a", "b"])
+        t.add_row(1, "x")
+        t.add_row(2.5, "y")
+        text = t.render()
+        assert "T" in text and "a" in text and "2.5" in text and "y" in text
+
+    def test_table_row_width_mismatch(self):
+        t = Table(title="T", columns=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            t.add_row(1)
+
+    def test_table_render_empty(self):
+        t = Table(title="T", columns=["a"])
+        assert "T" in t.render()
+
+    def test_table_show_prints(self, capsys):
+        t = Table(title="Demo", columns=["x"])
+        t.add_row(1)
+        t.show()
+        assert "Demo" in capsys.readouterr().out
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Series("s", [1, 2], [1.0])
+
+    def test_series_table(self):
+        s1 = Series("one", [1, 2], [0.1, 0.2])
+        s2 = Series("two", [1, 2], [0.3, 0.4])
+        t = series_table("fig", "w", [s1, s2])
+        text = t.render()
+        assert "one" in text and "two" in text and "0.4" in text
+
+    def test_series_table_mismatched_axes(self):
+        with pytest.raises(ConfigurationError):
+            series_table("fig", "w", [
+                Series("a", [1, 2], [0.0, 0.0]),
+                Series("b", [1, 3], [0.0, 0.0]),
+            ])
+
+    def test_series_table_empty(self):
+        with pytest.raises(ConfigurationError):
+            series_table("fig", "w", [])

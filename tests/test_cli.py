@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestPlacementCommand:
+    def test_cr_placement_described(self, capsys):
+        assert main(["placement", "--scheme", "cr", "-n", "4", "-c", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "CyclicRepetition" in out
+        assert "W0" in out
+        assert "conflict graph" in out
+
+    def test_fr_placement(self, capsys):
+        assert main(["placement", "--scheme", "fr", "-n", "4", "-c", "2"]) == 0
+        assert "FractionalRepetition" in capsys.readouterr().out
+
+    def test_hr_placement(self, capsys):
+        assert main([
+            "placement", "--scheme", "hr", "-n", "8", "-c", "4",
+            "--g", "2", "--c1", "2",
+        ]) == 0
+        assert "HybridRepetition" in capsys.readouterr().out
+
+    def test_hr_without_group_args_errors(self, capsys):
+        assert main(["placement", "--scheme", "hr", "-n", "8", "-c", "4"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_params_exit_code(self, capsys):
+        # FR needs c | n.
+        assert main(["placement", "--scheme", "fr", "-n", "5", "-c", "2"]) == 2
+
+
+class TestDecodeCommand:
+    def test_decode_paper_example(self, capsys):
+        assert main([
+            "decode", "--scheme", "cr", "-n", "4", "-c", "2",
+            "--available", "0,2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "100.0%" in out
+
+    def test_decode_partial(self, capsys):
+        assert main([
+            "decode", "--scheme", "cr", "-n", "4", "-c", "2",
+            "--available", "0,1",
+        ]) == 0
+        assert "50.0%" in capsys.readouterr().out
+
+
+class TestRecoveryCommand:
+    def test_recovery_curve(self, capsys):
+        assert main([
+            "recovery", "--scheme", "fr", "-n", "4", "-c", "2",
+            "--trials", "200",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Recovery curve" in out
+        assert "100.0%" in out  # w = n row
+
+
+class TestBoundsCommand:
+    def test_bounds_table(self, capsys):
+        assert main(["bounds", "-n", "8", "-c", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 10/11" in out
+        # w = 8 row: lower = upper = 4.
+        assert "8 | 4" in out
+
+    def test_bounds_invalid(self, capsys):
+        assert main(["bounds", "-n", "4", "-c", "9"]) == 2
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+
+class TestAdviseCommand:
+    def test_advise_ranks_placements(self, capsys):
+        assert main([
+            "advise", "-n", "8", "-c", "4", "-w", "2", "--trials", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Placement ranking" in out
+        assert "recommended: FractionalRepetition(n=8, c=4)" in out
+
+    def test_advise_invalid_params(self, capsys):
+        assert main(["advise", "-n", "4", "-c", "9", "-w", "2"]) == 2
+
+
+class TestSimulateCommand:
+    def test_simulate_isgc(self, capsys):
+        assert main([
+            "simulate", "--scheme", "cr", "-n", "4", "-c", "2",
+            "-w", "2", "--steps", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "is-gc-cr" in out
+        assert "loss:" in out
+
+    def test_simulate_issgd_when_c_is_one(self, capsys):
+        assert main([
+            "simulate", "--scheme", "cr", "-n", "4", "-c", "1",
+            "-w", "2", "--steps", "5",
+        ]) == 0
+        assert "is-sgd" in capsys.readouterr().out

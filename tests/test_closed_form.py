@@ -1,0 +1,126 @@
+"""Tests for closed-form / exact recovery distributions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    alpha_distribution_exact,
+    alpha_distribution_fr,
+    expected_alpha_exact,
+    expected_alpha_fr,
+    expected_recovered_exact,
+    monte_carlo_recovery,
+)
+from repro.core import (
+    CyclicRepetition,
+    FractionalRepetition,
+    HybridRepetition,
+    alpha_lower_bound,
+    alpha_upper_bound,
+)
+from repro.exceptions import ConfigurationError
+
+from conftest import all_fr_params
+
+
+class TestExpectedAlphaFR:
+    @pytest.mark.parametrize("n,c", [(4, 2), (6, 2), (6, 3), (8, 2), (8, 4)])
+    def test_matches_exact_enumeration(self, n, c):
+        placement = FractionalRepetition(n, c)
+        for w in range(1, n + 1):
+            analytic = expected_alpha_fr(n, c, w)
+            exact = expected_alpha_exact(placement, w)
+            assert analytic == pytest.approx(exact, abs=1e-12), (n, c, w)
+
+    def test_full_availability(self):
+        assert expected_alpha_fr(8, 2, 8) == pytest.approx(4.0)
+
+    def test_single_worker(self):
+        assert expected_alpha_fr(8, 2, 1) == pytest.approx(1.0)
+
+    def test_matches_monte_carlo(self):
+        stats = monte_carlo_recovery(
+            FractionalRepetition(8, 2), 4, trials=20_000, seed=0
+        )
+        analytic = expected_alpha_fr(8, 2, 4) * 2
+        assert stats.mean_recovered == pytest.approx(analytic, rel=0.02)
+
+    def test_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            expected_alpha_fr(5, 2, 2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_alpha_fr(4, 2, 0)
+        with pytest.raises(ConfigurationError):
+            expected_alpha_fr(4, 5, 2)
+
+
+class TestAlphaDistributionFR:
+    @pytest.mark.parametrize("n,c", [(4, 2), (6, 2), (6, 3), (8, 4)])
+    def test_is_probability_distribution(self, n, c):
+        for w in range(1, n + 1):
+            pmf = alpha_distribution_fr(n, c, w)
+            assert sum(pmf.values()) == pytest.approx(1.0)
+            assert all(p > 0 for p in pmf.values())
+
+    @pytest.mark.parametrize("n,c", [(4, 2), (6, 2), (8, 4)])
+    def test_matches_exact_enumeration(self, n, c):
+        placement = FractionalRepetition(n, c)
+        for w in range(1, n + 1):
+            analytic = alpha_distribution_fr(n, c, w)
+            exact = alpha_distribution_exact(placement, w)
+            assert set(analytic) == set(exact)
+            for k in analytic:
+                assert analytic[k] == pytest.approx(exact[k], abs=1e-12)
+
+    def test_mean_consistent_with_expected(self):
+        pmf = alpha_distribution_fr(8, 2, 5)
+        mean = sum(k * p for k, p in pmf.items())
+        assert mean == pytest.approx(expected_alpha_fr(8, 2, 5))
+
+    def test_support_within_bounds(self):
+        for w in range(1, 9):
+            pmf = alpha_distribution_fr(8, 2, w)
+            for k in pmf:
+                assert alpha_lower_bound(8, 2, w) <= k <= alpha_upper_bound(8, 2, w)
+
+
+class TestAlphaDistributionExact:
+    def test_cr_support_within_bounds(self):
+        placement = CyclicRepetition(8, 3)
+        for w in (2, 4, 6):
+            pmf = alpha_distribution_exact(placement, w)
+            for k in pmf:
+                assert alpha_lower_bound(8, 3, w) <= k <= alpha_upper_bound(8, 3, w)
+
+    def test_hr_distribution_sums_to_one(self):
+        placement = HybridRepetition(8, 2, 2, 2)
+        pmf = alpha_distribution_exact(placement, 3)
+        assert sum(pmf.values()) == pytest.approx(1.0)
+
+    def test_matches_monte_carlo_cr(self):
+        placement = CyclicRepetition(6, 2)
+        exact = expected_recovered_exact(placement, 3)
+        stats = monte_carlo_recovery(placement, 3, trials=20_000, seed=1)
+        assert stats.mean_recovered == pytest.approx(exact, rel=0.02)
+
+    def test_too_large_rejected(self):
+        placement = CyclicRepetition(40, 2)
+        with pytest.raises(ConfigurationError, match="too many"):
+            alpha_distribution_exact(placement, 20)
+
+    def test_fr_beats_cr_in_expectation_everywhere(self):
+        """Sec. V-C in exact form: E[α_FR] ≥ E[α_CR] for every w."""
+        fr = FractionalRepetition(8, 2)
+        cr = CyclicRepetition(8, 2)
+        for w in range(1, 9):
+            assert expected_alpha_exact(fr, w) >= expected_alpha_exact(cr, w) - 1e-12
+
+    def test_hr_interpolates_between_cr_and_fr(self):
+        """Fig. 13(a) in exact form: E[recovered] monotone in c1."""
+        exact = [
+            expected_recovered_exact(HybridRepetition(8, c1, 4 - c1, 2), 2)
+            for c1 in (0, 1, 2, 3)
+        ]
+        assert exact == sorted(exact)

@@ -1,0 +1,117 @@
+"""Tests for the Theorem 12 empirical validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    estimate_lipschitz,
+    estimate_sigma_squared,
+    validate_descent_bound,
+)
+from repro.core import DescentBound
+from repro.exceptions import ConfigurationError
+from repro.training import (
+    LinearRegressionModel,
+    LogisticRegressionModel,
+    make_classification,
+    make_regression,
+)
+
+
+class TestEstimateLipschitz:
+    def test_linear_regression_matches_theory(self):
+        """For 0.5·mean((Xw+b−y)²) the gradient's Lipschitz constant is
+        the top eigenvalue of the (augmented) design Gram matrix / n."""
+        ds = make_regression(200, 5, seed=0)
+        model = LinearRegressionModel(5, seed=0)
+        est = estimate_lipschitz(model, ds, probes=60, seed=1)
+        aug = np.hstack([ds.features, np.ones((200, 1))])
+        theory = float(np.linalg.eigvalsh(aug.T @ aug / 200).max())
+        # Random probe directions under-shoot the top eigenvalue but
+        # never exceed it (the map is exactly linear in params).
+        assert est <= theory * (1 + 1e-9)
+        assert est >= 0.5 * theory
+
+    def test_nonnegative(self):
+        ds = make_classification(100, 4, seed=0)
+        model = LogisticRegressionModel(4, seed=0)
+        assert estimate_lipschitz(model, ds, probes=10) >= 0
+
+    def test_restores_parameters(self):
+        ds = make_regression(50, 3, seed=0)
+        model = LinearRegressionModel(3, seed=0)
+        before = model.get_parameters()
+        estimate_lipschitz(model, ds, probes=5)
+        np.testing.assert_array_equal(model.get_parameters(), before)
+
+    def test_validation(self):
+        ds = make_regression(10, 2)
+        model = LinearRegressionModel(2)
+        with pytest.raises(ConfigurationError):
+            estimate_lipschitz(model, ds, probes=0)
+
+
+class TestEstimateSigmaSquared:
+    def test_upper_bounds_full_gradient(self):
+        """max over batches ≥ the norm² of the full-dataset gradient
+        once enough probes are drawn (batches average to it)."""
+        ds = make_classification(400, 6, seed=0)
+        model = LogisticRegressionModel(6, seed=0)
+        sigma2 = estimate_sigma_squared(model, ds, batch_size=32, probes=80)
+        full = model.gradient(ds.features, ds.labels)
+        assert sigma2 >= float(np.dot(full, full)) * 0.5
+
+    def test_bigger_batches_smaller_sigma(self):
+        ds = make_classification(400, 6, seed=0)
+        model = LogisticRegressionModel(6, seed=0)
+        small = estimate_sigma_squared(model, ds, batch_size=4, probes=80, seed=1)
+        large = estimate_sigma_squared(model, ds, batch_size=256, probes=80, seed=1)
+        assert large <= small * 1.5
+
+    def test_validation(self):
+        ds = make_classification(10, 2)
+        model = LogisticRegressionModel(2)
+        with pytest.raises(ConfigurationError):
+            estimate_sigma_squared(model, ds, batch_size=0)
+
+
+class TestValidateDescentBound:
+    def test_gradient_descent_on_quadratic_satisfies_bound(self):
+        """Plain GD on a quadratic: with the true L and tiny η the
+        Theorem 12 bound must hold at every step."""
+        ds = make_regression(200, 4, noise=0.0, seed=0)
+        model = LinearRegressionModel(4, seed=0)
+        lipschitz = estimate_lipschitz(model, ds, probes=60, seed=1) * 1.05
+        sigma2 = estimate_sigma_squared(model, ds, batch_size=200, probes=20)
+        bound = DescentBound(lipschitz=lipschitz, sigma_squared=sigma2)
+
+        lr = 0.5 / lipschitz
+        losses = [model.loss(ds.features, ds.labels)]
+        grads = []
+        for _ in range(30):
+            grad = model.gradient(ds.features, ds.labels)
+            grads.append(float(np.linalg.norm(grad)))
+            model.set_parameters(model.get_parameters() - lr * grad)
+            losses.append(model.loss(ds.features, ds.labels))
+
+        result = validate_descent_bound(
+            losses, grads, [1.0] * len(grads), bound, lr
+        )
+        assert result.holds
+        assert result.steps_checked == 30
+        assert result.mean_slack >= 0
+
+    def test_detects_violations_with_wrong_constants(self):
+        """An absurdly small L makes the bound claim too much descent —
+        violations must be reported, not silently passed."""
+        losses = [1.0, 0.999]  # barely any progress
+        grads = [1.0]  # but a large gradient was claimed
+        bound = DescentBound(lipschitz=1e-9, sigma_squared=0.0)
+        result = validate_descent_bound(losses, grads, [1.0], bound, 0.5)
+        assert not result.holds
+        assert result.violations == 1
+
+    def test_length_validation(self):
+        bound = DescentBound(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            validate_descent_bound([1.0], [1.0], [1.0], bound, 0.1)

@@ -1,0 +1,177 @@
+"""Tests for dataset generation, partitioning, and batch streams."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.training import (
+    BatchStream,
+    build_batch_streams,
+    make_cifar_like,
+    make_classification,
+    make_regression,
+    partition_dataset,
+)
+from repro.training.datasets import Dataset
+
+
+class TestGenerators:
+    def test_regression_shapes(self):
+        ds = make_regression(100, 5)
+        assert ds.features.shape == (100, 5)
+        assert ds.labels.shape == (100,)
+        assert ds.num_samples == 100
+        assert ds.num_features == 5
+
+    def test_regression_reproducible(self):
+        a = make_regression(50, 3, seed=7)
+        b = make_regression(50, 3, seed=7)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_regression_noise_controls_residual(self):
+        clean = make_regression(500, 4, noise=0.0, seed=0)
+        # Noise-free labels are an exact linear function: perfect lstsq fit.
+        x = np.hstack([clean.features, np.ones((500, 1))])
+        _, residuals, _, _ = np.linalg.lstsq(x, clean.labels, rcond=None)
+        assert residuals.size == 0 or residuals[0] < 1e-18
+
+    def test_classification_labels_in_range(self):
+        ds = make_classification(200, 6, num_classes=4)
+        assert set(np.unique(ds.labels)) <= set(range(4))
+
+    def test_classification_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_classification(100, 5, num_classes=1)
+        with pytest.raises(ConfigurationError):
+            make_classification(0, 5)
+
+    def test_classification_separable(self):
+        """Highly-separated blobs are nearly linearly classifiable."""
+        ds = make_classification(500, 8, num_classes=2, separation=8.0, seed=1)
+        centers = [
+            ds.features[ds.labels == k].mean(axis=0) for k in (0, 1)
+        ]
+        direction = centers[1] - centers[0]
+        scores = ds.features @ direction
+        threshold = (centers[0] @ direction + centers[1] @ direction) / 2
+        acc = np.mean((scores > threshold) == ds.labels)
+        assert acc > 0.95
+
+    def test_cifar_like_dimensions(self):
+        ds = make_cifar_like(128, side=4, num_classes=10)
+        assert ds.features.shape == (128, 4 * 4 * 3)
+        assert set(np.unique(ds.labels)) <= set(range(10))
+
+    def test_cifar_like_uses_all_classes_eventually(self):
+        ds = make_cifar_like(2000, side=4, num_classes=10, seed=0)
+        assert len(np.unique(ds.labels)) >= 8
+
+
+class TestDataset:
+    def test_subset(self):
+        ds = make_regression(10, 2)
+        sub = ds.subset(np.array([0, 3, 5]))
+        assert sub.num_samples == 3
+        np.testing.assert_array_equal(sub.features[1], ds.features[3])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(features=np.zeros((4, 2)), labels=np.zeros(3))
+
+    def test_1d_features_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(features=np.zeros(4), labels=np.zeros(4))
+
+
+class TestPartitioning:
+    def test_sizes_near_equal(self):
+        ds = make_regression(103, 3)
+        parts = partition_dataset(ds, 4, seed=0)
+        sizes = [p.num_samples for p in parts]
+        assert sum(sizes) == 103
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partitions_disjoint_and_cover(self):
+        ds = make_regression(60, 2, seed=1)
+        parts = partition_dataset(ds, 3, seed=2)
+        rows = np.vstack([p.features for p in parts])
+        # Same multiset of rows as original (sorted lexicographically).
+        assert rows.shape == ds.features.shape
+        np.testing.assert_allclose(
+            np.sort(rows, axis=0), np.sort(ds.features, axis=0)
+        )
+
+    def test_too_many_partitions(self):
+        with pytest.raises(ConfigurationError):
+            partition_dataset(make_regression(3, 2), 4)
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            partition_dataset(make_regression(10, 2), 0)
+
+    def test_reproducible(self):
+        ds = make_regression(40, 2, seed=5)
+        a = partition_dataset(ds, 4, seed=9)
+        b = partition_dataset(ds, 4, seed=9)
+        for pa, pb in zip(a, b):
+            np.testing.assert_array_equal(pa.features, pb.features)
+
+
+class TestBatchStream:
+    def _stream(self, pid=0, batch=8, seed=3):
+        ds = make_regression(64, 3, seed=1)
+        return BatchStream(ds, partition_id=pid, batch_size=batch, seed=seed)
+
+    def test_batch_shapes(self):
+        x, y = self._stream().batch(0)
+        assert x.shape == (8, 3)
+        assert y.shape == (8,)
+
+    def test_same_step_same_batch(self):
+        s = self._stream()
+        x1, y1 = s.batch(5)
+        x2, y2 = s.batch(5)
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_stateless_any_order(self):
+        """Batches must not depend on the order they are requested in —
+        this is what makes cross-scheme comparisons exact."""
+        a = self._stream()
+        b = self._stream()
+        xa, _ = a.batch(3)
+        a.batch(0)
+        b.batch(7)
+        xb, _ = b.batch(3)
+        np.testing.assert_array_equal(xa, xb)
+
+    def test_different_steps_differ(self):
+        s = self._stream()
+        x1, _ = s.batch(0)
+        x2, _ = s.batch(1)
+        assert not np.array_equal(x1, x2)
+
+    def test_different_partition_ids_differ(self):
+        x1, _ = self._stream(pid=0).batch(0)
+        x2, _ = self._stream(pid=1).batch(0)
+        assert not np.array_equal(x1, x2)
+
+    def test_batch_clamped_to_partition_size(self):
+        ds = make_regression(5, 2)
+        s = BatchStream(ds, 0, batch_size=100, seed=0)
+        x, _ = s.batch(0)
+        assert x.shape[0] == 5
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            BatchStream(make_regression(4, 2), 0, batch_size=0)
+
+    def test_build_batch_streams(self):
+        ds = make_regression(40, 2)
+        parts = partition_dataset(ds, 4, seed=0)
+        streams = build_batch_streams(parts, batch_size=4, seed=1)
+        assert len(streams) == 4
+        for s in streams:
+            x, y = s.batch(0)
+            assert x.shape == (4, 2)

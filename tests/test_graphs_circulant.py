@@ -1,0 +1,108 @@
+"""Tests for circulant graphs and circular distance."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graphs import (
+    Graph,
+    circulant_graph,
+    circular_distance,
+    is_circulant_with_offsets,
+)
+
+
+class TestCircularDistance:
+    def test_adjacent(self):
+        assert circular_distance(0, 1, 8) == 1
+
+    def test_wraparound(self):
+        assert circular_distance(0, 7, 8) == 1
+
+    def test_opposite(self):
+        assert circular_distance(0, 4, 8) == 4
+
+    def test_same(self):
+        assert circular_distance(3, 3, 8) == 0
+
+    def test_symmetry_examples(self):
+        for n in (3, 5, 8, 13):
+            for x in range(n):
+                for y in range(n):
+                    assert circular_distance(x, y, n) == circular_distance(y, x, n)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            circular_distance(0, 1, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=-100, max_value=100),
+    )
+    def test_bounded_by_half_n(self, n, x, y):
+        d = circular_distance(x, y, n)
+        assert 0 <= d <= n // 2
+
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=-3, max_value=3),
+    )
+    def test_rotation_invariance(self, n, x, y, shift):
+        assert circular_distance(x, y, n) == circular_distance(
+            x + shift * n + 1, y + shift * n + 1, n
+        )
+
+
+class TestCirculantGraph:
+    def test_cycle(self):
+        g = circulant_graph(5, [1])
+        assert g.number_of_edges() == 5
+        for v in range(5):
+            assert g.degree(v) == 2
+
+    def test_complete_when_all_offsets(self):
+        n = 6
+        g = circulant_graph(n, range(1, n // 2 + 1))
+        assert g.number_of_edges() == n * (n - 1) // 2
+
+    def test_offsets_mod_n(self):
+        assert circulant_graph(5, [1]) == circulant_graph(5, [6])
+        assert circulant_graph(5, [2]) == circulant_graph(5, [-2])
+
+    def test_zero_offset_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            circulant_graph(5, [0])
+
+    def test_offset_multiple_of_n_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            circulant_graph(5, [10])
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            circulant_graph(0, [1])
+
+    @pytest.mark.parametrize("n,offsets", [
+        (4, [1]), (6, [1, 2]), (8, [1, 3]), (9, [2]), (10, [1, 2, 3]),
+    ])
+    def test_matches_networkx(self, n, offsets):
+        ours = circulant_graph(n, offsets)
+        theirs = nx.circulant_graph(n, offsets)
+        assert ours.vertices == frozenset(theirs.nodes)
+        assert ours.edges == frozenset(
+            frozenset(e) for e in theirs.edges
+        )
+
+    def test_is_circulant_with_offsets_true(self):
+        g = circulant_graph(7, [1, 2])
+        assert is_circulant_with_offsets(g, 7, [1, 2])
+
+    def test_is_circulant_with_offsets_false_edges(self):
+        g = circulant_graph(7, [1])
+        assert not is_circulant_with_offsets(g, 7, [1, 2])
+
+    def test_is_circulant_with_offsets_false_vertices(self):
+        g = Graph(vertices=range(6))
+        assert not is_circulant_with_offsets(g, 7, [1])

@@ -1,0 +1,129 @@
+"""Unit tests for the lightweight undirected graph."""
+
+import pytest
+
+from repro.graphs import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert len(g) == 0
+        assert g.number_of_edges() == 0
+
+    def test_vertices_only(self):
+        g = Graph(vertices=[1, 2, 3])
+        assert g.vertices == frozenset({1, 2, 3})
+        assert g.number_of_edges() == 0
+
+    def test_edges_create_vertices(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        assert g.vertices == frozenset({0, 1, 2})
+        assert g.number_of_edges() == 2
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(edges=[(0, 1), (1, 0), (0, 1)])
+        assert g.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError, match="self-loop"):
+            g.add_edge(3, 3)
+
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex("a")
+        g.add_vertex("a")
+        assert len(g) == 1
+
+
+class TestQueries:
+    def test_has_edge_symmetry(self):
+        g = Graph(edges=[(0, 1)])
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_neighbors(self):
+        g = Graph(edges=[(0, 1), (0, 2)])
+        assert g.neighbors(0) == frozenset({1, 2})
+        assert g.neighbors(1) == frozenset({0})
+
+    def test_degree(self):
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(3) == 1
+
+    def test_contains_and_iter(self):
+        g = Graph(vertices=[5, 7])
+        assert 5 in g
+        assert 6 not in g
+        assert sorted(g) == [5, 7]
+
+    def test_equality(self):
+        a = Graph(edges=[(0, 1), (2, 3)])
+        b = Graph(edges=[(2, 3), (1, 0)])
+        assert a == b
+        b.add_edge(0, 2)
+        assert a != b
+
+    def test_equality_other_type(self):
+        assert Graph() != 42
+
+
+class TestDerived:
+    def test_subgraph_keeps_internal_edges(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph([1, 2])
+        assert sub.vertices == frozenset({1, 2})
+        assert sub.has_edge(1, 2)
+        assert sub.number_of_edges() == 1
+
+    def test_subgraph_missing_vertex_raises(self):
+        g = Graph(vertices=[0, 1])
+        with pytest.raises(KeyError):
+            g.subgraph([0, 9])
+
+    def test_subgraph_empty(self):
+        g = Graph(edges=[(0, 1)])
+        sub = g.subgraph([])
+        assert len(sub) == 0
+
+    def test_complement_of_path(self):
+        g = Graph(vertices=[0, 1, 2], edges=[(0, 1), (1, 2)])
+        comp = g.complement()
+        assert comp.edges == frozenset({frozenset({0, 2})})
+
+    def test_complement_involution(self):
+        g = Graph(vertices=range(5), edges=[(0, 1), (2, 4), (1, 3)])
+        assert g.complement().complement() == g
+
+    def test_is_independent_set(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        assert g.is_independent_set({0, 2})
+        assert g.is_independent_set({0, 3})
+        assert not g.is_independent_set({0, 1})
+        assert g.is_independent_set(set())
+
+    def test_independent_set_with_duplicates_rejected(self):
+        g = Graph(vertices=[0, 1])
+        assert not g.is_independent_set([0, 0])
+
+    def test_independent_set_unknown_vertex(self):
+        g = Graph(vertices=[0])
+        assert not g.is_independent_set({42})
+
+    def test_is_clique(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert g.is_clique({0, 1, 2})
+        assert not g.is_clique({0, 1, 3})
+        assert g.is_clique({3})
+
+    def test_connected_components(self):
+        g = Graph(vertices=[9], edges=[(0, 1), (1, 2), (5, 6)])
+        comps = {frozenset(c) for c in g.connected_components()}
+        assert comps == {
+            frozenset({0, 1, 2}),
+            frozenset({5, 6}),
+            frozenset({9}),
+        }

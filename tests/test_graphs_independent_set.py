@@ -1,0 +1,123 @@
+"""Tests for greedy and exact maximum-independent-set solvers."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Graph,
+    all_maximum_independent_sets,
+    greedy_independent_set,
+    independence_number,
+    maximum_independent_set,
+)
+
+
+def random_graph(n: int, p: float, seed: int) -> Graph:
+    rng = np.random.default_rng(seed)
+    g = Graph(vertices=range(n))
+    for a in range(n):
+        for b in range(a + 1, n):
+            if rng.random() < p:
+                g.add_edge(a, b)
+    return g
+
+
+class TestGreedy:
+    def test_empty_graph_returns_all(self):
+        g = Graph(vertices=range(5))
+        assert greedy_independent_set(g) == frozenset(range(5))
+
+    def test_complete_graph_returns_one(self):
+        g = Graph(vertices=range(4))
+        for a in range(4):
+            for b in range(a + 1, 4):
+                g.add_edge(a, b)
+        assert len(greedy_independent_set(g)) == 1
+
+    def test_result_is_independent(self):
+        g = random_graph(12, 0.4, seed=1)
+        result = greedy_independent_set(g)
+        assert g.is_independent_set(result)
+
+    def test_result_is_maximal(self):
+        g = random_graph(12, 0.3, seed=2)
+        chosen = greedy_independent_set(g)
+        for v in g.vertices - chosen:
+            assert not g.is_independent_set(chosen | {v}), (
+                f"greedy set extendable by {v}"
+            )
+
+    def test_custom_order_respected(self):
+        g = Graph(edges=[(0, 1)])
+        assert 0 in greedy_independent_set(g, order=[0, 1])
+        assert 1 in greedy_independent_set(g, order=[1, 0])
+
+
+class TestExact:
+    def test_empty(self):
+        assert maximum_independent_set(Graph()) == frozenset()
+
+    def test_single_vertex(self):
+        assert maximum_independent_set(Graph(vertices=[0])) == frozenset({0})
+
+    def test_path_graph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert maximum_independent_set(g) == frozenset({0, 2, 4})
+
+    def test_cycle_graph_alpha(self):
+        for n in range(3, 12):
+            g = Graph(edges=[(i, (i + 1) % n) for i in range(n)])
+            assert independence_number(g) == n // 2
+
+    def test_star_graph(self):
+        g = Graph(edges=[(0, i) for i in range(1, 6)])
+        assert maximum_independent_set(g) == frozenset(range(1, 6))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_networkx_complement_clique(self, seed):
+        """α(G) equals the max clique of the complement — cross-check."""
+        g = random_graph(11, 0.45, seed=seed)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(g.vertices)
+        nxg.add_edges_from(tuple(e) for e in g.edges)
+        expected = max(
+            (len(c) for c in nx.find_cliques(nx.complement(nxg))), default=0
+        )
+        assert independence_number(g) == expected
+
+    def test_result_is_independent(self):
+        g = random_graph(14, 0.35, seed=3)
+        assert g.is_independent_set(maximum_independent_set(g))
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_at_least_greedy(self, seed):
+        g = random_graph(10, 0.4, seed=seed)
+        assert len(maximum_independent_set(g)) >= len(greedy_independent_set(g))
+
+
+class TestEnumeration:
+    def test_all_optima_on_square(self):
+        # 4-cycle has exactly two maximum independent sets.
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        optima = set(all_maximum_independent_sets(g))
+        assert optima == {frozenset({0, 2}), frozenset({1, 3})}
+
+    def test_all_optima_sizes_match_alpha(self):
+        g = random_graph(10, 0.4, seed=7)
+        alpha = independence_number(g)
+        optima = all_maximum_independent_sets(g)
+        assert optima
+        assert all(len(s) == alpha for s in optima)
+        assert all(g.is_independent_set(s) for s in optima)
+
+    def test_all_optima_distinct(self):
+        g = random_graph(9, 0.3, seed=8)
+        optima = all_maximum_independent_sets(g)
+        assert len(optima) == len(set(optima))
+
+    def test_edgeless_graph_single_optimum(self):
+        g = Graph(vertices=range(4))
+        assert all_maximum_independent_sets(g) == [frozenset(range(4))]

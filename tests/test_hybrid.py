@@ -1,0 +1,153 @@
+"""Tests for hybrid repetition (HR) — Sec. VI of the paper."""
+
+import pytest
+
+from repro.core import (
+    CyclicRepetition,
+    FractionalRepetition,
+    HybridRepetition,
+    conflict_graph,
+)
+from repro.exceptions import PlacementError
+
+from conftest import all_hr_params
+
+
+class TestConstruction:
+    def test_paper_fig13_settings(self):
+        """HR(8, c1, 4-c1) with g=2 — the Fig. 13 sweep."""
+        for c1 in range(0, 5):
+            HybridRepetition(8, c1, 4 - c1, 2)
+
+    def test_c_partitions_per_worker(self):
+        pl = HybridRepetition(8, 2, 2, 2)
+        assert pl.partitions_per_worker == 4
+        for w in range(8):
+            assert len(set(pl.partitions_of(w))) == 4
+
+    def test_group_accessors(self):
+        pl = HybridRepetition(8, 2, 2, 2)
+        assert pl.num_groups == 2
+        assert pl.group_size == 4
+        assert pl.group_of(0) == 0
+        assert pl.group_of(7) == 1
+        assert pl.workers_in_group(1) == (4, 5, 6, 7)
+
+    def test_group_bounds(self):
+        pl = HybridRepetition(8, 2, 2, 2)
+        with pytest.raises(PlacementError):
+            pl.group_of(8)
+        with pytest.raises(PlacementError):
+            pl.workers_in_group(2)
+
+    def test_properties(self):
+        pl = HybridRepetition(8, 3, 1, 2)
+        assert pl.c1 == 3
+        assert pl.c2 == 1
+        assert "HybridRepetition" in repr(pl)
+
+
+class TestValidation:
+    def test_negative_c1(self):
+        with pytest.raises(PlacementError):
+            HybridRepetition(8, -1, 2, 2)
+
+    def test_g_must_divide_n(self):
+        with pytest.raises(PlacementError, match="g \\| n"):
+            HybridRepetition(8, 1, 1, 3)
+
+    def test_c_above_group_size(self):
+        # n0 = 4, c = 5 with c1 > 0 is invalid.
+        with pytest.raises(PlacementError):
+            HybridRepetition(8, 3, 2, 2)
+
+    def test_theorem6_completeness_bound(self):
+        # n=12, g=2 → n0=6; c=3, c1=1: n0 > c + c1 = 4 violates Thm 6.
+        with pytest.raises(PlacementError, match="Theorem 6"):
+            HybridRepetition(12, 1, 2, 2)
+
+    def test_theorem6_boundary_allowed(self):
+        # n0 = c + c1 exactly: 6 = 4 + 2.
+        HybridRepetition(12, 2, 2, 2)
+
+
+class TestEndpoints:
+    """HR generalizes FR and CR (Sec. VI-B)."""
+
+    @pytest.mark.parametrize("n,c,g", [(8, 4, 2), (12, 3, 4), (6, 2, 3)])
+    def test_c1_zero_is_cr_placement(self, n, c, g):
+        hr = HybridRepetition(n, 0, c, g)
+        cr = CyclicRepetition(n, c)
+        for w in range(n):
+            assert set(hr.partitions_of(w)) == set(cr.partitions_of(w))
+
+    @pytest.mark.parametrize("n,c", [(8, 4), (12, 3), (6, 2), (12, 4)])
+    def test_c2_zero_with_n0_eq_c_is_fr(self, n, c):
+        hr = HybridRepetition(n, c, 0, n // c)
+        fr = FractionalRepetition(n, c)
+        for w in range(n):
+            assert set(hr.partitions_of(w)) == set(fr.partitions_of(w))
+
+    @pytest.mark.parametrize("n,c", [(8, 4), (12, 3), (6, 2)])
+    def test_hr_c_0_equals_hr_cminus1_1(self, n, c):
+        """Paper: HR(n,c,0) ≡ HR(n,c-1,1) when n0 = c."""
+        a = HybridRepetition(n, c, 0, n // c)
+        b = HybridRepetition(n, c - 1, 1, n // c)
+        for w in range(n):
+            assert set(a.partitions_of(w)) == set(b.partitions_of(w))
+
+    def test_g_one_is_cr_conflict(self):
+        hr = HybridRepetition(6, 2, 1, 1)
+        cr = CyclicRepetition(6, 3)
+        assert conflict_graph(hr) == conflict_graph(cr)
+
+
+class TestConflictPredicate:
+    @pytest.mark.parametrize("n,c1,c2,g", list(all_hr_params()))
+    def test_fast_matches_ground_truth(self, n, c1, c2, g):
+        """Alg. 4 (corrected) is exact over the whole valid grid."""
+        pl = HybridRepetition(n, c1, c2, g)
+        for a in range(n):
+            for b in range(n):
+                assert pl.conflicts_fast(a, b) == pl.conflicts(a, b), (
+                    f"HR({n},{c1},{c2},g={g}) workers {a},{b}"
+                )
+
+    def test_within_group_complete_in_general_case(self):
+        """Theorem 6: all same-group pairs conflict when c1, c2 > 0."""
+        pl = HybridRepetition(8, 2, 2, 2)
+        for g in range(2):
+            members = pl.workers_in_group(g)
+            for a in members:
+                for b in members:
+                    if a != b:
+                        assert pl.conflicts(a, b)
+
+    def test_non_adjacent_groups_never_conflict(self):
+        pl = HybridRepetition(16, 3, 1, 4)
+        for a in pl.workers_in_group(0):
+            for b in pl.workers_in_group(2):
+                assert not pl.conflicts(a, b)
+
+
+class TestTheorem7:
+    """Edge nesting: E_HR(n,c,0) ⊆ E_HR(n,c-1,1) ⊆ … ⊆ E_HR(n,n0-c,2c-n0)."""
+
+    @pytest.mark.parametrize("n,c,g", [(8, 4, 2), (12, 3, 4), (12, 4, 3), (16, 4, 4)])
+    def test_nesting(self, n, c, g):
+        n0 = n // g
+        prev_edges = None
+        for c1 in range(c, max(n0 - c, 0) - 1, -1):
+            try:
+                graph = conflict_graph(HybridRepetition(n, c1, c - c1, g))
+            except PlacementError:
+                continue
+            if prev_edges is not None:
+                assert prev_edges <= graph.edges, f"c1={c1}"
+            prev_edges = graph.edges
+
+    def test_fr_edges_subset_of_cr_edges(self):
+        """Corollary: E_FR(n,c) ⊆ E_CR(n,c) through the HR spectrum."""
+        fr = conflict_graph(FractionalRepetition(8, 4))
+        cr = conflict_graph(CyclicRepetition(8, 4))
+        assert fr.edges <= cr.edges

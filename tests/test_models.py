@@ -1,0 +1,173 @@
+"""Tests for NumPy models, including finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.training import (
+    LinearRegressionModel,
+    LogisticRegressionModel,
+    MLPClassifier,
+    SoftmaxRegressionModel,
+)
+
+
+def finite_difference_grad(model, x, y, eps=1e-6):
+    """Central finite differences of the batch loss w.r.t. parameters."""
+    base = model.get_parameters()
+    grad = np.zeros_like(base)
+    for i in range(base.size):
+        bump = np.zeros_like(base)
+        bump[i] = eps
+        model.set_parameters(base + bump)
+        hi = model.loss(x, y)
+        model.set_parameters(base - bump)
+        lo = model.loss(x, y)
+        grad[i] = (hi - lo) / (2 * eps)
+    model.set_parameters(base)
+    return grad
+
+
+def _regression_batch(rng, n=16, d=4):
+    x = rng.normal(size=(n, d))
+    y = rng.normal(size=n)
+    return x, y
+
+
+def _classification_batch(rng, n=16, d=4, k=3):
+    x = rng.normal(size=(n, d))
+    y = rng.integers(k, size=n)
+    return x, y
+
+
+class TestParameterInterface:
+    @pytest.mark.parametrize("factory,expected", [
+        (lambda: LinearRegressionModel(5), 6),
+        (lambda: LogisticRegressionModel(5), 6),
+        (lambda: SoftmaxRegressionModel(5, 3), 18),
+        (lambda: MLPClassifier(4, 8, 3), 4 * 8 + 8 + 8 * 3 + 3),
+    ])
+    def test_num_parameters(self, factory, expected):
+        assert factory().num_parameters == expected
+
+    @pytest.mark.parametrize("factory", [
+        lambda: LinearRegressionModel(5),
+        lambda: LogisticRegressionModel(5),
+        lambda: SoftmaxRegressionModel(5, 3),
+        lambda: MLPClassifier(4, 8, 3),
+    ])
+    def test_get_set_roundtrip(self, factory, rng):
+        model = factory()
+        params = rng.normal(size=model.num_parameters)
+        model.set_parameters(params)
+        np.testing.assert_allclose(model.get_parameters(), params)
+
+    def test_set_wrong_size(self):
+        model = LinearRegressionModel(3)
+        with pytest.raises(TrainingError):
+            model.set_parameters(np.zeros(2))
+
+    def test_get_returns_copy(self):
+        model = LinearRegressionModel(3)
+        params = model.get_parameters()
+        params[:] = 99.0
+        assert not np.allclose(model.get_parameters(), 99.0)
+
+    @pytest.mark.parametrize("ctor,args", [
+        (LinearRegressionModel, (0,)),
+        (LogisticRegressionModel, (-1,)),
+        (SoftmaxRegressionModel, (4, 1)),
+        (MLPClassifier, (4, 0, 3)),
+    ])
+    def test_invalid_construction(self, ctor, args):
+        with pytest.raises(TrainingError):
+            ctor(*args)
+
+
+class TestGradientsMatchFiniteDifferences:
+    def test_linear_regression(self, rng):
+        model = LinearRegressionModel(4, seed=1)
+        x, y = _regression_batch(rng)
+        _, grad = model.loss_and_gradient(x, y)
+        np.testing.assert_allclose(
+            grad, finite_difference_grad(model, x, y), atol=1e-5
+        )
+
+    def test_logistic_regression(self, rng):
+        model = LogisticRegressionModel(4, seed=1)
+        x = rng.normal(size=(16, 4))
+        y = rng.integers(2, size=16)
+        _, grad = model.loss_and_gradient(x, y)
+        np.testing.assert_allclose(
+            grad, finite_difference_grad(model, x, y), atol=1e-5
+        )
+
+    def test_softmax_regression(self, rng):
+        model = SoftmaxRegressionModel(4, 3, seed=1)
+        x, y = _classification_batch(rng)
+        _, grad = model.loss_and_gradient(x, y)
+        np.testing.assert_allclose(
+            grad, finite_difference_grad(model, x, y), atol=1e-5
+        )
+
+    def test_mlp(self, rng):
+        model = MLPClassifier(4, 6, 3, seed=1)
+        x, y = _classification_batch(rng)
+        _, grad = model.loss_and_gradient(x, y)
+        np.testing.assert_allclose(
+            grad, finite_difference_grad(model, x, y), atol=1e-4
+        )
+
+
+class TestLearning:
+    """Each model must actually fit an easy task with plain SGD."""
+
+    def _sgd_fit(self, model, x, y, lr, steps):
+        for _ in range(steps):
+            _, grad = model.loss_and_gradient(x, y)
+            model.set_parameters(model.get_parameters() - lr * grad)
+        return model.loss(x, y)
+
+    def test_linear_regression_fits_exact_line(self, rng):
+        x = rng.normal(size=(64, 3))
+        beta = np.array([1.0, -2.0, 0.5])
+        y = x @ beta + 0.3
+        model = LinearRegressionModel(3, seed=0)
+        final = self._sgd_fit(model, x, y, lr=0.2, steps=300)
+        assert final < 1e-3
+
+    def test_logistic_separates_blobs(self, rng):
+        x = np.vstack([
+            rng.normal(loc=-2, size=(40, 2)),
+            rng.normal(loc=+2, size=(40, 2)),
+        ])
+        y = np.array([0] * 40 + [1] * 40)
+        model = LogisticRegressionModel(2, seed=0)
+        self._sgd_fit(model, x, y, lr=0.5, steps=300)
+        assert np.mean(model.predict(x) == y) > 0.95
+
+    def test_softmax_fits_three_blobs(self, rng):
+        centers = np.array([[-4, 0], [4, 0], [0, 4]])
+        labels = rng.integers(3, size=90)
+        x = centers[labels] + rng.normal(size=(90, 2))
+        model = SoftmaxRegressionModel(2, 3, seed=0)
+        self._sgd_fit(model, x, labels, lr=0.5, steps=400)
+        assert np.mean(model.predict(x) == labels) > 0.9
+
+    def test_mlp_fits_xor(self, rng):
+        """XOR is not linearly separable — only the MLP can solve it."""
+        x = rng.normal(size=(400, 2))
+        y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+        model = MLPClassifier(2, 16, 2, seed=0)
+        self._sgd_fit(model, x, y, lr=0.5, steps=800)
+        assert np.mean(model.predict(x) == y) > 0.9
+
+    def test_loss_decreases_monotone_small_lr(self, rng):
+        model = SoftmaxRegressionModel(4, 3, seed=2)
+        x, y = _classification_batch(rng, n=64)
+        losses = []
+        for _ in range(20):
+            loss, grad = model.loss_and_gradient(x, y)
+            losses.append(loss)
+            model.set_parameters(model.get_parameters() - 0.01 * grad)
+        assert all(b <= a + 1e-12 for a, b in zip(losses, losses[1:]))

@@ -1,0 +1,179 @@
+"""Tests for the placement base class and FR/CR placements."""
+
+import pytest
+
+from repro.core import CyclicRepetition, FractionalRepetition
+from repro.exceptions import PlacementError
+
+from conftest import all_cr_params, all_fr_params
+
+
+class TestPlacementInvariants:
+    @pytest.mark.parametrize("n,c", list(all_fr_params()))
+    def test_fr_every_worker_has_c_partitions(self, n, c):
+        pl = FractionalRepetition(n, c)
+        for w in range(n):
+            parts = pl.partitions_of(w)
+            assert len(parts) == c
+            assert len(set(parts)) == c
+            assert all(0 <= p < n for p in parts)
+
+    @pytest.mark.parametrize("n,c", list(all_cr_params()))
+    def test_cr_every_worker_has_c_partitions(self, n, c):
+        pl = CyclicRepetition(n, c)
+        for w in range(n):
+            parts = pl.partitions_of(w)
+            assert len(parts) == c
+            assert len(set(parts)) == c
+
+    @pytest.mark.parametrize("n,c", list(all_cr_params(10)))
+    def test_cr_every_partition_replicated_c_times(self, n, c):
+        pl = CyclicRepetition(n, c)
+        for p in range(n):
+            assert len(pl.workers_of(p)) == c
+
+    @pytest.mark.parametrize("n,c", list(all_fr_params(10)))
+    def test_fr_every_partition_replicated_c_times(self, n, c):
+        pl = FractionalRepetition(n, c)
+        for p in range(n):
+            assert len(pl.workers_of(p)) == c
+
+    def test_replication_factor(self):
+        assert CyclicRepetition(8, 3).replication_factor() == pytest.approx(3.0)
+        assert FractionalRepetition(8, 4).replication_factor() == pytest.approx(4.0)
+
+    def test_workers_of_inverts_partitions_of(self):
+        pl = CyclicRepetition(9, 4)
+        for w in range(9):
+            for p in pl.partitions_of(w):
+                assert w in pl.workers_of(p)
+
+
+class TestValidation:
+    def test_zero_workers(self):
+        with pytest.raises(PlacementError):
+            CyclicRepetition(0, 1)
+
+    def test_c_zero(self):
+        with pytest.raises(PlacementError):
+            CyclicRepetition(4, 0)
+
+    def test_c_above_n(self):
+        with pytest.raises(PlacementError):
+            CyclicRepetition(4, 5)
+
+    def test_fr_requires_divisibility(self):
+        with pytest.raises(PlacementError, match="c \\| n"):
+            FractionalRepetition(5, 2)
+
+    def test_partitions_of_out_of_range(self):
+        pl = CyclicRepetition(4, 2)
+        with pytest.raises(PlacementError):
+            pl.partitions_of(4)
+        with pytest.raises(PlacementError):
+            pl.partitions_of(-1)
+
+    def test_workers_of_out_of_range(self):
+        pl = CyclicRepetition(4, 2)
+        with pytest.raises(PlacementError):
+            pl.workers_of(99)
+
+
+class TestFractional:
+    def test_paper_example_fig2a(self):
+        """Fig. 2(a): n=4, c=2 — W1,W2 share D1,D2; W3,W4 share D3,D4."""
+        pl = FractionalRepetition(4, 2)
+        assert set(pl.partitions_of(0)) == {0, 1}
+        assert set(pl.partitions_of(1)) == {0, 1}
+        assert set(pl.partitions_of(2)) == {2, 3}
+        assert set(pl.partitions_of(3)) == {2, 3}
+
+    def test_groups(self):
+        pl = FractionalRepetition(6, 2)
+        assert pl.num_groups == 3
+        assert pl.group_of(0) == 0
+        assert pl.group_of(5) == 2
+        assert pl.workers_in_group(1) == (2, 3)
+
+    def test_group_bounds(self):
+        pl = FractionalRepetition(6, 2)
+        with pytest.raises(PlacementError):
+            pl.group_of(6)
+        with pytest.raises(PlacementError):
+            pl.workers_in_group(3)
+
+    def test_same_group_shares_all_partitions(self):
+        pl = FractionalRepetition(8, 4)
+        for g in range(2):
+            members = pl.workers_in_group(g)
+            parts = {frozenset(pl.partitions_of(w)) for w in members}
+            assert len(parts) == 1
+
+    def test_conflicts_iff_same_group(self):
+        pl = FractionalRepetition(8, 2)
+        for a in range(8):
+            for b in range(8):
+                if a != b:
+                    expected = pl.group_of(a) == pl.group_of(b)
+                    assert pl.conflicts(a, b) == expected
+
+
+class TestCyclic:
+    def test_paper_example_fig2b(self):
+        """Fig. 2(b): n=4, c=2 — W_i holds D_i, D_{i+1 mod 4}."""
+        pl = CyclicRepetition(4, 2)
+        assert set(pl.partitions_of(0)) == {0, 1}
+        assert set(pl.partitions_of(1)) == {1, 2}
+        assert set(pl.partitions_of(2)) == {2, 3}
+        assert set(pl.partitions_of(3)) == {3, 0}
+
+    def test_c_equals_n_every_worker_has_all(self):
+        pl = CyclicRepetition(5, 5)
+        for w in range(5):
+            assert set(pl.partitions_of(w)) == set(range(5))
+
+    def test_c_one_is_identity(self):
+        pl = CyclicRepetition(6, 1)
+        for w in range(6):
+            assert pl.partitions_of(w) == (w,)
+
+    @pytest.mark.parametrize("n,c", list(all_cr_params(10)))
+    def test_distance_rule_matches_ground_truth(self, n, c):
+        """Theorem 1: conflict iff circular distance < c."""
+        pl = CyclicRepetition(n, c)
+        for a in range(n):
+            for b in range(n):
+                assert pl.conflicts(a, b) == pl.conflicts_by_distance(a, b)
+
+    def test_no_divisibility_requirement(self):
+        CyclicRepetition(7, 3)  # would be invalid for FR
+
+    def test_self_conflict(self):
+        pl = CyclicRepetition(4, 2)
+        assert pl.conflicts(1, 1)
+
+
+class TestDunderMethods:
+    def test_equality(self):
+        assert CyclicRepetition(4, 2) == CyclicRepetition(4, 2)
+        assert CyclicRepetition(4, 2) != CyclicRepetition(4, 3)
+        assert CyclicRepetition(4, 2) != FractionalRepetition(4, 2)
+
+    def test_equality_other_type(self):
+        assert CyclicRepetition(4, 2) != "cr"
+
+    def test_hash_consistent(self):
+        assert hash(CyclicRepetition(4, 2)) == hash(CyclicRepetition(4, 2))
+
+    def test_repr(self):
+        assert "CyclicRepetition" in repr(CyclicRepetition(4, 2))
+
+    def test_describe_mentions_workers(self):
+        text = FractionalRepetition(4, 2).describe()
+        assert "W0" in text and "D3" in text
+
+    def test_assignment_table_is_copy(self):
+        pl = CyclicRepetition(4, 2)
+        table = pl.assignment_table()
+        table[0] = (9, 9)
+        assert pl.partitions_of(0) == (0, 1)

@@ -1,0 +1,323 @@
+"""Tests for the discrete-event simulation layer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, SimulationError
+from repro.simulation import (
+    AdaptiveWaitK,
+    ClusterSimulator,
+    ComputeModel,
+    DeadlinePolicy,
+    Event,
+    EventQueue,
+    NetworkModel,
+    StepStatistics,
+    WaitForAll,
+    WaitForK,
+    linear_rampup,
+    moving_average,
+    steps_to_threshold,
+)
+from repro.straggler import NoDelay, PersistentStragglers, ShiftedExponentialDelay
+from repro.types import StepRecord
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(Event(3.0, "b"))
+        q.push(Event(1.0, "a"))
+        q.push(Event(2.0, "c"))
+        assert [e.kind for e in q.drain()] == ["a", "c", "b"]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        q.push(Event(1.0, "first"))
+        q.push(Event(1.0, "second"))
+        assert [e.kind for e in q.drain()] == ["first", "second"]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek(self):
+        q = EventQueue()
+        q.push(Event(2.0, "x"))
+        assert q.peek().kind == "x"
+        assert len(q) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().peek()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(Event(-1.0, "bad"))
+
+    def test_drain_until(self):
+        q = EventQueue()
+        for t in (1.0, 2.0, 3.0):
+            q.push(Event(t, f"t{t}"))
+        early = list(q.drain_until(2.0))
+        assert [e.time for e in early] == [1.0, 2.0]
+        assert len(q) == 1
+
+    def test_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(Event(0.0, "x"))
+        assert q
+
+
+class TestNetworkModel:
+    def test_transfer_time_formula(self):
+        net = NetworkModel(latency=0.01, bandwidth=1000.0, bytes_per_element=4)
+        assert net.transfer_time(250) == pytest.approx(0.01 + 1.0)
+
+    def test_zero_elements_costs_latency(self):
+        net = NetworkModel(latency=0.5, bandwidth=1e9)
+        assert net.transfer_time(0) == pytest.approx(0.5)
+
+    def test_ideal_network(self):
+        from repro.simulation import IDEAL_NETWORK
+        assert IDEAL_NETWORK.transfer_time(10**9) == 0.0
+
+    def test_broadcast_independent_of_worker_count(self):
+        net = NetworkModel(latency=0.01, bandwidth=1e6)
+        assert net.broadcast_time(1000, 2) == net.broadcast_time(1000, 64)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(latency=-1)
+        with pytest.raises(ConfigurationError):
+            NetworkModel(bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            NetworkModel(bytes_per_element=0)
+        with pytest.raises(ConfigurationError):
+            NetworkModel().transfer_time(-1)
+        with pytest.raises(ConfigurationError):
+            NetworkModel().broadcast_time(10, 0)
+
+
+class TestComputeModel:
+    def test_linear_in_partitions(self):
+        cm = ComputeModel(base=0.1, per_partition=0.2)
+        assert cm.step_time(1) == pytest.approx(0.3)
+        assert cm.step_time(3) == pytest.approx(0.7)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ComputeModel(base=-0.1)
+        with pytest.raises(ConfigurationError):
+            ComputeModel().step_time(0)
+
+
+class TestWaitPolicies:
+    ARRIVALS = {0: 1.0, 1: 3.0, 2: 2.0, 3: 5.0}
+
+    def test_wait_for_k_accepts_fastest(self):
+        out = WaitForK(2).wait(self.ARRIVALS, step=0)
+        assert out.accepted_workers == frozenset({0, 2})
+        assert out.proceed_time == pytest.approx(2.0)
+
+    def test_wait_for_all(self):
+        out = WaitForAll(4).wait(self.ARRIVALS, step=0)
+        assert out.accepted_workers == frozenset(range(4))
+        assert out.proceed_time == pytest.approx(5.0)
+
+    def test_wait_for_k_too_few_arrivals(self):
+        with pytest.raises(SimulationError):
+            WaitForK(5).wait(self.ARRIVALS, step=0)
+
+    def test_wait_for_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            WaitForK(0)
+
+    def test_empty_arrivals_raise(self):
+        with pytest.raises(SimulationError):
+            WaitForK(1).wait({}, step=0)
+
+    def test_deadline_accepts_within(self):
+        out = DeadlinePolicy(2.5).wait(self.ARRIVALS, step=0)
+        assert out.accepted_workers == frozenset({0, 2})
+        assert out.proceed_time == pytest.approx(2.5)
+
+    def test_deadline_nobody_made_it(self):
+        out = DeadlinePolicy(0.5).wait(self.ARRIVALS, step=0)
+        assert out.accepted_workers == frozenset({0})
+        assert out.proceed_time == pytest.approx(1.0)
+
+    def test_deadline_validation(self):
+        with pytest.raises(ConfigurationError):
+            DeadlinePolicy(-1.0)
+
+    def test_adaptive_schedule(self):
+        policy = AdaptiveWaitK(lambda step: 1 if step < 5 else 3)
+        early = policy.wait(self.ARRIVALS, step=0)
+        late = policy.wait(self.ARRIVALS, step=10)
+        assert len(early.accepted_workers) == 1
+        assert len(late.accepted_workers) == 3
+
+    def test_adaptive_invalid_k(self):
+        policy = AdaptiveWaitK(lambda step: 0)
+        with pytest.raises(SimulationError):
+            policy.wait(self.ARRIVALS, step=0)
+
+    def test_adaptive_clamps_to_arrivals(self):
+        policy = AdaptiveWaitK(lambda step: 99)
+        out = policy.wait(self.ARRIVALS, step=0)
+        assert len(out.accepted_workers) == 4
+
+    def test_linear_rampup(self):
+        sched = linear_rampup(2, 10, over_steps=8)
+        assert sched(0) == 2
+        assert sched(8) == 10
+        assert sched(100) == 10
+        assert 2 <= sched(4) <= 10
+
+    def test_linear_rampup_validation(self):
+        with pytest.raises(ConfigurationError):
+            linear_rampup(0, 5, 10)
+
+
+class TestClusterSimulator:
+    def _sim(self, delay_model=None, **kw):
+        return ClusterSimulator(
+            num_workers=4,
+            partitions_per_worker=2,
+            compute=ComputeModel(base=0.1, per_partition=0.1),
+            network=NetworkModel(latency=0.0, bandwidth=float("inf")),
+            delay_model=delay_model or NoDelay(),
+            rng=np.random.default_rng(0),
+            **kw,
+        )
+
+    def test_clock_advances(self):
+        sim = self._sim()
+        assert sim.clock == 0.0
+        sim.run_round(0, WaitForK(4))
+        assert sim.clock > 0.0
+
+    def test_no_delays_all_arrive_together(self):
+        sim = self._sim()
+        result = sim.run_round(0, WaitForK(4))
+        times = list(result.arrivals.values())
+        assert max(times) - min(times) == pytest.approx(0.0)
+        # base + 2 partitions × 0.1 = 0.3 s of compute.
+        assert result.step_time == pytest.approx(0.3)
+
+    def test_persistent_straggler_excluded_by_wait_k(self):
+        slow = PersistentStragglers([3], ShiftedExponentialDelay(10.0, 0.0))
+        sim = self._sim(delay_model=slow)
+        result = sim.run_round(0, WaitForK(3))
+        assert result.outcome.accepted_workers == frozenset({0, 1, 2})
+        assert result.step_time == pytest.approx(0.3)
+
+    def test_wait_all_pays_the_straggler(self):
+        slow = PersistentStragglers([3], ShiftedExponentialDelay(10.0, 0.0))
+        sim = self._sim(delay_model=slow)
+        result = sim.run_round(0, WaitForK(4))
+        assert result.step_time == pytest.approx(10.3)
+
+    def test_rounds_accumulate(self):
+        sim = self._sim()
+        for step in range(3):
+            sim.run_round(step, WaitForK(4))
+        assert sim.clock == pytest.approx(0.9)
+
+    def test_reset(self):
+        sim = self._sim()
+        sim.run_round(0, WaitForK(4))
+        sim.reset()
+        assert sim.clock == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSimulator(num_workers=0, partitions_per_worker=1)
+        with pytest.raises(ConfigurationError):
+            ClusterSimulator(num_workers=2, partitions_per_worker=0)
+
+    def test_network_time_counted(self):
+        sim = ClusterSimulator(
+            num_workers=2,
+            partitions_per_worker=1,
+            compute=ComputeModel(base=0.0, per_partition=0.0),
+            network=NetworkModel(latency=0.5, bandwidth=float("inf")),
+            delay_model=NoDelay(),
+            rng=np.random.default_rng(0),
+        )
+        result = sim.run_round(0, WaitForK(2))
+        # broadcast latency + upload latency
+        assert result.step_time == pytest.approx(1.0)
+
+
+class TestMetrics:
+    def _records(self, times, recoveries):
+        return [
+            StepRecord(
+                step=i, sim_time=sum(times[: i + 1]), wait_time=t,
+                num_available=2, num_recovered=r, recovery_fraction=r / 4,
+                loss=1.0,
+            )
+            for i, (t, r) in enumerate(zip(times, recoveries))
+        ]
+
+    def test_statistics(self):
+        stats = StepStatistics.from_records(
+            self._records([1.0, 2.0, 3.0], [2, 4, 4])
+        )
+        assert stats.count == 3
+        assert stats.mean_step_time == pytest.approx(2.0)
+        assert stats.total_time == pytest.approx(6.0)
+        assert stats.mean_recovery_fraction == pytest.approx(10 / 12)
+
+    def test_statistics_empty(self):
+        with pytest.raises(ValueError):
+            StepStatistics.from_records([])
+
+    def test_steps_to_threshold(self):
+        assert steps_to_threshold([3.0, 2.0, 0.9, 0.5], 1.0) == 3
+        assert steps_to_threshold([3.0, 2.0], 1.0) is None
+
+    def test_moving_average(self):
+        out = moving_average([1.0, 3.0, 5.0, 7.0], window=2)
+        np.testing.assert_allclose(out, [1.0, 2.0, 4.0, 6.0])
+
+    def test_moving_average_window_one(self):
+        np.testing.assert_allclose(
+            moving_average([1.0, 2.0], 1), [1.0, 2.0]
+        )
+
+    def test_moving_average_validation(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+
+class TestWastedCompute:
+    def _sim(self):
+        return ClusterSimulator(
+            num_workers=4,
+            partitions_per_worker=2,
+            compute=ComputeModel(base=0.1, per_partition=0.1),
+            network=NetworkModel(latency=0.0, bandwidth=float("inf")),
+            delay_model=NoDelay(),
+            rng=np.random.default_rng(0),
+        )
+
+    def test_wait_all_wastes_nothing(self):
+        result = self._sim().run_round(0, WaitForK(4))
+        assert result.wasted_compute == pytest.approx(0.0)
+
+    def test_ignored_workers_counted(self):
+        result = self._sim().run_round(0, WaitForK(1))
+        # 3 ignored workers × (0.1 + 2 × 0.1) compute-seconds each.
+        assert result.wasted_compute == pytest.approx(3 * 0.3)
+
+    def test_waste_monotone_in_ignored_count(self):
+        sims = [self._sim() for _ in range(3)]
+        wastes = [
+            sims[i].run_round(0, WaitForK(k)).wasted_compute
+            for i, k in enumerate((1, 2, 4))
+        ]
+        assert wastes[0] > wastes[1] > wastes[2]

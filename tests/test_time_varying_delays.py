@@ -1,0 +1,104 @@
+"""Tests for time-varying delay models (diurnal and bursty)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.straggler import (
+    BurstyDelay,
+    DelayTrace,
+    DiurnalDelay,
+    ExponentialDelay,
+    ShiftedExponentialDelay,
+)
+
+
+class TestDiurnalDelay:
+    def test_scale_oscillates(self):
+        model = DiurnalDelay(ExponentialDelay(1.0), period_steps=20, amplitude=0.5)
+        assert model.scale_at(0) == pytest.approx(1.0)
+        assert model.scale_at(5) == pytest.approx(1.5)  # peak
+        assert model.scale_at(15) == pytest.approx(0.5)  # trough
+
+    def test_periodicity(self):
+        model = DiurnalDelay(ExponentialDelay(1.0), period_steps=12)
+        for step in range(12):
+            assert model.scale_at(step) == pytest.approx(model.scale_at(step + 12))
+
+    def test_scale_never_negative(self):
+        model = DiurnalDelay(ExponentialDelay(1.0), period_steps=8, amplitude=3.0)
+        assert all(model.scale_at(s) >= 0.0 for s in range(8))
+
+    def test_deterministic_base_scaled(self, rng):
+        model = DiurnalDelay(
+            ShiftedExponentialDelay(2.0, 0.0), period_steps=4, amplitude=1.0
+        )
+        assert model.sample(0, 1, rng) == pytest.approx(2.0 * model.scale_at(1))
+
+    def test_peak_delays_larger_on_average(self):
+        model = DiurnalDelay(ExponentialDelay(1.0), period_steps=40, amplitude=0.9)
+        rng = np.random.default_rng(0)
+        peak = np.mean([model.sample(0, 10, rng) for _ in range(4000)])
+        trough = np.mean([model.sample(0, 30, rng) for _ in range(4000)])
+        assert peak > 3 * trough
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalDelay(ExponentialDelay(1.0), period_steps=0)
+        with pytest.raises(ConfigurationError):
+            DiurnalDelay(ExponentialDelay(1.0), period_steps=5, amplitude=-1.0)
+
+
+class TestBurstyDelay:
+    def test_starts_calm(self, rng):
+        model = BurstyDelay(
+            ShiftedExponentialDelay(5.0, 0.0), enter_burst=0.0, exit_burst=1.0
+        )
+        assert all(model.sample(0, s, rng) == 0.0 for s in range(50))
+        assert not model.in_burst(0)
+
+    def test_enters_and_exits_bursts(self):
+        model = BurstyDelay(
+            ShiftedExponentialDelay(5.0, 0.0), enter_burst=0.3, exit_burst=0.3
+        )
+        rng = np.random.default_rng(0)
+        values = [model.sample(0, s, rng) for s in range(500)]
+        assert any(v > 0 for v in values)
+        assert any(v == 0 for v in values)
+
+    def test_stationary_burst_fraction(self):
+        """Gilbert model: long-run burst fraction ≈ p_in/(p_in + p_out)."""
+        enter, exit_ = 0.1, 0.3
+        model = BurstyDelay(
+            ShiftedExponentialDelay(1.0, 0.0), enter_burst=enter, exit_burst=exit_
+        )
+        rng = np.random.default_rng(1)
+        values = [model.sample(0, s, rng) for s in range(40_000)]
+        fraction = np.mean([v > 0 for v in values])
+        assert fraction == pytest.approx(enter / (enter + exit_), abs=0.03)
+
+    def test_workers_independent(self):
+        model = BurstyDelay(
+            ShiftedExponentialDelay(1.0, 0.0), enter_burst=0.5, exit_burst=0.5
+        )
+        rng = np.random.default_rng(2)
+        for step in range(100):
+            model.sample(0, step, rng)
+            model.sample(1, step, rng)
+        # Both workers have visited the burst state independently.
+        assert 0 in model._in_burst and 1 in model._in_burst
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstyDelay(ExponentialDelay(1.0), enter_burst=1.5)
+        with pytest.raises(ConfigurationError):
+            BurstyDelay(ExponentialDelay(1.0), exit_burst=-0.1)
+
+    def test_recordable_into_trace(self):
+        """Stateful models must still be freezable for replay."""
+        model = BurstyDelay(
+            ShiftedExponentialDelay(2.0, 0.0), enter_burst=0.4, exit_burst=0.2
+        )
+        trace = DelayTrace.record(model, 4, 30, np.random.default_rng(3))
+        assert trace.num_steps == 30
+        assert (trace.delays >= 0).all()
