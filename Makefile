@@ -1,0 +1,21 @@
+# Developer entry points.  `make check` is the pre-commit gate: lint
+# (when ruff is available) followed by the tier-1 test suite.
+
+PYTHON ?= python
+
+.PHONY: check lint test trace-demo
+
+check: lint test
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests examples; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+trace-demo:
+	PYTHONPATH=src $(PYTHON) examples/traced_run.py

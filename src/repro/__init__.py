@@ -30,6 +30,7 @@ from .exceptions import (
     CodingError,
     ConfigurationError,
     DecodeError,
+    ObservabilityError,
     PlacementError,
     ReproError,
     SimulationError,
@@ -111,6 +112,14 @@ from .training import (
 )
 from .analysis import monte_carlo_recovery, recovery_curve, summarize_trials
 from .runtime import SimulatedRuntime
+from .obs import (
+    MetricsRegistry,
+    RoundTrace,
+    RoundTracer,
+    aggregate_traces,
+    read_traces,
+    write_traces,
+)
 
 __version__ = "1.0.0"
 
@@ -123,6 +132,7 @@ __all__ = [
     "CodingError",
     "SimulationError",
     "TrainingError",
+    "ObservabilityError",
     # types
     "DecodeResult",
     "StepRecord",
@@ -201,5 +211,12 @@ __all__ = [
     "ContendedUploadModel",
     "AsyncSGDTrainer",
     "SimulatedRuntime",
+    # observability
+    "MetricsRegistry",
+    "RoundTrace",
+    "RoundTracer",
+    "aggregate_traces",
+    "read_traces",
+    "write_traces",
     "__version__",
 ]

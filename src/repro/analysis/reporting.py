@@ -7,9 +7,12 @@ tables; this module owns the formatting so every bench looks the same.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Mapping, Sequence
 
 from ..exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.summary import SchemeAggregate
 
 
 @dataclass
@@ -71,6 +74,46 @@ class Series:
                 f"series {self.name!r}: {len(self.x)} x-values vs "
                 f"{len(self.y)} y-values"
             )
+
+
+def trace_summary_table(
+    aggregates: Mapping[str, "SchemeAggregate"],
+    title: str = "Round-trace summary",
+) -> Table:
+    """Tabulate per-scheme aggregates of an exported round trace.
+
+    Input is the mapping produced by
+    :func:`repro.obs.summary.aggregate_traces`; undecoded schemes show
+    ``-`` in the recovery/search columns.
+    """
+    if not aggregates:
+        raise ConfigurationError("need at least one scheme aggregate")
+
+    def opt(value: object, fmt: str) -> str:
+        return format(value, fmt) if value is not None else "-"
+
+    table = Table(
+        title=title,
+        columns=[
+            "scheme", "rounds", "mean step (s)", "p50 (s)", "p95 (s)",
+            "p99 (s)", "mean accepted", "recovery", "mean searches",
+            "wasted compute (s)",
+        ],
+    )
+    for agg in aggregates.values():
+        table.add_row(
+            agg.scheme,
+            agg.rounds,
+            agg.mean_step_time,
+            agg.p50_step_time,
+            agg.p95_step_time,
+            agg.p99_step_time,
+            agg.mean_accepted,
+            opt(agg.mean_recovery_fraction, ".1%"),
+            opt(agg.mean_num_searches, ".2f"),
+            agg.total_wasted_compute,
+        )
+    return table
 
 
 def series_table(title: str, x_label: str, series: Sequence[Series]) -> Table:

@@ -22,6 +22,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, Type
 import numpy as np
 
 from ..exceptions import DecodeError
+from ..obs.registry import MetricsRegistry, NULL_REGISTRY
 from ..types import DecodeResult
 from .placement import Placement
 
@@ -39,16 +40,36 @@ def register_decoder(scheme: str) -> Callable[[Type["Decoder"]], Type["Decoder"]
     return wrap
 
 
-def decoder_for(placement: Placement, rng: np.random.Generator | None = None) -> "Decoder":
+def decoder_for(
+    placement: Placement,
+    rng: np.random.Generator | None = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> "Decoder":
     """Instantiate the registered decoder matching ``placement.scheme``.
 
     Falls back to the exact-MIS decoder for unknown schemes, which is
-    correct for *any* placement (just not linear-time).
+    correct for *any* placement (just not linear-time).  The fallback is
+    registered on demand, so this works even when only this module has
+    been imported; if registration is somehow impossible a descriptive
+    :class:`~repro.exceptions.DecodeError` is raised instead of a bare
+    ``KeyError``.
     """
     cls = _REGISTRY.get(placement.scheme)
     if cls is None:
-        cls = _REGISTRY["exact"]
-    return cls(placement, rng=rng)
+        if "exact" not in _REGISTRY:
+            # Importing the module runs its @register_decoder("exact").
+            from . import exact_decoder  # noqa: F401
+        cls = _REGISTRY.get("exact")
+        if cls is None:
+            raise DecodeError(
+                f"no decoder registered for scheme {placement.scheme!r} "
+                f"and the exact-MIS fallback is unavailable; registered "
+                f"schemes: {sorted(_REGISTRY)}"
+            )
+    decoder = cls(placement, rng=rng)
+    if metrics is not None:
+        decoder.attach_metrics(metrics)
+    return decoder
 
 
 class Decoder(abc.ABC):
@@ -59,10 +80,20 @@ class Decoder(abc.ABC):
     def __init__(self, placement: Placement, rng: np.random.Generator | None = None):
         self._placement = placement
         self._rng = rng if rng is not None else np.random.default_rng()
+        self._metrics: "MetricsRegistry" = NULL_REGISTRY
 
     @property
     def placement(self) -> Placement:
         return self._placement
+
+    @property
+    def metrics(self) -> "MetricsRegistry":
+        """The attached metrics sink (a shared no-op by default)."""
+        return self._metrics
+
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """Route this decoder's per-call metrics into ``registry``."""
+        self._metrics = registry
 
     def decode(self, available_workers: Iterable[int]) -> DecodeResult:
         """Run one decoding round.
@@ -90,6 +121,12 @@ class Decoder(abc.ABC):
         recovered = frozenset(
             p for w in selected for p in self._placement.partitions_of(w)
         )
+        # No-op on the default NULL_REGISTRY, so untraced decodes pay
+        # only these attribute lookups.
+        metrics = self._metrics
+        metrics.counter("decode.calls").inc()
+        metrics.histogram("decode.num_searches").observe(searches)
+        metrics.histogram("decode.num_recovered").observe(len(recovered))
         return DecodeResult(
             selected_workers=frozenset(selected),
             recovered_partitions=recovered,

@@ -40,3 +40,7 @@ class SimulationError(ReproError):
 
 class TrainingError(ReproError):
     """Failure inside the distributed-training driver."""
+
+
+class ObservabilityError(ReproError):
+    """Invalid use of the metrics/tracing layer, or a malformed trace."""

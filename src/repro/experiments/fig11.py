@@ -22,16 +22,21 @@ below ~10 % when delays dominate (mean 3.0 s).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 import numpy as np
 
 from ..analysis.reporting import Table
+from ..core.cyclic import CyclicRepetition
+from ..core.decoders import Decoder, decoder_for
 from ..simulation.cluster import ClusterSimulator, ComputeModel
 from ..simulation.policies import WaitForK, WaitPolicy
 from ..straggler.models import ExponentialDelay
 from ..straggler.traces import DelayTrace, TraceReplayModel
 from .config import Fig11Config
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.tracer import RoundTracer
 
 
 @dataclass(frozen=True)
@@ -49,29 +54,54 @@ def _avg_step_time(
     cfg: Fig11Config,
     partitions_per_worker: int,
     policy: WaitPolicy,
+    tracer: "RoundTracer | None" = None,
+    scheme_label: str | None = None,
+    decoder: Decoder | None = None,
 ) -> float:
-    """Replay the shared delay trace under one scheme's policy."""
+    """Replay the shared delay trace under one scheme's policy.
+
+    With a ``tracer``, every round is recorded under ``scheme_label``;
+    schemes that decode (``decoder`` given) also enrich each round with
+    the decode outcome so recovery fractions land in the trace.
+    """
+    if tracer is not None and scheme_label is not None:
+        tracer.set_context(scheme=scheme_label)
     sim = ClusterSimulator(
         num_workers=cfg.num_workers,
         partitions_per_worker=partitions_per_worker,
         compute=ComputeModel(cfg.base_compute, cfg.per_partition_compute),
         delay_model=TraceReplayModel(trace),
         rng=np.random.default_rng(cfg.seed),
+        tracer=tracer,
     )
     times: List[float] = []
     for step in range(cfg.num_steps):
         result = sim.run_round(step, policy)
         times.append(result.step_time)
+        if tracer is not None and decoder is not None:
+            decision = decoder.decode(result.outcome.accepted_workers)
+            tracer.record_decode(
+                step,
+                decoder_scheme=decoder.scheme,
+                num_searches=decision.num_searches,
+                num_recovered=decision.num_recovered,
+                num_partitions=decoder.placement.num_partitions,
+            )
     return float(np.mean(times))
 
 
 def run_condition(
-    cfg: Fig11Config, expected_delay: float, num_delayed: int
+    cfg: Fig11Config,
+    expected_delay: float,
+    num_delayed: int,
+    tracer: "RoundTracer | None" = None,
 ) -> List[SchemePoint]:
     """All schemes under one (delay mean, #delayed workers) condition.
 
     Every scheme replays the *same* recorded delay trace, exactly like
-    the paper's controlled-seed methodology.
+    the paper's controlled-seed methodology.  With a ``tracer``, every
+    round of every scheme lands in the trace stream; the decoding
+    schemes additionally record recovery via the real CR decoder.
     """
     n = cfg.num_workers
     c = cfg.partitions_per_worker
@@ -79,42 +109,96 @@ def run_condition(
     model = ExponentialDelay(expected_delay, affected=range(num_delayed))
     trace = DelayTrace.record(model, n, cfg.num_steps, rng)
 
+    # Decoders are only built when tracing asks for recovery numbers;
+    # the pure timing measurement stays decoder-free.
+    def cr_decoder() -> Decoder | None:
+        if tracer is None:
+            return None
+        return decoder_for(
+            CyclicRepetition(n, c), rng=np.random.default_rng(cfg.seed)
+        )
+
     points: List[SchemePoint] = []
     points.append(
         SchemePoint(
-            "sync-sgd", n, 1, _avg_step_time(trace, cfg, 1, WaitForK(n))
+            "sync-sgd", n, 1,
+            _avg_step_time(
+                trace, cfg, 1, WaitForK(n),
+                tracer=tracer, scheme_label="sync-sgd",
+            ),
         )
     )
     points.append(
         SchemePoint(
             "gc", n - c + 1, c,
-            _avg_step_time(trace, cfg, c, WaitForK(n - c + 1)),
+            _avg_step_time(
+                trace, cfg, c, WaitForK(n - c + 1),
+                tracer=tracer, scheme_label="gc",
+            ),
         )
     )
     for w in cfg.wait_values:
         points.append(
             SchemePoint(
                 f"is-sgd(w={w})", w, 1,
-                _avg_step_time(trace, cfg, 1, WaitForK(w)),
+                _avg_step_time(
+                    trace, cfg, 1, WaitForK(w),
+                    tracer=tracer, scheme_label=f"is-sgd(w={w})",
+                ),
             )
         )
         points.append(
             SchemePoint(
                 f"is-gc(w={w})", w, c,
-                _avg_step_time(trace, cfg, c, WaitForK(w)),
+                _avg_step_time(
+                    trace, cfg, c, WaitForK(w),
+                    tracer=tracer, scheme_label=f"is-gc(w={w})",
+                    decoder=cr_decoder(),
+                ),
             )
         )
     return points
 
 
-def run_fig11(cfg: Fig11Config | None = None) -> Dict[Tuple[float, int], List[SchemePoint]]:
+def run_fig11(
+    cfg: Fig11Config | None = None,
+    tracer: "RoundTracer | None" = None,
+) -> Dict[Tuple[float, int], List[SchemePoint]]:
     """Both panels: every (delay mean, #delayed) condition."""
     cfg = cfg or Fig11Config()
     results: Dict[Tuple[float, int], List[SchemePoint]] = {}
     for delay in cfg.expected_delays:
         for num_delayed in cfg.num_delayed_options:
-            results[(delay, num_delayed)] = run_condition(cfg, delay, num_delayed)
+            results[(delay, num_delayed)] = run_condition(
+                cfg, delay, num_delayed, tracer=tracer
+            )
     return results
+
+
+def run_traced_fig11(
+    cfg: Fig11Config | None = None,
+    out_path=None,
+    expected_delay: float | None = None,
+    num_delayed: int | None = None,
+) -> Tuple[List[SchemePoint], "RoundTracer"]:
+    """One traced Fig. 11 condition: run, optionally export JSONL.
+
+    Runs a *single* (delay, num_delayed) condition — the first of the
+    config by default — so scheme labels in the exported trace are
+    unambiguous, and returns both the live scheme points and the tracer.
+    Re-aggregating the exported trace reproduces the live per-scheme
+    mean step times exactly (pinned by ``tests/test_obs_integration``).
+    """
+    from ..obs.tracer import RoundTracer
+
+    cfg = cfg or Fig11Config()
+    delay = expected_delay if expected_delay is not None else cfg.expected_delays[0]
+    delayed = num_delayed if num_delayed is not None else cfg.num_delayed_options[0]
+    tracer = RoundTracer()
+    points = run_condition(cfg, delay, delayed, tracer=tracer)
+    if out_path is not None:
+        tracer.export_jsonl(out_path)
+    return points, tracer
 
 
 def fig11_tables(cfg: Fig11Config | None = None) -> List[Table]:

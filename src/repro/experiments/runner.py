@@ -2,7 +2,11 @@
 
 Used by the benchmark harness (``benchmarks/``) and runnable directly::
 
-    python -m repro.experiments.runner [fig11|fig12|fig13|all]
+    python -m repro.experiments.runner [fig11|fig12|fig13|all] [--trace PATH]
+
+``--trace PATH`` additionally runs the traced Fig. 11 condition and
+exports its round stream as JSONL (re-load with
+``repro trace summarize PATH``).
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ from typing import Callable, Dict, List
 
 from ..analysis.reporting import Table
 from .config import Fig11Config, Fig12Config, Fig13Config
-from .fig11 import fig11_tables
+from .fig11 import fig11_tables, run_traced_fig11
 from .fig12 import fig12_tables
 from .fig13 import fig13_tables
 from .extra import adaptive_policy_table, enduring_straggler_table
@@ -39,14 +43,34 @@ def run_all() -> Dict[str, List[Table]]:
     return {name: fn() for name, fn in EXPERIMENTS.items()}
 
 
+def export_trace(path: str, cfg: Fig11Config | None = None) -> int:
+    """Run the traced Fig. 11 condition and export JSONL to ``path``.
+
+    Returns the number of round records written.
+    """
+    _, tracer = run_traced_fig11(cfg or Fig11Config(), out_path=path)
+    return len(tracer)
+
+
 def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
     """Run the experiments named in ``argv`` (default: all)."""
-    argv = argv if argv is not None else sys.argv[1:]
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    trace_path: str | None = None
+    if "--trace" in argv:
+        idx = argv.index("--trace")
+        try:
+            trace_path = argv[idx + 1]
+        except IndexError:
+            raise SystemExit("--trace requires a file path")
+        del argv[idx : idx + 2]
     targets = argv or ["all"]
     names = sorted(EXPERIMENTS) if "all" in targets else targets
     for name in names:
         for table in run(name):
             table.show()
+    if trace_path is not None:
+        count = export_trace(trace_path)
+        print(f"exported {count} round traces to {trace_path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

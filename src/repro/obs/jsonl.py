@@ -1,0 +1,65 @@
+"""JSONL persistence for round traces.
+
+One JSON object per line, each a :meth:`RoundTrace.to_dict` payload
+carrying its own schema version.  Python's ``json`` serialises floats
+via ``repr``, which round-trips binary64 exactly — so statistics
+computed from a loaded trace match the live run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..exceptions import ObservabilityError
+from .events import RoundTrace
+
+PathLike = Union[str, Path]
+
+
+def write_traces(path: PathLike, traces: Iterable[RoundTrace]) -> int:
+    """Write ``traces`` to ``path`` as JSONL; returns the record count."""
+    path = Path(path)
+    count = 0
+    try:
+        with path.open("w", encoding="utf-8") as fh:
+            for trace in traces:
+                fh.write(json.dumps(trace.to_dict(), separators=(",", ":")))
+                fh.write("\n")
+                count += 1
+    except OSError as exc:
+        raise ObservabilityError(f"cannot write trace file: {exc}") from exc
+    return count
+
+
+def read_traces(path: PathLike) -> List[RoundTrace]:
+    """Load every trace from a JSONL file written by :func:`write_traces`.
+
+    Blank lines are skipped; malformed lines raise
+    :class:`~repro.exceptions.ObservabilityError` with the line number.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ObservabilityError(f"trace file not found: {path}")
+    traces: List[RoundTrace] = []
+    try:
+        fh = path.open("r", encoding="utf-8")
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read trace file: {exc}") from exc
+    with fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ObservabilityError(
+                    f"{path}:{lineno}: invalid JSON: {exc}"
+                ) from exc
+            try:
+                traces.append(RoundTrace.from_dict(payload))
+            except ObservabilityError as exc:
+                raise ObservabilityError(f"{path}:{lineno}: {exc}") from exc
+    return traces

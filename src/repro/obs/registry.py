@@ -1,0 +1,264 @@
+"""Lightweight metrics primitives: counters, gauges, streaming histograms.
+
+The registry is the passive half of the observability layer: code under
+measurement asks it for named instruments and records into them; nothing
+here ever does I/O.  Two properties matter for use on simulator hot
+paths:
+
+* **zero-cost when disabled** — :data:`NULL_REGISTRY` hands out shared
+  no-op instruments, so instrumented code can record unconditionally
+  without branching on "is observability on?";
+* **bounded memory** — :class:`Histogram` keeps at most ``max_samples``
+  observations, switching to deterministic reservoir sampling beyond
+  that, so quantiles stay available on arbitrarily long runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+import numpy as np
+
+from ..exceptions import ObservabilityError
+
+
+class Counter:
+    """A monotonically increasing count (rounds simulated, decodes run)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self._value += amount
+
+
+class Gauge:
+    """A point-in-time value (current clock, live worker count)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = float("nan")
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's current value."""
+        self._value = float(value)
+
+
+class Histogram:
+    """Streaming distribution with p50/p95/p99 quantile readout.
+
+    Exact up to ``max_samples`` observations; beyond that a
+    deterministic reservoir (seeded per histogram name) keeps a uniform
+    sample so memory stays flat while quantiles remain unbiased.
+    """
+
+    __slots__ = ("name", "_samples", "_count", "_total", "_max", "_rng")
+
+    def __init__(self, name: str, max_samples: int = 4096):
+        if max_samples <= 0:
+            raise ObservabilityError(
+                f"histogram {name!r} needs max_samples > 0, got {max_samples}"
+            )
+        self.name = name
+        self._samples: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._max = max_samples
+        # Seed from the name so replayed runs produce identical metrics.
+        self._rng = np.random.default_rng(
+            np.frombuffer(name.encode()[:32].ljust(8, b"\0"), dtype=np.uint8).sum()
+        )
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._count += 1
+        self._total += value
+        if len(self._samples) < self._max:
+            self._samples.append(value)
+        else:
+            # Vitter's algorithm R: keep each of the count observations
+            # with equal probability max_samples / count.
+            slot = int(self._rng.integers(0, self._count))
+            if slot < self._max:
+                self._samples[slot] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``) of the retained sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return float("nan")
+        return float(np.quantile(self._samples, q))
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def summary(self) -> Dict[str, float]:
+        """Mean and headline quantiles as a plain dict."""
+        return {
+            "count": float(self._count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    Names are free-form dotted strings (``"round.step_time"``); asking
+    twice for the same name returns the same instrument, and asking for
+    an existing name as a different instrument kind is an error.
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, own: Mapping[str, object]) -> None:
+        for kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if table is not own and name in table:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as a {kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter registered under ``name``."""
+        if name not in self._counters:
+            self._check_unique(name, self._counters)
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge registered under ``name``."""
+        if name not in self._gauges:
+            self._check_unique(name, self._gauges)
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+        """Get or create the histogram registered under ``name``."""
+        if name not in self._histograms:
+            self._check_unique(name, self._histograms)
+            self._histograms[name] = Histogram(name, max_samples=max_samples)
+        return self._histograms[name]
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> Iterable[str]:
+        return sorted(
+            [*self._counters, *self._gauges, *self._histograms]
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """All instruments flattened into one JSON-ready dict."""
+        out: Dict[str, object] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.value
+        for name, h in self._histograms.items():
+            out[name] = h.summary()
+        return out
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """The zero-cost default: every instrument is a shared no-op.
+
+    Instrumented code records unconditionally; with this registry the
+    records are single dict lookups returning singletons whose methods
+    do nothing, so disabled observability stays off the profile.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str) -> Counter:
+        """The shared no-op counter, whatever the name."""
+        return self._null_counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The shared no-op gauge, whatever the name."""
+        return self._null_gauge
+
+    def histogram(self, name: str, max_samples: int = 4096) -> Histogram:
+        """The shared no-op histogram, whatever the name."""
+        return self._null_histogram
+
+    def snapshot(self) -> Dict[str, object]:
+        """Always empty: nothing is recorded."""
+        return {}
+
+
+#: Shared no-op registry; safe to use from any number of call sites.
+NULL_REGISTRY = NullRegistry()

@@ -10,15 +10,26 @@ One :class:`ClusterSimulator` models a synchronous training round:
 3. arrival events are pushed into an :class:`EventQueue`; the caller's
    wait policy then decides who is accepted and when the master moves on.
 
-All time is simulated seconds.  The same simulator instance can be
-replayed for several schemes by fixing the delay model to a recorded
-:class:`~repro.straggler.DelayTrace`.
+All time is simulated seconds.  Two time origins coexist and are kept
+strictly apart:
+
+* **absolute** — the simulator clock (``step_start``/``step_end``);
+* **step-relative** — everything a wait policy sees or returns, and the
+  ``arrivals``/``outcome`` carried by :class:`RoundResult`, measured
+  from the start of the current step.
+
+The same simulator instance can be replayed for several schemes by
+fixing the delay model to a recorded
+:class:`~repro.straggler.DelayTrace`; :meth:`ClusterSimulator.reset`
+rewinds the clock *and* the RNG/model state so a replay reproduces the
+same rounds exactly.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 import numpy as np
 
@@ -29,6 +40,9 @@ from .contention import ContendedUploadModel
 from .events import Event, EventQueue
 from .network import NetworkModel
 from .policies import WaitOutcome, WaitPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.tracer import RoundTracer
 
 
 @dataclass(frozen=True)
@@ -62,9 +76,18 @@ class ComputeModel:
 
 @dataclass(frozen=True)
 class RoundResult:
-    """Everything a training strategy needs from one simulated round."""
+    """Everything a training strategy needs from one simulated round.
 
+    ``arrivals`` and ``outcome`` are *step-relative* (seconds since
+    ``step_start``) — the same convention the wait policies use, so the
+    policy's decision is carried through verbatim.  ``step_start`` and
+    ``step_end`` are absolute simulator-clock readings; absolute arrival
+    times are ``step_start + arrivals[w]``.
+    """
+
+    #: worker → step-relative arrival time (seconds since step_start).
     arrivals: Dict[int, float]
+    #: The wait policy's decision, unchanged (proceed_time relative).
     outcome: WaitOutcome
     step_start: float
     step_end: float
@@ -93,6 +116,7 @@ class ClusterSimulator:
         rng: np.random.Generator | None = None,
         failure_model: FailureModel | None = None,
         contended_link: ContendedUploadModel | None = None,
+        tracer: "RoundTracer | None" = None,
     ):
         if num_workers <= 0:
             raise ConfigurationError(
@@ -112,7 +136,11 @@ class ClusterSimulator:
         self._rng = rng if rng is not None else np.random.default_rng()
         self._failures = failure_model if failure_model is not None else NoFailures()
         self._link = contended_link
+        self._tracer = tracer
         self._clock = 0.0
+        # Snapshot the generator so reset() can replay the exact same
+        # random stream (and therefore the exact same rounds).
+        self._rng_state = copy.deepcopy(self._rng.bit_generator.state)
 
     # ------------------------------------------------------------------
     @property
@@ -124,9 +152,23 @@ class ClusterSimulator:
         """Current simulated time in seconds."""
         return self._clock
 
+    @property
+    def tracer(self) -> "RoundTracer | None":
+        """The attached round tracer, or ``None`` (tracing disabled)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: "RoundTracer | None") -> None:
+        self._tracer = tracer
+
     def reset(self) -> None:
-        """Rewind the simulated clock to zero."""
+        """Rewind to the initial state: clock zero, the RNG restored to
+        its construction-time state, and stateful delay/failure models
+        reset — so a reset simulator replays identical rounds."""
         self._clock = 0.0
+        self._rng.bit_generator.state = self._rng_state
+        self._delays.reset()
+        self._failures.reset()
 
     # ------------------------------------------------------------------
     def run_round(self, step: int, policy: WaitPolicy) -> RoundResult:
@@ -169,21 +211,30 @@ class ClusterSimulator:
                     )
                 )
             arrivals = {ev.worker: ev.time for ev in queue.drain()}
-        # Policies reason in step-relative time (deadlines); convert.
+        # Policies reason in step-relative time (deadlines); convert
+        # once and keep the relative convention all the way out — the
+        # returned RoundResult carries the policy's outcome verbatim.
         relative = {w: t - start for w, t in arrivals.items()}
         outcome = policy.wait(relative, step)
         end = start + outcome.proceed_time
         self._clock = end
         per_worker_compute = self._compute.step_time(self._c)
         wasted = per_worker_compute * sum(
-            1 for w in arrivals if w not in outcome.accepted_workers
+            1 for w in relative if w not in outcome.accepted_workers
         )
+        if self._tracer is not None:
+            self._tracer.record_round(
+                step=step,
+                arrivals=relative,
+                outcome=outcome,
+                policy=policy.describe(),
+                step_start=start,
+                step_end=end,
+                wasted_compute=wasted,
+            )
         return RoundResult(
-            arrivals=arrivals,
-            outcome=WaitOutcome(
-                accepted_workers=outcome.accepted_workers,
-                proceed_time=end,
-            ),
+            arrivals=relative,
+            outcome=outcome,
             step_start=start,
             step_end=end,
             wasted_compute=wasted,

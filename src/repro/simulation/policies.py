@@ -11,8 +11,14 @@ step.  The paper highlights that IS-GC frees this choice entirely:
   beginning … more afterwards") are also described in Sec. IV.
 
 A policy consumes the full arrival-time vector for a step and returns
-the accepted worker set plus the simulated time at which the master
-proceeds.
+the accepted worker set plus the time at which the master proceeds.
+
+**Unit convention** — policies reason entirely in *step-relative*
+seconds: every arrival time is measured from the start of the current
+step, and :attr:`WaitOutcome.proceed_time` is likewise relative (the
+caller adds its own step start to obtain an absolute clock).  This is
+what makes deadlines meaningful per step and lets one policy instance
+serve every round of a run.
 """
 
 from __future__ import annotations
@@ -26,7 +32,11 @@ from ..exceptions import ConfigurationError, SimulationError
 
 @dataclass(frozen=True)
 class WaitOutcome:
-    """What a wait policy decided for one step."""
+    """What a wait policy decided for one step.
+
+    ``proceed_time`` is *step-relative*: seconds after the step start
+    at which the master stops waiting (see the module docstring).
+    """
 
     accepted_workers: FrozenSet[int]
     proceed_time: float
@@ -37,7 +47,13 @@ class WaitPolicy(abc.ABC):
 
     @abc.abstractmethod
     def wait(self, arrivals: Mapping[int, float], step: int) -> WaitOutcome:
-        """``arrivals`` maps worker → absolute arrival time (this step)."""
+        """``arrivals`` maps worker → *step-relative* arrival time
+        (seconds since the step start); the returned
+        :attr:`WaitOutcome.proceed_time` uses the same origin."""
+
+    def describe(self) -> str:
+        """Short label for traces and reports (override for detail)."""
+        return type(self).__name__
 
     @staticmethod
     def _sorted_arrivals(arrivals: Mapping[int, float]) -> list[Tuple[float, int]]:
@@ -61,6 +77,9 @@ class WaitForK(WaitPolicy):
     @property
     def k(self) -> int:
         return self._k
+
+    def describe(self) -> str:
+        return f"wait-for-k(k={self._k})"
 
     def wait(self, arrivals: Mapping[int, float], step: int) -> WaitOutcome:
         ordered = self._sorted_arrivals(arrivals)
@@ -91,6 +110,9 @@ class BestEffortWaitForK(WaitPolicy):
     def k(self) -> int:
         return self._k
 
+    def describe(self) -> str:
+        return f"best-effort-wait-for-k(k={self._k})"
+
     def wait(self, arrivals: Mapping[int, float], step: int) -> WaitOutcome:
         ordered = self._sorted_arrivals(arrivals)
         chosen = ordered[: min(self._k, len(ordered))]
@@ -109,8 +131,8 @@ class WaitForAll(WaitForK):
 
 class DeadlinePolicy(WaitPolicy):
     """Accept everything that lands within ``deadline`` seconds of the
-    step start; if nobody makes it, wait for the first arrival (the
-    master can never proceed empty-handed)."""
+    step start and proceed at the deadline; if nobody makes it, wait
+    for the first arrival (the master can never proceed empty-handed)."""
 
     def __init__(self, deadline: float):
         if deadline < 0:
@@ -123,6 +145,9 @@ class DeadlinePolicy(WaitPolicy):
     def deadline(self) -> float:
         return self._deadline
 
+    def describe(self) -> str:
+        return f"deadline({self._deadline}s)"
+
     def wait(self, arrivals: Mapping[int, float], step: int) -> WaitOutcome:
         ordered = self._sorted_arrivals(arrivals)
         within = [(t, w) for t, w in ordered if t <= self._deadline]
@@ -132,9 +157,11 @@ class DeadlinePolicy(WaitPolicy):
                 accepted_workers=frozenset({first_worker}),
                 proceed_time=first_time,
             )
+        # Every accepted arrival is <= deadline by construction, so the
+        # master proceeds exactly at the deadline.
         return WaitOutcome(
             accepted_workers=frozenset(w for _, w in within),
-            proceed_time=max(self._deadline, within[-1][0]),
+            proceed_time=self._deadline,
         )
 
 
@@ -143,6 +170,9 @@ class AdaptiveWaitK(WaitPolicy):
 
     def __init__(self, schedule: Callable[[int], int]):
         self._schedule = schedule
+
+    def describe(self) -> str:
+        return "adaptive-k"
 
     def wait(self, arrivals: Mapping[int, float], step: int) -> WaitOutcome:
         k = self._schedule(step)
@@ -155,7 +185,15 @@ class AdaptiveWaitK(WaitPolicy):
 
 def linear_rampup(start_k: int, end_k: int, over_steps: int) -> Callable[[int], int]:
     """A ready-made ramp: ``start_k`` → ``end_k`` linearly over
-    ``over_steps`` steps, then constant ``end_k``."""
+    ``over_steps`` steps, then constant ``end_k``.
+
+    The interpolation is pure integer arithmetic
+    (``start_k + (step · Δ) // over_steps``), so the schedule is exact,
+    deterministic, and monotone — no float rounding (the previous
+    banker's-rounding ``round()`` made step-to-step behaviour depend on
+    tie-breaking) — and hits ``start_k`` at step 0 and ``end_k`` at
+    ``over_steps`` exactly.
+    """
     if start_k <= 0 or end_k <= 0 or over_steps <= 0:
         raise ConfigurationError(
             "start_k, end_k and over_steps must all be positive"
@@ -164,7 +202,6 @@ def linear_rampup(start_k: int, end_k: int, over_steps: int) -> Callable[[int], 
     def schedule(step: int) -> int:
         if step >= over_steps:
             return end_k
-        frac = step / over_steps
-        return round(start_k + frac * (end_k - start_k))
+        return start_k + (step * (end_k - start_k)) // over_steps
 
     return schedule

@@ -24,6 +24,14 @@ class FailureModel(abc.ABC):
     def is_alive(self, worker: int, step: int, rng: np.random.Generator) -> bool:
         """Whether ``worker``'s upload happens at ``step``."""
 
+    def reset(self) -> None:
+        """Forget any internal state so a replay reproduces the run.
+
+        The built-in models are stateless given the caller's RNG, so
+        the default is a no-op; stateful subclasses must override.
+        Called by :meth:`ClusterSimulator.reset`.
+        """
+
 
 class NoFailures(FailureModel):
     """Everything always arrives (the default)."""
@@ -86,3 +94,8 @@ class CompositeFailures(FailureModel):
     def is_alive(self, worker: int, step: int, rng: np.random.Generator) -> bool:
         """Alive iff every constituent model says alive."""
         return all(m.is_alive(worker, step, rng) for m in self._models)
+
+    def reset(self) -> None:
+        """Reset every constituent model."""
+        for model in self._models:
+            model.reset()

@@ -32,6 +32,14 @@ class DelayModel(abc.ABC):
     def sample(self, worker: int, step: int, rng: np.random.Generator) -> float:
         """Extra delay for ``worker`` at ``step`` (non-negative seconds)."""
 
+    def reset(self) -> None:
+        """Forget any internal state so a replay reproduces the run.
+
+        The built-in models are stateless (randomness flows through the
+        caller's RNG), so the default is a no-op; stateful subclasses
+        must override.  Called by :meth:`ClusterSimulator.reset`.
+        """
+
     def sample_all(
         self, workers: Sequence[int], step: int, rng: np.random.Generator
     ) -> dict[int, float]:
@@ -130,6 +138,9 @@ class BernoulliStraggler(DelayModel):
             return 0.0
         return self._inner.sample(worker, step, rng)
 
+    def reset(self) -> None:
+        self._inner.reset()
+
 
 class PersistentStragglers(DelayModel):
     """A fixed set of chronically slow workers (the "enduring straggler").
@@ -157,6 +168,10 @@ class PersistentStragglers(DelayModel):
         if worker in self._stragglers:
             return self._slow.sample(worker, step, rng)
         return self._fast.sample(worker, step, rng)
+
+    def reset(self) -> None:
+        self._slow.reset()
+        self._fast.reset()
 
 
 class DiurnalDelay(DelayModel):
@@ -189,6 +204,9 @@ class DiurnalDelay(DelayModel):
     def sample(self, worker: int, step: int, rng: np.random.Generator) -> float:
         return self.scale_at(step) * self._base.sample(worker, step, rng)
 
+    def reset(self) -> None:
+        self._base.reset()
+
 
 class BurstyDelay(DelayModel):
     """Two-state Markov (Gilbert) model: calm ↔ bursty per worker.
@@ -198,8 +216,10 @@ class BurstyDelay(DelayModel):
     given per-step transition probabilities — the on/off pattern of
     co-located noisy neighbours.
 
-    State is per-instance: replaying requires a fresh instance with the
-    same rng seed (or recording a :class:`~repro.straggler.DelayTrace`).
+    State is per-instance; :meth:`reset` returns every worker to the
+    calm state, so a reset simulator replay reproduces the run (pair
+    it with the same rng seed, or record a
+    :class:`~repro.straggler.DelayTrace`).
     """
 
     def __init__(
@@ -233,6 +253,11 @@ class BurstyDelay(DelayModel):
             return 0.0
         return self._burst.sample(worker, step, rng)
 
+    def reset(self) -> None:
+        """Return every worker to the calm state."""
+        self._in_burst.clear()
+        self._burst.reset()
+
 
 class MixtureDelay(DelayModel):
     """Per-step mixture: with probability ``weights[k]`` use model ``k``."""
@@ -251,3 +276,7 @@ class MixtureDelay(DelayModel):
     def sample(self, worker: int, step: int, rng: np.random.Generator) -> float:
         idx = int(rng.choice(len(self._models), p=self._weights))
         return self._models[idx].sample(worker, step, rng)
+
+    def reset(self) -> None:
+        for model in self._models:
+            model.reset()

@@ -20,9 +20,12 @@ the switch affects which payload each worker uploads, nothing else.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.tracer import RoundTracer
 
 from ..core.advisor import evaluate_placement, rank_placements
 from ..core.migration import migration_cost_seconds, migration_plan
@@ -67,6 +70,7 @@ class AdaptivePlacementTrainer:
         review_every: int = 25,
         min_recovery_gain: float = 0.05,
         rng: np.random.Generator | None = None,
+        tracer: "RoundTracer | None" = None,
     ):
         n = initial_placement.num_workers
         if len(streams) != n:
@@ -97,6 +101,10 @@ class AdaptivePlacementTrainer:
             initial_placement, wait_for=wait_for, rng=self._rng
         )
         self._migration_penalty = 0.0
+        if tracer is not None:
+            cluster.tracer = tracer
+            tracer.set_context(scheme=self._strategy.name)
+        self._tracer = cluster.tracer
         self.records: List[StepRecord] = []
         self.migrations: List[MigrationEvent] = []
 
@@ -153,6 +161,9 @@ class AdaptivePlacementTrainer:
         self._strategy = ISGCStrategy(
             best.placement, wait_for=self._wait_for, rng=self._rng
         )
+        if self._tracer is not None:
+            self._tracer.registry.counter("adaptive.migrations").inc()
+            self._tracer.set_context(scheme=self._strategy.name)
 
     # ------------------------------------------------------------------
     def run(
@@ -183,6 +194,17 @@ class AdaptivePlacementTrainer:
             round_result = self._cluster.run_round(step, self._strategy.policy)
             available = round_result.outcome.accepted_workers
             grad_sum, recovered = self._strategy.decode(available, payloads)
+            if self._tracer is not None:
+                decision = self._strategy.last_decode
+                self._tracer.record_decode(
+                    step,
+                    decoder_scheme=self._placement.scheme,
+                    num_searches=(
+                        decision.num_searches if decision is not None else 1
+                    ),
+                    num_recovered=len(recovered),
+                    num_partitions=n,
+                )
             mean_grad = grad_sum / len(recovered)
             params = self._optimizer.update(
                 self._model.get_parameters(), mean_grad

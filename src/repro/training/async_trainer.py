@@ -27,6 +27,7 @@ from typing import List, Sequence
 import numpy as np
 
 from ..exceptions import TrainingError
+from ..obs.registry import MetricsRegistry, NULL_REGISTRY
 from ..simulation.events import Event, EventQueue
 from ..simulation.network import NetworkModel
 from ..simulation.cluster import ComputeModel
@@ -81,6 +82,7 @@ class AsyncSGDTrainer:
         delay_model: DelayModel | None = None,
         eval_data: Dataset | None = None,
         rng: np.random.Generator | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         if not streams:
             raise TrainingError("need at least one batch stream")
@@ -92,6 +94,9 @@ class AsyncSGDTrainer:
         self._delays = delay_model if delay_model is not None else NoDelay()
         self._eval = eval_data
         self._rng = rng if rng is not None else np.random.default_rng()
+        # Async has no synchronous rounds, so it feeds the metrics
+        # registry directly instead of a RoundTracer (no-op by default).
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
         self._records: List[AsyncUpdateRecord] = []
 
     @property
@@ -154,6 +159,7 @@ class AsyncSGDTrainer:
             else:
                 loss = float(self._model.loss(x, y))
             losses.append(loss)
+            prev_time = self._records[-1].sim_time if self._records else 0.0
             self._records.append(
                 AsyncUpdateRecord(
                     update_index=master_version,
@@ -162,6 +168,11 @@ class AsyncSGDTrainer:
                     staleness=staleness,
                     loss=loss,
                 )
+            )
+            self._metrics.counter("async.updates").inc()
+            self._metrics.histogram("async.staleness").observe(staleness)
+            self._metrics.histogram("async.update_interval").observe(
+                clock - prev_time
             )
             schedule(worker, clock)
 

@@ -32,6 +32,7 @@ from ..core.decoders import Decoder, decoder_for
 from ..core.placement import Placement
 from ..exceptions import ConfigurationError
 from ..simulation.policies import WaitForAll, WaitForK, WaitPolicy
+from ..types import DecodeResult
 
 GradientMap = Mapping[int, np.ndarray]
 
@@ -199,6 +200,9 @@ class ISGCStrategy(TrainingStrategy):
         self._code = SummationCode(placement)
         self._decoder = decoder or decoder_for(placement, rng=rng)
         self.name = f"is-gc-{placement.scheme}"
+        #: The most recent DecodeResult, for observability (trainers
+        #: read num_searches / recovered counts from here).
+        self.last_decode: DecodeResult | None = None
 
     @property
     def wait_for(self) -> int:
@@ -216,5 +220,6 @@ class ISGCStrategy(TrainingStrategy):
 
     def decode(self, available_workers, payloads):
         decision = self._decoder.decode(available_workers)
+        self.last_decode = decision
         total = self._code.decode_sum(decision, payloads)
         return total, decision.recovered_partitions

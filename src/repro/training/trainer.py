@@ -21,13 +21,16 @@ fixed held-out evaluation batch so scheme comparisons are exact.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
 from ..exceptions import TrainingError
 from ..simulation.cluster import ClusterSimulator
 from ..types import StepRecord, TrainingSummary
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.tracer import RoundTracer
 from .convergence import LossTracker
 from .datasets import BatchStream, Dataset
 from .models import Model
@@ -47,6 +50,7 @@ class DistributedTrainer:
         optimizer: SGD,
         eval_data: Dataset | None = None,
         recovery_scaled_lr: bool = False,
+        tracer: "RoundTracer | None" = None,
     ):
         n = strategy.placement.num_partitions
         if len(streams) != n:
@@ -70,6 +74,13 @@ class DistributedTrainer:
         # scale the step down by the recovered fraction (an extension;
         # off by default to match the paper's constant-η setting).
         self._recovery_scaled_lr = recovery_scaled_lr
+        # Observability: the tracer rides on the cluster (which records
+        # the timing half of each round); the trainer adds the decode
+        # half.  Passing one here attaches it to the cluster.
+        if tracer is not None:
+            cluster.tracer = tracer
+            tracer.set_context(scheme=strategy.name)
+        self._tracer = cluster.tracer
         self._records: List[StepRecord] = []
 
     @property
@@ -141,6 +152,20 @@ class DistributedTrainer:
         grad_sum, recovered = self._strategy.decode(available, payloads)
         if not recovered:
             raise TrainingError(f"step {step}: nothing recovered")
+        if self._tracer is not None:
+            decision = getattr(self._strategy, "last_decode", None)
+            self._tracer.record_decode(
+                step,
+                decoder_scheme=(
+                    self._strategy.placement.scheme
+                    if decision is not None else self._strategy.name
+                ),
+                num_searches=(
+                    decision.num_searches if decision is not None else 1
+                ),
+                num_recovered=len(recovered),
+                num_partitions=n,
+            )
         mean_grad = grad_sum / len(recovered)
         if self._recovery_scaled_lr:
             mean_grad = mean_grad * (len(recovered) / n)

@@ -50,3 +50,9 @@ def test_readme_blocks_run(capsys):
 
 def test_tutorial_blocks_run(capsys):
     _run_blocks(REPO / "docs" / "tutorial.md")
+
+
+def test_observability_blocks_run(tmp_path, monkeypatch, capsys):
+    # These blocks write/read run.jsonl relative to the cwd.
+    monkeypatch.chdir(tmp_path)
+    _run_blocks(REPO / "docs" / "observability.md")

@@ -294,6 +294,129 @@ class TestMetrics:
             moving_average([1.0], 0)
 
 
+class TestUnitConvention:
+    """Regression tests for the step-relative time convention.
+
+    Policies see step-relative arrivals; RoundResult must carry the
+    policy's outcome verbatim (it used to be rebuilt with absolute
+    times, so ``proceed_time`` disagreed with ``arrivals`` after the
+    first round)."""
+
+    def _sim(self):
+        from repro.straggler import ExponentialDelay
+        return ClusterSimulator(
+            num_workers=4,
+            partitions_per_worker=2,
+            compute=ComputeModel(base=0.1, per_partition=0.1),
+            network=NetworkModel(latency=0.0, bandwidth=float("inf")),
+            delay_model=ExponentialDelay(1.0),
+            rng=np.random.default_rng(11),
+        )
+
+    def test_arrivals_relative_on_later_rounds(self):
+        sim = self._sim()
+        for step in range(50):
+            sim.run_round(step, WaitForK(3))
+        result = sim.run_round(50, WaitForK(3))
+        # After 50 rounds the absolute clock dwarfs any single round;
+        # relative arrivals stay bounded by compute + delay and must
+        # not carry the clock offset.
+        assert result.step_start > 10.0
+        assert max(result.arrivals.values()) < result.step_start
+        assert min(result.arrivals.values()) >= 0.3  # compute floor
+
+    def test_outcome_is_policy_output_verbatim(self):
+        sim = self._sim()
+        sim.run_round(0, WaitForK(3))
+        result = sim.run_round(1, WaitForK(3))
+        # proceed_time is the k-th *relative* arrival, and step_end is
+        # step_start + proceed_time — one convention, both rounds.
+        kth = sorted(result.arrivals.values())[2]
+        assert result.outcome.proceed_time == pytest.approx(kth)
+        assert result.step_end == pytest.approx(
+            result.step_start + result.outcome.proceed_time
+        )
+        assert result.step_time == pytest.approx(result.outcome.proceed_time)
+
+    def test_deadline_meaningful_on_every_round(self):
+        from repro.straggler import ExponentialDelay
+        sim = ClusterSimulator(
+            num_workers=4,
+            partitions_per_worker=2,
+            compute=ComputeModel(base=0.1, per_partition=0.1),
+            network=NetworkModel(latency=0.0, bandwidth=float("inf")),
+            delay_model=ExponentialDelay(0.2),
+            rng=np.random.default_rng(3),
+        )
+        policy = DeadlinePolicy(1.0)
+        for step in range(5):
+            result = sim.run_round(step, policy)
+            # A per-step deadline caps every round's duration; under the
+            # old absolute-time rebuild this held only for round 0.
+            assert result.step_time <= 1.0 + 1e-9
+
+
+class TestResetDeterminism:
+    def _stochastic_sim(self, delay_model):
+        from repro.straggler import TransientDropouts
+        return ClusterSimulator(
+            num_workers=6,
+            partitions_per_worker=2,
+            compute=ComputeModel(base=0.1, per_partition=0.1),
+            network=NetworkModel(latency=0.0, bandwidth=float("inf")),
+            delay_model=delay_model,
+            failure_model=TransientDropouts(0.2),
+            rng=np.random.default_rng(42),
+        )
+
+    def _run(self, sim, rounds=8):
+        from repro.simulation import BestEffortWaitForK
+        out = []
+        for step in range(rounds):
+            r = sim.run_round(step, BestEffortWaitForK(3))
+            out.append((r.arrivals, r.step_start, r.step_end))
+        return out
+
+    def test_reset_replays_stochastic_run_exactly(self):
+        from repro.straggler import ExponentialDelay
+        sim = self._stochastic_sim(ExponentialDelay(1.0))
+        first = self._run(sim)
+        sim.reset()
+        assert sim.clock == 0.0
+        assert self._run(sim) == first
+
+    def test_reset_rewinds_bursty_markov_state(self):
+        from repro.straggler import BurstyDelay, ExponentialDelay
+        model = BurstyDelay(
+            ExponentialDelay(2.0), enter_burst=0.5, exit_burst=0.1
+        )
+        sim = self._stochastic_sim(model)
+        first = self._run(sim)
+        sim.reset()
+        assert not any(model.in_burst(w) for w in range(6))
+        assert self._run(sim) == first
+
+    def test_reset_replays_recorded_trace(self):
+        from repro.straggler import (
+            DelayTrace, ExponentialDelay, TraceReplayModel,
+        )
+        trace = DelayTrace.record(
+            ExponentialDelay(1.5), 4, 6, np.random.default_rng(0)
+        )
+        sim = ClusterSimulator(
+            num_workers=4,
+            partitions_per_worker=2,
+            compute=ComputeModel(base=0.1, per_partition=0.1),
+            network=NetworkModel(latency=0.0, bandwidth=float("inf")),
+            delay_model=TraceReplayModel(trace),
+            rng=np.random.default_rng(0),
+        )
+        first = [sim.run_round(s, WaitForK(3)).arrivals for s in range(6)]
+        sim.reset()
+        second = [sim.run_round(s, WaitForK(3)).arrivals for s in range(6)]
+        assert first == second
+
+
 class TestWastedCompute:
     def _sim(self):
         return ClusterSimulator(
