@@ -11,77 +11,69 @@ straggler and renders the loss curves as sparklines:
 * **IS-GC** waits for ``w`` workers and recovers the maximal partial
   gradient — near-async speed with near-sync gradient quality.
 
+All three runs are variations of ONE declarative
+:class:`~repro.ExperimentSpec`: only ``scheme``/``rule`` (and the
+per-variant knobs) change between them, via ``dataclasses.replace``.
+
 Run:  python examples/async_vs_isgc.py
 """
 
-import numpy as np
+import dataclasses
 
-from repro import (
-    ClusterSimulator,
-    ComputeModel,
-    CyclicRepetition,
-    DistributedTrainer,
-    ISGCStrategy,
-    NetworkModel,
-    PersistentStragglers,
-    SGD,
-    ShiftedExponentialDelay,
-    SoftmaxRegressionModel,
-    SyncSGDStrategy,
-    build_batch_streams,
-    make_classification,
-    partition_dataset,
-)
+from repro import ExperimentSpec, run_spec
 from repro.analysis import loss_curve_panel
-from repro.training import AsyncSGDTrainer
 
 N = 8
 UPDATE_BUDGET = 240  # async updates ≈ sync steps × n for fairness
 
+BASE = ExperimentSpec(
+    name="async-vs-isgc",
+    scheme="sync-sgd",
+    num_workers=N,
+    max_steps=UPDATE_BUDGET // N,
+    learning_rate=0.3,
+    seed=0,
+    dataset={
+        "kind": "classification",
+        "samples": 2048,
+        "features": 16,
+        "num_classes": 4,
+        "separation": 1.5,
+        "batch_size": 16,
+    },
+    model={"kind": "softmax"},
+    delay={
+        "kind": "persistent",
+        "stragglers": [0, 1],
+        "mean": 4.0,
+        "background_mean": 0.5,
+    },
+    compute={"base": 0.05, "per_partition": 0.05},
+    network={"latency": 0.0, "bandwidth": float("inf")},
+)
+
 
 def main() -> None:
-    dataset = make_classification(2048, 16, num_classes=4, separation=1.5, seed=0)
-    partitions = partition_dataset(dataset, N, seed=1)
-    streams = build_batch_streams(partitions, batch_size=16, seed=2)
-    straggler = PersistentStragglers([0, 1], ShiftedExponentialDelay(4.0, 0.5))
-    compute = ComputeModel(0.05, 0.05)
-    network = NetworkModel(latency=0.0, bandwidth=float("inf"))
-
     curves = {}
     times = {}
 
-    # --- synchronous SGD -------------------------------------------------
-    sync = DistributedTrainer(
-        SoftmaxRegressionModel(16, 4, seed=0), streams, SyncSGDStrategy(N),
-        ClusterSimulator(N, 1, compute=compute, network=network,
-                         delay_model=straggler, rng=np.random.default_rng(3)),
-        SGD(0.3), eval_data=dataset,
-    )
-    s = sync.run(max_steps=UPDATE_BUDGET // N)
+    # --- synchronous SGD --------------------------------------------------
+    s = run_spec(BASE)
     curves["sync-sgd "] = s.loss_curve
     times["sync-sgd "] = s.total_sim_time
 
     # --- IS-GC ------------------------------------------------------------
-    isgc = DistributedTrainer(
-        SoftmaxRegressionModel(16, 4, seed=0), streams,
-        ISGCStrategy(CyclicRepetition(N, 2), wait_for=4,
-                     rng=np.random.default_rng(4)),
-        ClusterSimulator(N, 2, compute=compute, network=network,
-                         delay_model=straggler, rng=np.random.default_rng(3)),
-        SGD(0.3), eval_data=dataset,
-    )
-    s = isgc.run(max_steps=UPDATE_BUDGET // N)
+    s = run_spec(dataclasses.replace(
+        BASE, scheme="is-gc-cr", partitions_per_worker=2, wait_for=4,
+    ))
     curves["is-gc w=4"] = s.loss_curve
     times["is-gc w=4"] = s.total_sim_time
     isgc_recovery = s.avg_recovery_fraction
 
-    # --- asynchronous SGD ---------------------------------------------------
-    async_trainer = AsyncSGDTrainer(
-        SoftmaxRegressionModel(16, 4, seed=0), streams, SGD(0.3),
-        compute=compute, network=network, delay_model=straggler,
-        eval_data=dataset, rng=np.random.default_rng(5),
-    )
-    a = async_trainer.run(max_updates=UPDATE_BUDGET)
+    # --- asynchronous SGD -------------------------------------------------
+    a = run_spec(dataclasses.replace(
+        BASE, rule="async", max_steps=UPDATE_BUDGET,
+    ))
     curves["async-sgd"] = a.loss_curve
     times["async-sgd"] = a.total_sim_time
 

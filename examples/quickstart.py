@@ -7,7 +7,9 @@ Walks the whole public API on the paper's n=4, c=2 example:
 2. encode per-partition gradients into worker payloads;
 3. decode from an *arbitrary* subset of workers — the paper's headline
    (classic GC would fail with 2 stragglers; IS-GC recovers everything);
-4. run a short simulated training job under exponential stragglers.
+4. run a short simulated training job under exponential stragglers,
+   described declaratively as an :class:`~repro.ExperimentSpec` — the
+   same object ``repro run <spec.json>`` consumes from the CLI.
 
 Run:  python examples/quickstart.py
 """
@@ -15,18 +17,11 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import (
-    ClusterSimulator,
     CyclicRepetition,
-    DistributedTrainer,
-    ExponentialDelay,
-    ISGCStrategy,
-    LogisticRegressionModel,
-    SGD,
+    ExperimentSpec,
     SummationCode,
-    build_batch_streams,
     decoder_for,
-    make_classification,
-    partition_dataset,
+    run_spec,
 )
 
 
@@ -70,28 +65,31 @@ def main() -> None:
     print()
 
     # ------------------------------------------------------------------
-    # 4. End-to-end simulated training with stragglers.
+    # 4. End-to-end simulated training with stragglers — one spec, one
+    #    call.  Save the spec as JSON and `python -m repro run spec.json`
+    #    reproduces exactly this run.
     # ------------------------------------------------------------------
-    dataset = make_classification(1024, 10, num_classes=2, seed=1)
-    partitions = partition_dataset(dataset, 4, seed=2)
-    streams = build_batch_streams(partitions, batch_size=64, seed=3)
-
-    strategy = ISGCStrategy(placement, wait_for=2, rng=rng)
-    cluster = ClusterSimulator(
+    spec = ExperimentSpec(
+        name="quickstart",
+        scheme="is-gc-cr",
         num_workers=4,
         partitions_per_worker=2,
-        delay_model=ExponentialDelay(1.5),
-        rng=np.random.default_rng(7),
+        wait_for=2,
+        max_steps=200,
+        loss_threshold=0.25,
+        learning_rate=0.5,
+        seed=1,
+        dataset={
+            "kind": "classification",
+            "samples": 1024,
+            "features": 10,
+            "num_classes": 2,
+            "separation": 1.0,
+            "batch_size": 64,
+        },
+        delay={"kind": "exponential", "mean": 1.5},
     )
-    trainer = DistributedTrainer(
-        model=LogisticRegressionModel(10, seed=0),
-        streams=streams,
-        strategy=strategy,
-        cluster=cluster,
-        optimizer=SGD(0.5),
-        eval_data=dataset,
-    )
-    summary = trainer.run(max_steps=200, loss_threshold=0.15)
+    summary = run_spec(spec)
     print(summary.describe())
 
 

@@ -22,7 +22,16 @@ End-to-end simulated training::
     from repro import (DistributedTrainer, ISGCStrategy, ClusterSimulator,
                        ExponentialDelay, SGD)
 
-See ``examples/quickstart.py`` for a runnable walk-through and
+Declarative experiments (one engine, pluggable backends/schemes)::
+
+    from repro import ExperimentSpec, run_spec
+    summary = run_spec(ExperimentSpec(
+        name="demo", scheme="is-gc-cr", num_workers=4,
+        partitions_per_worker=2, wait_for=2,
+    ))
+
+See ``examples/quickstart.py`` for a runnable walk-through,
+``docs/architecture.md`` for the engine layering, and
 ``EXPERIMENTS.md`` for the paper-figure reproductions.
 """
 
@@ -111,6 +120,15 @@ from .training import (
     partition_dataset,
 )
 from .analysis import monte_carlo_recovery, recovery_curve, summarize_trials
+from .engine import (
+    ExperimentSpec,
+    RoundEngine,
+    build_engine,
+    make_strategy,
+    register_backend,
+    register_scheme,
+    run_spec,
+)
 from .runtime import SimulatedRuntime
 from .obs import (
     MetricsRegistry,
@@ -211,6 +229,14 @@ __all__ = [
     "ContendedUploadModel",
     "AsyncSGDTrainer",
     "SimulatedRuntime",
+    # engine
+    "RoundEngine",
+    "ExperimentSpec",
+    "build_engine",
+    "run_spec",
+    "make_strategy",
+    "register_scheme",
+    "register_backend",
     # observability
     "MetricsRegistry",
     "RoundTrace",

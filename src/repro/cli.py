@@ -7,6 +7,7 @@ Exposes the library's main entry points without writing Python::
     python -m repro recovery  --scheme fr -n 8 -c 2 --trials 2000
     python -m repro bounds    -n 8 -c 2
     python -m repro experiment fig13
+    python -m repro run       experiment.json
     python -m repro trace record --out run.jsonl
     python -m repro trace summarize run.jsonl
 """
@@ -186,6 +187,21 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a declarative :class:`ExperimentSpec` from a JSON/TOML file."""
+    from .analysis.plotting import downsample, sparkline
+    from .engine.spec import ExperimentSpec, run_spec
+
+    spec = ExperimentSpec.load(args.spec)
+    summary = run_spec(spec)
+    backend = "async-arrivals" if spec.rule == "async" else spec.backend
+    print(f"{spec.name} [{spec.scheme} / {backend} / {spec.rule}]")
+    print(summary.describe())
+    if getattr(summary, "loss_curve", None):
+        print("loss: " + sparkline(downsample(list(summary.loss_curve), 60)))
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """Run one of the paper experiments end to end."""
     from .experiments.runner import main as runner_main
@@ -278,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lr", type=float, default=0.3)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "run", help="run a declarative experiment spec (.json/.toml)"
+    )
+    p.add_argument("spec", help="path to an ExperimentSpec file")
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument(

@@ -1,0 +1,70 @@
+"""The round engine: one canonical training step, pluggable everything.
+
+Layering (see ``docs/architecture.md``)::
+
+    experiments / CLI / examples
+        │   ExperimentSpec + registries (spec.py)
+        ▼
+    RoundEngine (core.py)
+        │   UpdateRule hooks (rules.py)
+        ▼
+    ExecutionBackend (backends.py)
+        │   flat ClusterSimulator · actor messages · async arrivals
+        ▼
+    simulation / runtime substrates
+
+The historical trainer classes (``DistributedTrainer`` and friends)
+remain available as thin shims over this package.
+"""
+
+from .backends import (
+    ActorBackend,
+    AsyncArrivalBackend,
+    ExecutionBackend,
+    FlatBackend,
+    RoundExecution,
+)
+from .core import RoundEngine
+from .rules import (
+    AdaptiveMigration,
+    AsyncUpdate,
+    LocalUpdate,
+    MigrationEvent,
+    SyncUpdate,
+    UpdateRule,
+)
+from .spec import (
+    BACKEND_REGISTRY,
+    SCHEME_REGISTRY,
+    BuildContext,
+    ExperimentSpec,
+    build_engine,
+    make_strategy,
+    register_backend,
+    register_scheme,
+    run_spec,
+)
+
+__all__ = [
+    "RoundEngine",
+    "ExecutionBackend",
+    "FlatBackend",
+    "ActorBackend",
+    "AsyncArrivalBackend",
+    "RoundExecution",
+    "UpdateRule",
+    "SyncUpdate",
+    "LocalUpdate",
+    "AdaptiveMigration",
+    "AsyncUpdate",
+    "MigrationEvent",
+    "ExperimentSpec",
+    "BuildContext",
+    "SCHEME_REGISTRY",
+    "BACKEND_REGISTRY",
+    "register_scheme",
+    "register_backend",
+    "make_strategy",
+    "build_engine",
+    "run_spec",
+]

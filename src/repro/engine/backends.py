@@ -1,0 +1,313 @@
+"""Execution backends: how one training round is physically executed.
+
+The :class:`~repro.engine.core.RoundEngine` owns the *semantics* of a
+step (decode → unbiased update → eval → record); a backend owns its
+*mechanics* — where gradients are computed, how arrivals are produced,
+and which clock advances:
+
+* :class:`FlatBackend` — the vectorised path over
+  :class:`~repro.simulation.cluster.ClusterSimulator`: gradients are
+  computed in-process by the engine's update rule, then one call to
+  ``run_round`` yields arrivals and the wait-policy outcome.
+* :class:`ActorBackend` — the message-passing path over
+  :class:`~repro.runtime.actors.MasterActor` /
+  :class:`~repro.runtime.actors.WorkerActor`: parameters are broadcast,
+  each worker computes and encodes its own partitions, uploads race
+  through the event queue, and the master collects the accepted ones.
+* :class:`AsyncArrivalBackend` — no synchronous rounds at all: a
+  per-worker fetch/compute/upload pipeline whose arrivals the engine
+  consumes one at a time (:meth:`RoundEngine.run_updates`).
+
+Both synchronous backends return a :class:`RoundExecution` carrying the
+accepted-worker set *in the exact form the pre-engine loops passed to
+``strategy.decode``* (a frozenset on the flat path, a sorted list on
+the actor path) so refactored trajectories stay bit-identical; decoders
+normalise internally, so the two forms decode to the same floats.
+
+This module deliberately imports nothing from ``repro.training`` or
+``repro.runtime`` at module level — trainers import the engine, so the
+engine binds to their objects only at construction time (duck-typed
+masters/workers, lazily-imported helpers).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TrainingError
+from ..obs.registry import MetricsRegistry, NULL_REGISTRY
+from ..simulation.cluster import ClusterSimulator, ComputeModel
+from ..simulation.events import Event, EventQueue
+from ..simulation.network import NetworkModel
+from ..simulation.policies import WaitOutcome, WaitPolicy
+from ..straggler.models import DelayModel, NoDelay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.tracer import RoundTracer
+    from .core import RoundEngine
+
+
+@dataclass(frozen=True)
+class RoundExecution:
+    """Everything one synchronous round produced, pre-decode.
+
+    ``accepted`` is the wait policy's accepted-worker set in the form
+    the backend's historical loop passed to ``strategy.decode``;
+    ``batch_losses`` are the pre-update per-partition batch losses when
+    the backend computed gradients in-process (empty on the actor path,
+    whose historical loss fallback is NaN).
+    """
+
+    payloads: Mapping[int, np.ndarray]
+    accepted: Sequence[int]
+    arrivals: Mapping[int, float]
+    outcome: WaitOutcome
+    step_start: float
+    step_end: float
+    batch_losses: Tuple[float, ...] = ()
+
+
+class ExecutionBackend(abc.ABC):
+    """One way of turning encoded payloads into arrivals and a clock."""
+
+    def bind(self, engine: "RoundEngine") -> None:
+        """Called once by the engine; backends may cache derived state."""
+
+    @property
+    @abc.abstractmethod
+    def clock(self) -> float:
+        """Current simulated time in seconds."""
+
+    @property
+    def tracer(self) -> "RoundTracer | None":
+        """The round tracer riding on this backend, if any."""
+        return None
+
+    @abc.abstractmethod
+    def execute_round(
+        self, engine: "RoundEngine", step: int, policy: WaitPolicy
+    ) -> RoundExecution:
+        """Run one full round at ``step`` under ``policy``."""
+
+    def on_record(self, record) -> None:
+        """Hook invoked after the engine commits a step record."""
+
+    def on_strategy_change(self, strategy) -> None:
+        """Hook invoked when a rule swaps the engine's strategy."""
+
+
+class FlatBackend(ExecutionBackend):
+    """The :class:`ClusterSimulator` path (historical flat trainers)."""
+
+    def __init__(self, cluster: ClusterSimulator):
+        self._cluster = cluster
+
+    @property
+    def cluster(self) -> ClusterSimulator:
+        return self._cluster
+
+    @property
+    def clock(self) -> float:
+        return self._cluster.clock
+
+    @property
+    def tracer(self) -> "RoundTracer | None":
+        return self._cluster.tracer
+
+    def execute_round(self, engine, step, policy):
+        partition_gradients, batch_losses = engine.rule.compute_partitions(
+            engine, step
+        )
+        payloads = engine.strategy.encode(partition_gradients)
+        result = self._cluster.run_round(step, policy)
+        return RoundExecution(
+            payloads=payloads,
+            accepted=result.outcome.accepted_workers,
+            arrivals=result.arrivals,
+            outcome=result.outcome,
+            step_start=result.step_start,
+            step_end=result.step_end,
+            batch_losses=tuple(batch_losses),
+        )
+
+
+class ActorBackend(ExecutionBackend):
+    """The message-passing path (historical ``SimulatedRuntime``).
+
+    Owns the scheduling half of :meth:`SimulatedRuntime.run_step`: the
+    master/worker actors stay pure state machines, the backend drives
+    broadcast → per-worker compute/straggle/upload → event-queue race →
+    wait policy → delivery of accepted uploads.  The engine then
+    decodes and updates; :meth:`on_record` commits the record back to
+    the master so ``master.records`` / ``master.step`` keep their
+    historical meaning.
+    """
+
+    def __init__(
+        self,
+        master,
+        workers: Sequence,
+        compute: ComputeModel | None = None,
+        network: NetworkModel | None = None,
+        delay_model: DelayModel | None = None,
+        rng: np.random.Generator | None = None,
+        keep_message_log: bool = False,
+    ):
+        self.master = master
+        self.workers = list(workers)
+        self._compute = compute if compute is not None else ComputeModel()
+        self._network = network if network is not None else NetworkModel()
+        self._delays = delay_model if delay_model is not None else NoDelay()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._keep_log = keep_message_log
+        self.message_log: List = []
+        self._clock = 0.0
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    def execute_round(self, engine, step, policy):
+        start = self._clock
+        broadcast = self.master.broadcast(start)
+        if self._keep_log:
+            self.message_log.append(broadcast)
+
+        broadcast_t = self._network.broadcast_time(
+            len(broadcast.parameters), len(self.workers)
+        )
+        queue = EventQueue()
+        grad_elems = broadcast.parameters.size
+        for worker in self.workers:
+            upload = worker.handle_broadcast(broadcast, start + broadcast_t)
+            compute_t = self._compute.step_time(len(worker.partitions))
+            straggle_t = self._delays.sample(
+                worker.worker_id, broadcast.step, self._rng
+            )
+            upload_t = self._network.transfer_time(grad_elems)
+            arrival = start + broadcast_t + compute_t + straggle_t + upload_t
+            queue.push(
+                Event(arrival, "upload", worker=worker.worker_id, payload=upload)
+            )
+
+        arrivals: Dict[int, float] = {}
+        uploads: Dict[int, object] = {}
+        for event in queue.drain():
+            arrivals[event.worker] = event.time - start
+            uploads[event.worker] = event.payload
+
+        outcome = policy.wait(arrivals, broadcast.step)
+        accepted = sorted(outcome.accepted_workers)
+        payloads: Dict[int, np.ndarray] = {}
+        for w in accepted:
+            msg = uploads[w]
+            self.master.receive(msg)
+            if self._keep_log:
+                self.message_log.append(msg)
+            payloads[w] = msg.payload
+        missing = [w for w, p in payloads.items() if p is None]
+        if missing:
+            raise TrainingError(f"empty payloads from workers {missing}")
+
+        end = start + outcome.proceed_time
+        self._clock = end
+        return RoundExecution(
+            payloads=payloads,
+            accepted=accepted,
+            arrivals=arrivals,
+            outcome=outcome,
+            step_start=start,
+            step_end=end,
+        )
+
+    def on_record(self, record) -> None:
+        self.master.commit_record(record)
+
+    def on_strategy_change(self, strategy) -> None:
+        self.master.update_strategy(strategy)
+        for worker in self.workers:
+            worker.update_strategy(strategy)
+
+
+@dataclass
+class ArrivalEvent:
+    """One asynchronous gradient arrival."""
+
+    time: float
+    worker: int
+
+
+class AsyncArrivalBackend(ExecutionBackend):
+    """Per-arrival pipeline for the asynchronous extreme.
+
+    There are no synchronous rounds: each worker independently loops
+    fetch → compute → straggle → upload, and
+    :meth:`RoundEngine.run_updates` consumes arrivals one at a time.
+    The backend owns the per-worker fetch-version and step counters the
+    engine reads to compute staleness and draw seeded batches.
+    """
+
+    def __init__(
+        self,
+        compute: ComputeModel | None = None,
+        network: NetworkModel | None = None,
+        delay_model: DelayModel | None = None,
+        rng: np.random.Generator | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self._compute = compute if compute is not None else ComputeModel()
+        self._network = network if network is not None else NetworkModel()
+        self._delays = delay_model if delay_model is not None else NoDelay()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._grad_elems = 0
+        self._num_workers = 0
+        self._queue = EventQueue()
+        self._clock = 0.0
+        self.fetch_version: List[int] = []
+        self.worker_step: List[int] = []
+
+    def bind(self, engine) -> None:
+        self._num_workers = len(engine.streams)
+        self._grad_elems = engine.model.num_parameters
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    def start(self) -> None:
+        """Reset state and schedule every worker's first fetch at t=0."""
+        n = self._num_workers
+        self.fetch_version = [0] * n
+        self.worker_step = [0] * n
+        self._queue = EventQueue()
+        self._clock = 0.0
+        for worker in range(n):
+            self.schedule(worker, 0.0, version=0)
+
+    def schedule(self, worker: int, now: float, version: int) -> None:
+        """Worker fetches parameters at ``now`` and will deliver later."""
+        self.fetch_version[worker] = version
+        compute_t = self._compute.step_time(1)
+        straggle_t = self._delays.sample(
+            worker, self.worker_step[worker], self._rng
+        )
+        upload_t = self._network.transfer_time(self._grad_elems)
+        arrival = now + compute_t + straggle_t + upload_t
+        self._queue.push(Event(arrival, "gradient", worker=worker))
+
+    def next_arrival(self) -> ArrivalEvent:
+        """Pop the earliest pending gradient and advance the clock."""
+        event = self._queue.pop()
+        self._clock = event.time
+        return ArrivalEvent(time=event.time, worker=event.worker)
+
+    def execute_round(self, engine, step, policy):
+        raise TrainingError(
+            "the async backend has no synchronous rounds; "
+            "use RoundEngine.run_updates"
+        )

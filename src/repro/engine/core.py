@@ -1,0 +1,244 @@
+"""The round engine: one canonical training step for every scheme.
+
+Historically the repo carried five hand-rolled loops (flat sync
+trainer, async trainer, adaptive trainer, local-update trainer, actor
+runtime) that each re-implemented batch draw → encode → arrivals →
+wait → decode → update → eval.  :class:`RoundEngine` owns that step
+once, parameterised along two orthogonal axes:
+
+* an :class:`~repro.engine.backends.ExecutionBackend` — *where* the
+  round runs (flat simulator, actor messages, async arrivals);
+* an :class:`~repro.engine.rules.UpdateRule` — *what* the decoded
+  aggregate means (sync mean-gradient update, local-update delta,
+  adaptive migration, per-arrival async apply).
+
+The historical trainer classes survive as thin shims over this class;
+golden tests pin their trajectories bit-for-bit against pre-engine
+recordings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import TrainingError
+from ..types import AsyncSummary, AsyncUpdateRecord, StepRecord, TrainingSummary
+from .backends import ExecutionBackend
+from .rules import UpdateRule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.tracer import RoundTracer
+    from ..simulation.policies import WaitPolicy
+    from ..training.datasets import BatchStream, Dataset
+    from ..training.models import Model
+    from ..training.strategies import TrainingStrategy
+
+
+class RoundEngine:
+    """Drives training rounds for any (strategy, backend, rule) triple."""
+
+    def __init__(
+        self,
+        model: "Model",
+        streams: Sequence["BatchStream"],
+        strategy: "TrainingStrategy",
+        backend: ExecutionBackend,
+        rule: UpdateRule,
+        eval_data: Optional["Dataset"] = None,
+        tracer: "RoundTracer | None" = None,
+    ):
+        n = strategy.placement.num_partitions
+        if len(streams) != n:
+            raise TrainingError(
+                f"strategy expects {n} partitions, got {len(streams)} "
+                f"batch streams"
+            )
+        self.model = model
+        self.streams = list(streams)
+        #: mutable on purpose: adaptive rules swap the strategy mid-run.
+        self.strategy = strategy
+        self.backend = backend
+        self.rule = rule
+        self.eval_data = eval_data
+        self.num_partitions = n
+        self.records: List[StepRecord] = []
+        self.async_records: List[AsyncUpdateRecord] = []
+        #: the current run's step budget (adaptive rules amortise
+        #: migration cost over the remaining steps).
+        self.max_steps = 0
+        backend.bind(self)
+        self.tracer = tracer if tracer is not None else backend.tracer
+        # The engine is imported by repro.training, so training-layer
+        # helpers bind at construction time rather than import time.
+        from ..training.evaluation import held_out_loss
+
+        self._eval_fn = held_out_loss
+
+    @property
+    def clock(self) -> float:
+        return self.backend.clock
+
+    # ------------------------------------------------------------------
+    def run_step(
+        self, step: int, policy: "WaitPolicy | None" = None
+    ) -> StepRecord:
+        """Execute one full round: compute/encode → wait → decode → update."""
+        self.rule.before_step(self, step)
+        if policy is None:
+            policy = self.strategy.policy
+        execution = self.backend.execute_round(self, step, policy)
+
+        grad_sum, recovered = self.strategy.decode(
+            execution.accepted, execution.payloads
+        )
+        if not recovered:
+            raise TrainingError(
+                f"{self.rule.step_noun} {step}: nothing recovered"
+            )
+        if self.tracer is not None:
+            decision = getattr(self.strategy, "last_decode", None)
+            self.tracer.record_decode(
+                step,
+                decoder_scheme=(
+                    self.strategy.placement.scheme
+                    if decision is not None else self.strategy.name
+                ),
+                num_searches=(
+                    decision.num_searches if decision is not None else 1
+                ),
+                num_recovered=len(recovered),
+                num_partitions=self.num_partitions,
+            )
+        applied = self.rule.apply(self, grad_sum, recovered)
+
+        loss = self._eval_fn(
+            self.model, self.eval_data, fallback_losses=execution.batch_losses
+        )
+        record = StepRecord(
+            step=step,
+            sim_time=self.backend.clock + self.rule.time_offset(),
+            wait_time=execution.step_end - execution.step_start,
+            num_available=len(execution.accepted),
+            num_recovered=len(recovered),
+            recovery_fraction=len(recovered) / self.num_partitions,
+            loss=loss,
+            grad_norm=(
+                float(np.linalg.norm(applied))
+                if self.rule.records_grad_norm else 0.0
+            ),
+        )
+        self.records.append(record)
+        self.backend.on_record(record)
+        return record
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_steps: int,
+        loss_threshold: Optional[float] = None,
+        smoothing_window: int = 5,
+    ) -> TrainingSummary:
+        """Train until ``loss_threshold`` or ``max_steps``."""
+        if max_steps <= 0:
+            raise TrainingError(f"max_steps must be positive, got {max_steps}")
+        from ..training.convergence import LossTracker
+
+        tracker = LossTracker(loss_threshold, smoothing_window)
+        self.max_steps = max_steps
+        self.records = []
+
+        for step in range(max_steps):
+            record = self.run_step(step)
+            tracker.record(record.loss)
+            if tracker.reached_threshold():
+                break
+
+        return self.summarize(reached=tracker.reached_threshold())
+
+    def summarize(self, reached: bool = False) -> TrainingSummary:
+        """Aggregate :attr:`records` into a :class:`TrainingSummary`."""
+        records = self.records
+        losses = tuple(r.loss for r in records)
+        total = records[-1].sim_time if records else 0.0
+        return TrainingSummary(
+            scheme=self.rule.scheme_label(self),
+            num_steps=len(records),
+            total_sim_time=total,
+            final_loss=losses[-1] if losses else float("nan"),
+            reached_threshold=reached,
+            avg_step_time=(total / len(records)) if records else 0.0,
+            avg_recovery_fraction=float(
+                np.mean([r.recovery_fraction for r in records])
+            ) if records else 0.0,
+            loss_curve=losses,
+            time_curve=tuple(r.sim_time for r in records),
+        )
+
+    # ------------------------------------------------------------------
+    def run_updates(self, max_updates: int) -> AsyncSummary:
+        """Asynchronous mode: apply each arriving gradient immediately.
+
+        Requires an :class:`~repro.engine.backends.AsyncArrivalBackend`
+        and an :class:`~repro.engine.rules.AsyncUpdate` rule.  Each
+        worker loops fetch → compute → upload independently; the master
+        applies every arrival, tagged with its *staleness* — how many
+        master updates happened since the worker fetched.
+        """
+        if max_updates <= 0:
+            raise TrainingError(
+                f"max_updates must be positive, got {max_updates}"
+            )
+        backend = self.backend
+        backend.start()
+        self.async_records = []
+        losses: List[float] = []
+        clock = 0.0
+        master_version = 0
+
+        while len(self.async_records) < max_updates:
+            event = backend.next_arrival()
+            clock = event.time
+            worker = event.worker
+            x, y = self.streams[worker].batch(backend.worker_step[worker])
+            backend.worker_step[worker] += 1
+            batch_loss, grad = self.model.loss_and_gradient(x, y)
+            staleness = master_version - backend.fetch_version[worker]
+
+            self.rule.apply_arrival(self, grad)
+            master_version += 1
+
+            loss = self._eval_fn(
+                self.model, self.eval_data, fallback_losses=(batch_loss,)
+            )
+            losses.append(loss)
+            prev_time = (
+                self.async_records[-1].sim_time if self.async_records else 0.0
+            )
+            self.async_records.append(
+                AsyncUpdateRecord(
+                    update_index=master_version,
+                    sim_time=clock,
+                    worker=worker,
+                    staleness=staleness,
+                    loss=loss,
+                )
+            )
+            metrics = backend.metrics
+            metrics.counter("async.updates").inc()
+            metrics.histogram("async.staleness").observe(staleness)
+            metrics.histogram("async.update_interval").observe(
+                clock - prev_time
+            )
+            backend.schedule(worker, clock, version=master_version)
+
+        staleness_vals = [r.staleness for r in self.async_records]
+        return AsyncSummary(
+            num_updates=len(self.async_records),
+            total_sim_time=clock,
+            final_loss=losses[-1],
+            mean_staleness=float(np.mean(staleness_vals)),
+            max_staleness=int(max(staleness_vals)),
+            loss_curve=tuple(losses),
+        )

@@ -1,0 +1,596 @@
+"""Declarative experiments: :class:`ExperimentSpec` plus registries.
+
+An experiment used to be ~40 lines of hand wiring (dataset → partitions
+→ streams → model → strategy → simulator → trainer) copy-pasted across
+the figure runners, the examples, and every notebook.  A spec is the
+same information as data::
+
+    spec = ExperimentSpec(
+        name="quickstart",
+        scheme="is-gc-cr",
+        num_workers=4,
+        partitions_per_worker=2,
+        wait_for=2,
+        delay={"kind": "exponential", "mean": 1.5},
+        max_steps=200,
+    )
+    summary = run_spec(spec)
+
+Specs load from JSON or TOML files (``repro run spec.json``), and two
+registries make the system open for extension without modification:
+
+* :data:`SCHEME_REGISTRY` — scheme name → strategy factory
+  (:func:`register_scheme`, :func:`make_strategy`);
+* :data:`BACKEND_REGISTRY` — backend name → execution-backend factory
+  (:func:`register_backend`).
+
+Registering one factory is all a new scheme or backend needs; the
+engine and the CLI pick it up by name.
+
+Training-layer classes are imported lazily inside the factories so
+``repro.engine`` never circularly imports ``repro.training`` at module
+load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..straggler.models import (
+    DelayModel,
+    ExponentialDelay,
+    NoDelay,
+    ParetoDelay,
+    PersistentStragglers,
+    ShiftedExponentialDelay,
+)
+from ..simulation.cluster import ComputeModel
+from ..simulation.network import NetworkModel
+from .backends import ActorBackend, AsyncArrivalBackend, ExecutionBackend, FlatBackend
+from .core import RoundEngine
+from .rules import AdaptiveMigration, AsyncUpdate, LocalUpdate, SyncUpdate, UpdateRule
+
+SchemeFactory = Callable[..., Any]
+BackendFactory = Callable[["BuildContext"], ExecutionBackend]
+
+SCHEME_REGISTRY: Dict[str, SchemeFactory] = {}
+BACKEND_REGISTRY: Dict[str, BackendFactory] = {}
+
+
+def register_scheme(name: str) -> Callable[[SchemeFactory], SchemeFactory]:
+    """Decorator registering a strategy factory under ``name``.
+
+    Factories are called as ``factory(num_workers=...,
+    partitions_per_worker=..., wait_for=..., rng=..., **params)`` and
+    return a :class:`~repro.training.strategies.TrainingStrategy`.
+    """
+
+    def wrap(factory: SchemeFactory) -> SchemeFactory:
+        SCHEME_REGISTRY[name] = factory
+        return factory
+
+    return wrap
+
+
+def register_backend(name: str) -> Callable[[BackendFactory], BackendFactory]:
+    """Decorator registering an execution-backend factory under ``name``."""
+
+    def wrap(factory: BackendFactory) -> BackendFactory:
+        BACKEND_REGISTRY[name] = factory
+        return factory
+
+    return wrap
+
+
+def make_strategy(
+    name: str,
+    *,
+    num_workers: int,
+    partitions_per_worker: int = 1,
+    wait_for: Optional[int] = None,
+    rng: np.random.Generator | None = None,
+    seed: Optional[int] = None,
+    **params: Any,
+):
+    """Instantiate the registered scheme ``name``.
+
+    ``seed`` is sugar for ``rng=np.random.default_rng(seed)`` (matching
+    the figure runners' per-trial seeding); an explicit ``rng`` wins.
+    """
+    factory = SCHEME_REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(sorted(SCHEME_REGISTRY))
+        raise ConfigurationError(
+            f"unknown scheme {name!r}; registered schemes: {known}"
+        )
+    if rng is None and seed is not None:
+        rng = np.random.default_rng(seed)
+    return factory(
+        num_workers=num_workers,
+        partitions_per_worker=partitions_per_worker,
+        wait_for=wait_for,
+        rng=rng,
+        **params,
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in schemes.  Lazy imports keep engine ↔ training acyclic.
+
+@register_scheme("sync-sgd")
+def _sync_sgd(*, num_workers, partitions_per_worker=1, wait_for=None,
+              rng=None, **params):
+    from ..training.strategies import SyncSGDStrategy
+
+    return SyncSGDStrategy(num_workers)
+
+
+@register_scheme("is-sgd")
+def _is_sgd(*, num_workers, partitions_per_worker=1, wait_for=None,
+            rng=None, policy=None, **params):
+    from ..training.strategies import ISSGDStrategy
+
+    if wait_for is None:
+        raise ConfigurationError("scheme 'is-sgd' needs wait_for")
+    return ISSGDStrategy(num_workers, wait_for, policy=policy)
+
+
+@register_scheme("gc")
+def _classic_gc(*, num_workers, partitions_per_worker=1, wait_for=None,
+                rng=None, **params):
+    from ..core.cyclic import CyclicRepetition
+    from ..training.strategies import ClassicGCStrategy
+
+    placement = CyclicRepetition(num_workers, partitions_per_worker)
+    return ClassicGCStrategy(placement, rng=rng)
+
+
+def _isgc(placement, wait_for, rng, policy):
+    from ..training.strategies import ISGCStrategy
+
+    if wait_for is None:
+        raise ConfigurationError("IS-GC schemes need wait_for")
+    return ISGCStrategy(placement, wait_for=wait_for, rng=rng, policy=policy)
+
+
+@register_scheme("is-gc-fr")
+def _isgc_fr(*, num_workers, partitions_per_worker=1, wait_for=None,
+             rng=None, policy=None, **params):
+    from ..core.fractional import FractionalRepetition
+
+    placement = FractionalRepetition(num_workers, partitions_per_worker)
+    return _isgc(placement, wait_for, rng, policy)
+
+
+@register_scheme("is-gc-cr")
+def _isgc_cr(*, num_workers, partitions_per_worker=1, wait_for=None,
+             rng=None, policy=None, **params):
+    from ..core.cyclic import CyclicRepetition
+
+    placement = CyclicRepetition(num_workers, partitions_per_worker)
+    return _isgc(placement, wait_for, rng, policy)
+
+
+@register_scheme("is-gc-hr")
+def _isgc_hr(*, num_workers, partitions_per_worker=1, wait_for=None,
+             rng=None, policy=None, c1=None, c2=None, num_groups=None,
+             **params):
+    from ..core.hybrid import HybridRepetition
+
+    if c1 is None or c2 is None or num_groups is None:
+        raise ConfigurationError(
+            "scheme 'is-gc-hr' needs c1, c2 and num_groups params"
+        )
+    placement = HybridRepetition(num_workers, c1, c2, num_groups)
+    return _isgc(placement, wait_for, rng, policy)
+
+
+# ----------------------------------------------------------------------
+# The spec itself.
+
+_DEFAULT_DATASET: Mapping[str, Any] = {
+    "kind": "classification",
+    "samples": 512,
+    "features": 8,
+    "num_classes": 2,
+    "separation": 3.0,
+    "batch_size": 32,
+}
+
+_DEFAULT_MODEL: Mapping[str, Any] = {"kind": "logistic"}
+
+_DEFAULT_DELAY: Mapping[str, Any] = {"kind": "exponential", "mean": 1.0}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete, serialisable description of one training run."""
+
+    name: str
+    scheme: str
+    num_workers: int
+    partitions_per_worker: int = 1
+    wait_for: Optional[int] = None
+    backend: str = "flat"
+    rule: str = "sync"
+    max_steps: int = 100
+    loss_threshold: Optional[float] = None
+    smoothing_window: int = 5
+    learning_rate: float = 0.3
+    seed: int = 0
+    dataset: Mapping[str, Any] = field(
+        default_factory=lambda: dict(_DEFAULT_DATASET)
+    )
+    model: Mapping[str, Any] = field(
+        default_factory=lambda: dict(_DEFAULT_MODEL)
+    )
+    delay: Mapping[str, Any] = field(
+        default_factory=lambda: dict(_DEFAULT_DELAY)
+    )
+    compute: Mapping[str, Any] = field(default_factory=dict)
+    network: Mapping[str, Any] = field(default_factory=dict)
+    scheme_params: Mapping[str, Any] = field(default_factory=dict)
+    rule_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.num_workers <= 0:
+            raise ConfigurationError(
+                f"num_workers must be positive, got {self.num_workers}"
+            )
+        if self.max_steps <= 0:
+            raise ConfigurationError(
+                f"max_steps must be positive, got {self.max_steps}"
+            )
+        if self.rule not in ("sync", "local-update", "adaptive", "async"):
+            raise ConfigurationError(
+                f"unknown rule {self.rule!r}; expected sync, local-update, "
+                f"adaptive or async"
+            )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-ready dict (the inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Build a spec from a parsed JSON/TOML mapping."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown spec fields: {', '.join(unknown)}"
+            )
+        return cls(**dict(data))
+
+    @classmethod
+    def load(cls, path: "str | pathlib.Path") -> "ExperimentSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file."""
+        path = pathlib.Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"spec file not found: {path}")
+        if path.suffix == ".json":
+            data = json.loads(path.read_text())
+        elif path.suffix == ".toml":
+            try:
+                import tomllib
+            except ImportError as exc:  # pragma: no cover - 3.10 only
+                raise ConfigurationError(
+                    "TOML specs need Python >= 3.11 (tomllib); "
+                    "use a JSON spec instead"
+                ) from exc
+            data = tomllib.loads(path.read_text())
+        else:
+            raise ConfigurationError(
+                f"spec files must be .json or .toml, got {path.suffix!r}"
+            )
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"spec file {path} must contain a mapping"
+            )
+        return cls.from_dict(data)
+
+    def save(self, path: "str | pathlib.Path") -> None:
+        """Write the spec as JSON (the round-trippable format)."""
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+
+@dataclass
+class BuildContext:
+    """Everything a backend factory may need, already constructed."""
+
+    spec: ExperimentSpec
+    model: Any
+    streams: list
+    strategy: Any
+    optimizer: Any
+    eval_data: Any
+    compute: ComputeModel
+    network: NetworkModel
+    delay_model: DelayModel
+    rng: np.random.Generator
+
+
+# ----------------------------------------------------------------------
+# Built-in backends.
+
+@register_backend("flat")
+def _flat_backend(ctx: BuildContext) -> ExecutionBackend:
+    from ..simulation.cluster import ClusterSimulator
+
+    cluster = ClusterSimulator(
+        num_workers=ctx.spec.num_workers,
+        partitions_per_worker=ctx.strategy.placement.partitions_per_worker,
+        compute=ctx.compute,
+        network=ctx.network,
+        delay_model=ctx.delay_model,
+        rng=ctx.rng,
+    )
+    return FlatBackend(cluster)
+
+
+@register_backend("actor")
+def _actor_backend(ctx: BuildContext) -> ExecutionBackend:
+    from ..runtime.actors import MasterActor, WorkerActor
+
+    eval_data = ctx.eval_data
+    master = MasterActor(
+        ctx.strategy,
+        ctx.model,
+        ctx.optimizer,
+        eval_features=eval_data.features if eval_data is not None else None,
+        eval_labels=eval_data.labels if eval_data is not None else None,
+    )
+    workers = [
+        WorkerActor(i, ctx.strategy, ctx.model, ctx.streams)
+        for i in range(ctx.spec.num_workers)
+    ]
+    return ActorBackend(
+        master,
+        workers,
+        compute=ctx.compute,
+        network=ctx.network,
+        delay_model=ctx.delay_model,
+        rng=ctx.rng,
+    )
+
+
+@register_backend("async-arrivals")
+def _async_backend(ctx: BuildContext) -> ExecutionBackend:
+    return AsyncArrivalBackend(
+        compute=ctx.compute,
+        network=ctx.network,
+        delay_model=ctx.delay_model,
+        rng=ctx.rng,
+    )
+
+
+# ----------------------------------------------------------------------
+# Spec → engine assembly.
+
+def _build_dataset(spec: ExperimentSpec):
+    from ..training.datasets import (
+        make_cifar_like,
+        make_classification,
+        make_regression,
+    )
+
+    params = {**_DEFAULT_DATASET, **dict(spec.dataset)}
+    kind = params.pop("kind")
+    params.pop("batch_size", None)
+    seed = params.pop("seed", spec.seed)
+    if kind == "classification":
+        return make_classification(
+            params.pop("samples"),
+            params.pop("features"),
+            num_classes=params.pop("num_classes"),
+            separation=params.pop("separation"),
+            seed=seed,
+            **params,
+        )
+    if kind == "cifar-like":
+        params.pop("features", None)
+        params.pop("num_classes", None)
+        params.pop("separation", None)
+        return make_cifar_like(
+            params.pop("samples"), side=params.pop("side", 8), seed=seed
+        )
+    if kind == "regression":
+        params.pop("num_classes", None)
+        params.pop("separation", None)
+        return make_regression(
+            params.pop("samples"), params.pop("features"), seed=seed,
+            **params,
+        )
+    raise ConfigurationError(f"unknown dataset kind {kind!r}")
+
+
+def _build_model(spec: ExperimentSpec, dataset):
+    from ..training.models import (
+        LinearRegressionModel,
+        LogisticRegressionModel,
+        MLPClassifier,
+        SoftmaxRegressionModel,
+    )
+
+    params = {**_DEFAULT_MODEL, **dict(spec.model)}
+    kind = params.pop("kind")
+    features = int(dataset.features.shape[1])
+    seed = params.pop("seed", 0)
+    if kind == "logistic":
+        return LogisticRegressionModel(features, seed=seed, **params)
+    if kind == "linear":
+        return LinearRegressionModel(features, seed=seed, **params)
+    if kind == "softmax":
+        num_classes = params.pop(
+            "num_classes", int(np.max(dataset.labels)) + 1
+        )
+        return SoftmaxRegressionModel(
+            features, num_classes, seed=seed, **params
+        )
+    if kind == "mlp":
+        num_classes = params.pop(
+            "num_classes", int(np.max(dataset.labels)) + 1
+        )
+        return MLPClassifier(
+            features,
+            hidden_units=params.pop("hidden_units", 32),
+            num_classes=num_classes,
+            seed=seed,
+            **params,
+        )
+    raise ConfigurationError(f"unknown model kind {kind!r}")
+
+
+def _build_delay(spec: ExperimentSpec) -> DelayModel:
+    params = {**_DEFAULT_DELAY, **dict(spec.delay)}
+    kind = params.pop("kind")
+    if kind == "none":
+        return NoDelay()
+    if kind == "exponential":
+        return ExponentialDelay(
+            params.pop("mean"), affected=params.pop("affected", None)
+        )
+    if kind == "shifted-exponential":
+        return ShiftedExponentialDelay(
+            params.pop("shift"), params.pop("mean")
+        )
+    if kind == "pareto":
+        return ParetoDelay(params.pop("alpha"), params.pop("scale"))
+    if kind == "persistent":
+        slow_mean = params.pop("mean")
+        background = params.pop("background_mean", 0.0)
+        return PersistentStragglers(
+            params.pop("stragglers"),
+            ExponentialDelay(slow_mean),
+            background_delay=(
+                ExponentialDelay(background) if background else None
+            ),
+        )
+    raise ConfigurationError(f"unknown delay kind {kind!r}")
+
+
+def _build_rule(spec: ExperimentSpec, ctx: BuildContext) -> UpdateRule:
+    params = dict(spec.rule_params)
+    if spec.rule == "sync":
+        return SyncUpdate(
+            ctx.optimizer,
+            recovery_scaled_lr=params.pop("recovery_scaled_lr", False),
+        )
+    if spec.rule == "local-update":
+        return LocalUpdate(
+            local_steps=params.pop("local_steps", 4),
+            local_lr=params.pop("local_lr", spec.learning_rate),
+        )
+    if spec.rule == "adaptive":
+        if spec.wait_for is None:
+            raise ConfigurationError("rule 'adaptive' needs wait_for")
+        return AdaptiveMigration(
+            ctx.optimizer,
+            wait_for=spec.wait_for,
+            partition_bytes=params.pop("partition_bytes", 1e7),
+            network=ctx.network,
+            review_every=params.pop("review_every", 25),
+            min_recovery_gain=params.pop("min_recovery_gain", 0.05),
+            rng=np.random.default_rng(params.pop("seed", spec.seed + 5)),
+        )
+    if spec.rule == "async":
+        return AsyncUpdate(ctx.optimizer)
+    raise ConfigurationError(f"unknown rule {spec.rule!r}")
+
+
+def build_engine(spec: ExperimentSpec) -> RoundEngine:
+    """Assemble the full engine a spec describes.
+
+    Seeding convention (matching the figure runners): the dataset uses
+    ``seed``, partitioning ``seed+1``, batch streams ``seed+2``, the
+    strategy's decoder ``seed+3``, the backend simulator ``seed+4``,
+    and an adaptive rule's advisor ``seed+5``.
+    """
+    from ..training.datasets import build_batch_streams, partition_dataset
+    from ..training.optimizers import SGD
+
+    dataset = _build_dataset(spec)
+    num_partitions = spec.num_workers
+    partitions = partition_dataset(dataset, num_partitions, seed=spec.seed + 1)
+    batch_size = dict(spec.dataset).get(
+        "batch_size", _DEFAULT_DATASET["batch_size"]
+    )
+    streams = build_batch_streams(partitions, batch_size, seed=spec.seed + 2)
+    model = _build_model(spec, dataset)
+    strategy = make_strategy(
+        spec.scheme,
+        num_workers=spec.num_workers,
+        partitions_per_worker=spec.partitions_per_worker,
+        wait_for=spec.wait_for,
+        seed=dict(spec.scheme_params).pop("seed", spec.seed + 3),
+        **{k: v for k, v in spec.scheme_params.items() if k != "seed"},
+    )
+    compute = (
+        ComputeModel(**spec.compute) if spec.compute else ComputeModel()
+    )
+    network = (
+        NetworkModel(**spec.network) if spec.network else NetworkModel()
+    )
+    delay_model = _build_delay(spec)
+    optimizer = SGD(spec.learning_rate)
+
+    ctx = BuildContext(
+        spec=spec,
+        model=model,
+        streams=list(streams),
+        strategy=strategy,
+        optimizer=optimizer,
+        eval_data=dataset,
+        compute=compute,
+        network=network,
+        delay_model=delay_model,
+        rng=np.random.default_rng(spec.seed + 4),
+    )
+
+    backend_name = "async-arrivals" if spec.rule == "async" else spec.backend
+    backend_factory = BACKEND_REGISTRY.get(backend_name)
+    if backend_factory is None:
+        known = ", ".join(sorted(BACKEND_REGISTRY))
+        raise ConfigurationError(
+            f"unknown backend {backend_name!r}; registered backends: {known}"
+        )
+    backend = backend_factory(ctx)
+    rule = _build_rule(spec, ctx)
+    return RoundEngine(
+        model=model,
+        streams=ctx.streams,
+        strategy=strategy,
+        backend=backend,
+        rule=rule,
+        eval_data=dataset,
+    )
+
+
+def run_spec(spec: "ExperimentSpec | str | pathlib.Path"):
+    """Build and run a spec; returns the run's summary.
+
+    Accepts a spec object or a path to a ``.json``/``.toml`` file.
+    Synchronous rules return a
+    :class:`~repro.types.TrainingSummary`; the async rule returns an
+    :class:`~repro.types.AsyncSummary`.
+    """
+    if not isinstance(spec, ExperimentSpec):
+        spec = ExperimentSpec.load(spec)
+    engine = build_engine(spec)
+    if spec.rule == "async":
+        return engine.run_updates(spec.max_steps)
+    return engine.run(
+        spec.max_steps,
+        loss_threshold=spec.loss_threshold,
+        smoothing_window=spec.smoothing_window,
+    )

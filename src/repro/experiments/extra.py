@@ -26,6 +26,7 @@ from ..analysis.reporting import Table
 from ..core.cyclic import CyclicRepetition
 from ..core.decoders import decoder_for
 from ..core.fractional import FractionalRepetition
+from ..engine.spec import make_strategy
 from ..simulation.cluster import ClusterSimulator, ComputeModel
 from ..simulation.network import NetworkModel
 from ..simulation.policies import AdaptiveWaitK, DeadlinePolicy, WaitForK, linear_rampup
@@ -34,7 +35,6 @@ from ..straggler.models import ExponentialDelay, PersistentStragglers, ShiftedEx
 from ..training.datasets import build_batch_streams, make_cifar_like, partition_dataset
 from ..training.models import MLPClassifier
 from ..training.optimizers import SGD
-from ..training.strategies import ISGCStrategy
 from ..training.trainer import DistributedTrainer
 
 
@@ -160,9 +160,9 @@ def adaptive_policy_study(
     ]
     points: List[PolicyPoint] = []
     for name, policy in policies:
-        strategy = ISGCStrategy(
-            CyclicRepetition(n, c), wait_for=4,
-            rng=np.random.default_rng(seed), policy=policy,
+        strategy = make_strategy(
+            "is-gc-cr", num_workers=n, partitions_per_worker=c,
+            wait_for=4, seed=seed, policy=policy,
         )
         cluster = ClusterSimulator(
             num_workers=n,

@@ -118,46 +118,27 @@ def run_condition(
             CyclicRepetition(n, c), rng=np.random.default_rng(cfg.seed)
         )
 
-    points: List[SchemePoint] = []
-    points.append(
-        SchemePoint(
-            "sync-sgd", n, 1,
-            _avg_step_time(
-                trace, cfg, 1, WaitForK(n),
-                tracer=tracer, scheme_label="sync-sgd",
-            ),
-        )
-    )
-    points.append(
-        SchemePoint(
-            "gc", n - c + 1, c,
-            _avg_step_time(
-                trace, cfg, c, WaitForK(n - c + 1),
-                tracer=tracer, scheme_label="gc",
-            ),
-        )
-    )
+    # Declarative cells: (label, wait count, partitions/worker, decoder).
+    # Each cell replays the shared trace under its own wait policy; only
+    # the IS-GC cells carry a decoder (the others either wait for full
+    # recovery or don't code at all).
+    cells: List[Tuple[str, int, int, Decoder | None]] = [
+        ("sync-sgd", n, 1, None),
+        ("gc", n - c + 1, c, None),
+    ]
     for w in cfg.wait_values:
-        points.append(
-            SchemePoint(
-                f"is-sgd(w={w})", w, 1,
-                _avg_step_time(
-                    trace, cfg, 1, WaitForK(w),
-                    tracer=tracer, scheme_label=f"is-sgd(w={w})",
-                ),
-            )
+        cells.append((f"is-sgd(w={w})", w, 1, None))
+        cells.append((f"is-gc(w={w})", w, c, cr_decoder()))
+    return [
+        SchemePoint(
+            label, wait_for, ppw,
+            _avg_step_time(
+                trace, cfg, ppw, WaitForK(wait_for),
+                tracer=tracer, scheme_label=label, decoder=decoder,
+            ),
         )
-        points.append(
-            SchemePoint(
-                f"is-gc(w={w})", w, c,
-                _avg_step_time(
-                    trace, cfg, c, WaitForK(w),
-                    tracer=tracer, scheme_label=f"is-gc(w={w})",
-                    decoder=cr_decoder(),
-                ),
-            )
-        )
-    return points
+        for label, wait_for, ppw, decoder in cells
+    ]
 
 
 def run_fig11(

@@ -29,19 +29,14 @@ from ..analysis.reporting import Table
 from ..analysis.stats import summarize_trials
 from ..core.cyclic import CyclicRepetition
 from ..core.fractional import FractionalRepetition
+from ..engine.spec import make_strategy
 from ..simulation.cluster import ClusterSimulator
 from ..straggler.models import ExponentialDelay
 from ..straggler.traces import DelayTrace, TraceReplayModel
 from ..training.datasets import build_batch_streams, make_cifar_like, partition_dataset
 from ..training.models import MLPClassifier
 from ..training.optimizers import SGD
-from ..training.strategies import (
-    ClassicGCStrategy,
-    ISGCStrategy,
-    ISSGDStrategy,
-    SyncSGDStrategy,
-    TrainingStrategy,
-)
+from ..training.strategies import TrainingStrategy
 from ..training.trainer import DistributedTrainer
 from ..types import TrainingSummary
 from .config import Fig12Config
@@ -94,20 +89,29 @@ def _run_one(
 
 
 def _strategies_for(cfg: Fig12Config, w: int, trial_seed: int) -> List[TrainingStrategy]:
+    """The schemes competing at wait count ``w``, via the scheme registry.
+
+    Per-trial decoder seeds (``trial_seed + 1`` for FR, ``+ 2`` for CR,
+    ``trial_seed`` for classic GC) are unchanged from the hand-wired
+    implementation, so default-config results are bit-identical.
+    """
     n, c = cfg.num_workers, cfg.partitions_per_worker
-    rng = np.random.default_rng(trial_seed)
-    strategies: List[TrainingStrategy] = [
-        ISSGDStrategy(n, w),
-        ISGCStrategy(FractionalRepetition(n, c), wait_for=w,
-                     rng=np.random.default_rng(trial_seed + 1)),
-        ISGCStrategy(CyclicRepetition(n, c), wait_for=w,
-                     rng=np.random.default_rng(trial_seed + 2)),
+    cells = [
+        ("is-sgd", None),
+        ("is-gc-fr", trial_seed + 1),
+        ("is-gc-cr", trial_seed + 2),
     ]
     if w == n:
-        strategies.append(SyncSGDStrategy(n))
+        cells.append(("sync-sgd", None))
     if w == n - c + 1:
-        strategies.append(ClassicGCStrategy(CyclicRepetition(n, c), rng=rng))
-    return strategies
+        cells.append(("gc", trial_seed))
+    return [
+        make_strategy(
+            scheme, num_workers=n, partitions_per_worker=c,
+            wait_for=w, seed=seed,
+        )
+        for scheme, seed in cells
+    ]
 
 
 def run_fig12(cfg: Fig12Config | None = None) -> Dict[int, List[TrainingPoint]]:

@@ -16,20 +16,20 @@ more recovery per step means faster loss descent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from ..analysis.recovery import monte_carlo_recovery
 from ..analysis.reporting import Table
 from ..core.hybrid import HybridRepetition
+from ..engine.spec import make_strategy
 from ..simulation.cluster import ClusterSimulator
 from ..straggler.models import ExponentialDelay
 from ..straggler.traces import DelayTrace, TraceReplayModel
 from ..training.datasets import build_batch_streams, make_cifar_like, partition_dataset
 from ..training.models import MLPClassifier
 from ..training.optimizers import SGD
-from ..training.strategies import ISGCStrategy
 from ..training.trainer import DistributedTrainer
 from .config import Fig13Config
 
@@ -70,9 +70,14 @@ def run_fig13(cfg: Fig13Config | None = None) -> List[HRPoint]:
         stats = monte_carlo_recovery(
             placement, cfg.wait_for, trials=cfg.recovery_trials, seed=cfg.seed
         )
-        strategy = ISGCStrategy(
-            placement, wait_for=cfg.wait_for,
-            rng=np.random.default_rng(cfg.seed + c1),
+        strategy = make_strategy(
+            "is-gc-hr",
+            num_workers=n,
+            wait_for=cfg.wait_for,
+            seed=cfg.seed + c1,
+            c1=c1,
+            c2=cfg.total_c - c1,
+            num_groups=cfg.num_groups,
         )
         model = MLPClassifier(8 * 8 * 3, hidden_units=32, num_classes=10, seed=0)
         cluster = ClusterSimulator(

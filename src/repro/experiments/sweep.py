@@ -96,6 +96,58 @@ class Sweep:
             table.add_row(*(point.params[k] for k in names), cell)
         return table
 
+    # ------------------------------------------------------------------
+    @classmethod
+    def over_spec(
+        cls,
+        name: str,
+        base: Any,
+        axes: Mapping[str, Sequence[Any]],
+    ) -> "Sweep":
+        """A sweep over :class:`~repro.engine.spec.ExperimentSpec` fields.
+
+        ``axes`` maps spec field names to candidate values; each grid
+        point is ``dataclasses.replace(base, **params)`` run through
+        :func:`~repro.engine.spec.run_spec`.  This replaces the
+        hand-wired build-a-trainer-per-point pattern: vary any spec
+        field (``wait_for``, ``scheme``, ``delay``...) declaratively.
+
+        Call :meth:`run_specs` on the returned sweep to execute it.
+        """
+        import dataclasses
+
+        from ..engine.spec import ExperimentSpec
+
+        if not isinstance(base, ExperimentSpec):
+            raise ConfigurationError(
+                f"over_spec needs an ExperimentSpec base, got {type(base).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(ExperimentSpec)}
+        unknown = sorted(set(axes) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"axes are not spec fields: {', '.join(unknown)}"
+            )
+        sweep = cls(name=name, axes=axes)
+        sweep._spec_base = base
+        return sweep
+
+    def run_specs(self, strict: bool = False) -> List[SweepPoint]:
+        """Execute an :meth:`over_spec` sweep; values are run summaries."""
+        import dataclasses
+
+        from ..engine.spec import run_spec
+
+        base = getattr(self, "_spec_base", None)
+        if base is None:
+            raise ConfigurationError(
+                "run_specs needs a sweep built with Sweep.over_spec"
+            )
+        return self.run(
+            lambda **params: run_spec(dataclasses.replace(base, **params)),
+            strict=strict,
+        )
+
     def to_grid_table(
         self, row_axis: str, col_axis: str, value_label: str = ""
     ) -> Table:

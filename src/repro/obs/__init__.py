@@ -22,6 +22,7 @@ Typical use::
     aggregates = aggregate_traces(read_traces("run.jsonl"))
 """
 
+from .aggregate import StepStatistics, moving_average, steps_to_threshold
 from .registry import (
     Counter,
     Gauge,
@@ -36,6 +37,9 @@ from .jsonl import read_traces, write_traces
 from .summary import SchemeAggregate, aggregate_traces
 
 __all__ = [
+    "StepStatistics",
+    "moving_average",
+    "steps_to_threshold",
     "Counter",
     "Gauge",
     "Histogram",

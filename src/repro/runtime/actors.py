@@ -57,6 +57,11 @@ class WorkerActor:
     def partitions(self) -> tuple:
         return self._partitions
 
+    def update_strategy(self, strategy: TrainingStrategy) -> None:
+        """Adopt a new strategy (e.g. after a placement migration)."""
+        self._strategy = strategy
+        self._partitions = strategy.placement.partitions_of(self._id)
+
     def handle_broadcast(
         self, msg: ParameterBroadcast, now: float
     ) -> GradientUpload:
@@ -129,6 +134,22 @@ class MasterActor:
     def num_received(self) -> int:
         """Uploads accepted so far this step."""
         return len(self._pending)
+
+    def update_strategy(self, strategy: TrainingStrategy) -> None:
+        """Adopt a new strategy (e.g. after a placement migration)."""
+        self._strategy = strategy
+
+    def commit_record(self, record: StepRecord) -> None:
+        """Append an engine-produced record and advance the step counter.
+
+        The round engine owns decode/update when driving the actors via
+        :class:`~repro.engine.backends.ActorBackend`; this keeps
+        ``master.records`` and ``master.step`` meaning what they always
+        have.  :meth:`complete_step` remains for driving the actor
+        directly.
+        """
+        self.records.append(record)
+        self._step += 1
 
     def complete_step(
         self, accepted_workers: Sequence[int], now: float, wait_time: float

@@ -12,6 +12,12 @@ training trajectories to the flat :class:`~repro.training.DistributedTrainer`
 (verified in ``tests/test_runtime.py``), but exercises the message
 path a real deployment would take, logs every message, and is the
 natural seam for swapping in an actual transport.
+
+The scheduling half of the loop lives in
+:class:`~repro.engine.backends.ActorBackend`; this class is a
+compatibility shim that builds the actors, wires them into a
+:class:`~repro.engine.core.RoundEngine`, and keeps the historical
+``master.records`` / ``message_log`` surfaces.
 """
 
 from __future__ import annotations
@@ -20,19 +26,21 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..engine.backends import ActorBackend
+from ..engine.core import RoundEngine
+from ..engine.rules import SyncUpdate
 from ..exceptions import SimulationError
 from ..simulation.cluster import ComputeModel
-from ..simulation.events import Event, EventQueue
 from ..simulation.network import NetworkModel
 from ..simulation.policies import WaitPolicy
-from ..straggler.models import DelayModel, NoDelay
+from ..straggler.models import DelayModel
 from ..training.datasets import BatchStream, Dataset
 from ..training.models import Model
 from ..training.optimizers import SGD
 from ..training.strategies import TrainingStrategy
-from ..types import TrainingSummary
+from ..types import StepRecord, TrainingSummary
 from .actors import MasterActor, WorkerActor
-from .messages import GradientUpload, Message, ParameterBroadcast
+from .messages import Message
 
 
 class SimulatedRuntime:
@@ -58,11 +66,6 @@ class SimulatedRuntime:
                 f"got {len(streams)}"
             )
         self._strategy = strategy
-        self._compute = compute if compute is not None else ComputeModel()
-        self._network = network if network is not None else NetworkModel()
-        self._delays = delay_model if delay_model is not None else NoDelay()
-        self._rng = rng if rng is not None else np.random.default_rng()
-        self._clock = 0.0
 
         self.master = MasterActor(
             strategy,
@@ -78,56 +81,41 @@ class SimulatedRuntime:
         self.workers = [
             WorkerActor(i, strategy, model, streams) for i in range(n)
         ]
-        self._keep_log = keep_message_log
-        self.message_log: List[Message] = []
+        self._backend = ActorBackend(
+            self.master,
+            self.workers,
+            compute=compute,
+            network=network,
+            delay_model=delay_model,
+            rng=rng,
+            keep_message_log=keep_message_log,
+        )
+        self._engine = RoundEngine(
+            model=model,
+            streams=streams,
+            strategy=strategy,
+            backend=self._backend,
+            rule=SyncUpdate(optimizer),
+            eval_data=eval_data,
+        )
+
+    @property
+    def engine(self) -> RoundEngine:
+        """The underlying round engine."""
+        return self._engine
 
     @property
     def clock(self) -> float:
-        return self._clock
+        return self._backend.clock
+
+    @property
+    def message_log(self) -> List[Message]:
+        return self._backend.message_log
 
     # ------------------------------------------------------------------
-    def run_step(self, policy: WaitPolicy) -> None:
+    def run_step(self, policy: WaitPolicy) -> StepRecord:
         """Execute one full broadcast/collect/decode/update round."""
-        start = self._clock
-        broadcast = self.master.broadcast(start)
-        if self._keep_log:
-            self.message_log.append(broadcast)
-
-        broadcast_t = self._network.broadcast_time(
-            len(broadcast.parameters), len(self.workers)
-        )
-        queue = EventQueue()
-        grad_elems = broadcast.parameters.size
-        for worker in self.workers:
-            upload = worker.handle_broadcast(broadcast, start + broadcast_t)
-            compute_t = self._compute.step_time(len(worker.partitions))
-            straggle_t = self._delays.sample(
-                worker.worker_id, broadcast.step, self._rng
-            )
-            upload_t = self._network.transfer_time(grad_elems)
-            arrival = start + broadcast_t + compute_t + straggle_t + upload_t
-            queue.push(
-                Event(arrival, "upload", worker=worker.worker_id, payload=upload)
-            )
-
-        arrivals = {}
-        uploads: dict[int, GradientUpload] = {}
-        for event in queue.drain():
-            arrivals[event.worker] = event.time - start
-            uploads[event.worker] = event.payload
-
-        outcome = policy.wait(arrivals, broadcast.step)
-        for w in sorted(outcome.accepted_workers):
-            msg = uploads[w]
-            self.master.receive(msg)
-            if self._keep_log:
-                self.message_log.append(msg)
-
-        end = start + outcome.proceed_time
-        self.master.complete_step(
-            sorted(outcome.accepted_workers), end, outcome.proceed_time
-        )
-        self._clock = end
+        return self._engine.run_step(self.master.step, policy)
 
     # ------------------------------------------------------------------
     def run(
@@ -136,7 +124,12 @@ class SimulatedRuntime:
         loss_threshold: Optional[float] = None,
         smoothing_window: int = 5,
     ) -> TrainingSummary:
-        """Train like :class:`~repro.training.DistributedTrainer`."""
+        """Train like :class:`~repro.training.DistributedTrainer`.
+
+        Records accumulate on ``master.records`` across ``run`` calls
+        (the historical behaviour), so the loop lives here rather than
+        in :meth:`RoundEngine.run`.
+        """
         if max_steps <= 0:
             raise SimulationError(f"max_steps must be positive, got {max_steps}")
         from ..training.convergence import LossTracker

@@ -1,66 +1,13 @@
-"""Aggregation helpers for simulated-training metrics."""
+"""Compatibility re-exports: these helpers live in :mod:`repro.obs` now.
+
+``StepStatistics``, ``steps_to_threshold`` and ``moving_average``
+predate the observability layer; they are implemented in
+:mod:`repro.obs.aggregate` on top of :class:`~repro.obs.MetricsRegistry`
+and re-exported here so historical imports keep working.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from ..obs.aggregate import StepStatistics, moving_average, steps_to_threshold
 
-import numpy as np
-
-from ..types import StepRecord
-
-
-@dataclass(frozen=True)
-class StepStatistics:
-    """Summary statistics over a sequence of step records."""
-
-    count: int
-    mean_step_time: float
-    p50_step_time: float
-    p95_step_time: float
-    mean_recovery_fraction: float
-    mean_available: float
-    total_time: float
-
-    @classmethod
-    def from_records(cls, records: Sequence[StepRecord]) -> "StepStatistics":
-        if not records:
-            raise ValueError("no step records to summarise")
-        # Step times are the per-step increments of the simulated clock.
-        times = np.array([r.wait_time for r in records])
-        return cls(
-            count=len(records),
-            mean_step_time=float(times.mean()),
-            p50_step_time=float(np.percentile(times, 50)),
-            p95_step_time=float(np.percentile(times, 95)),
-            mean_recovery_fraction=float(
-                np.mean([r.recovery_fraction for r in records])
-            ),
-            mean_available=float(np.mean([r.num_available for r in records])),
-            total_time=float(times.sum()),
-        )
-
-
-def steps_to_threshold(
-    losses: Iterable[float], threshold: float
-) -> int | None:
-    """First 1-based step index whose loss is ≤ ``threshold``; ``None``
-    when the run never got there."""
-    for idx, loss in enumerate(losses, start=1):
-        if loss <= threshold:
-            return idx
-    return None
-
-
-def moving_average(values: Sequence[float], window: int) -> np.ndarray:
-    """Simple trailing moving average (shorter windows at the start)."""
-    if window <= 0:
-        raise ValueError(f"window must be positive, got {window}")
-    arr = np.asarray(values, dtype=float)
-    out = np.empty_like(arr)
-    csum = np.cumsum(arr)
-    for i in range(len(arr)):
-        lo = max(0, i - window + 1)
-        total = csum[i] - (csum[lo - 1] if lo > 0 else 0.0)
-        out[i] = total / (i - lo + 1)
-    return out
+__all__ = ["StepStatistics", "moving_average", "steps_to_threshold"]

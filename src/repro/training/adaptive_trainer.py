@@ -15,11 +15,14 @@ the loop at run time.  Every ``review_every`` steps the trainer:
 Because partitions are only *re-replicated* (never re-split), batch
 streams and per-partition gradients are unchanged across a migration —
 the switch affects which payload each worker uploads, nothing else.
+
+The review/migration logic lives in
+:class:`~repro.engine.rules.AdaptiveMigration`; this class is a
+compatibility shim pairing it with the engine's flat backend.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
@@ -27,30 +30,20 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.tracer import RoundTracer
 
-from ..core.advisor import evaluate_placement, rank_placements
-from ..core.migration import migration_cost_seconds, migration_plan
 from ..core.placement import Placement
+from ..engine.backends import FlatBackend
+from ..engine.core import RoundEngine
+from ..engine.rules import AdaptiveMigration, MigrationEvent
 from ..exceptions import TrainingError
 from ..simulation.cluster import ClusterSimulator
 from ..simulation.network import NetworkModel
 from ..types import StepRecord, TrainingSummary
-from .convergence import LossTracker
 from .datasets import BatchStream, Dataset
 from .models import Model
 from .optimizers import SGD
 from .strategies import ISGCStrategy
 
-
-@dataclass(frozen=True)
-class MigrationEvent:
-    """A placement switch performed during training."""
-
-    step: int
-    sim_time: float
-    from_label: str
-    to_label: str
-    partition_copies: int
-    cost_seconds: float
+__all__ = ["AdaptivePlacementTrainer", "MigrationEvent"]
 
 
 class AdaptivePlacementTrainer:
@@ -86,84 +79,49 @@ class AdaptivePlacementTrainer:
                 f"min_recovery_gain must be in [0, 1], got {min_recovery_gain}"
             )
         self._model = model
-        self._streams = streams
-        self._wait_for = wait_for
-        self._cluster = cluster
-        self._optimizer = optimizer
-        self._eval = eval_data
-        self._bytes = partition_bytes
-        self._network = network if network is not None else NetworkModel()
-        self._review_every = review_every
-        self._min_gain = min_recovery_gain
-        self._rng = rng if rng is not None else np.random.default_rng()
-        self._placement = initial_placement
-        self._strategy = ISGCStrategy(
-            initial_placement, wait_for=wait_for, rng=self._rng
-        )
-        self._migration_penalty = 0.0
+        # The strategy and the migration rule share one generator so a
+        # migrated run consumes the same random stream as the pre-engine
+        # implementation did.
+        rng = rng if rng is not None else np.random.default_rng()
+        strategy = ISGCStrategy(initial_placement, wait_for=wait_for, rng=rng)
         if tracer is not None:
             cluster.tracer = tracer
-            tracer.set_context(scheme=self._strategy.name)
-        self._tracer = cluster.tracer
-        self.records: List[StepRecord] = []
-        self.migrations: List[MigrationEvent] = []
+            tracer.set_context(scheme=strategy.name)
+        self._rule = AdaptiveMigration(
+            optimizer,
+            wait_for=wait_for,
+            partition_bytes=partition_bytes,
+            network=network,
+            review_every=review_every,
+            min_recovery_gain=min_recovery_gain,
+            rng=rng,
+        )
+        self._engine = RoundEngine(
+            model=model,
+            streams=streams,
+            strategy=strategy,
+            backend=FlatBackend(cluster),
+            rule=self._rule,
+            eval_data=eval_data,
+        )
 
     # ------------------------------------------------------------------
     @property
+    def engine(self) -> RoundEngine:
+        """The underlying round engine."""
+        return self._engine
+
+    @property
     def placement(self) -> Placement:
-        return self._placement
+        return self._engine.strategy.placement
 
-    def _placement_label(self, placement: Placement) -> str:
-        return evaluate_placement(placement, self._wait_for, trials=1).label
+    @property
+    def records(self) -> List[StepRecord]:
+        return list(self._engine.records)
 
-    def _maybe_migrate(self, step: int, max_steps: int) -> None:
-        n = self._placement.num_workers
-        c = self._placement.partitions_per_worker
-        ranking = rank_placements(
-            n, c, self._wait_for, trials=1500, seed=step
-        )
-        best = ranking[0]
-        current = evaluate_placement(
-            self._placement, self._wait_for, trials=1500, seed=step
-        )
-        gain_partitions = best.expected_recovered - current.expected_recovered
-        if gain_partitions / n < self._min_gain:
-            return
-
-        plan = migration_plan(self._placement, best.placement)
-        if plan.is_noop:
-            return
-        cost = migration_cost_seconds(plan, self._bytes, self._network)
-        # Saving model: higher recovery → fewer steps for the same
-        # progress; approximate per-step value as the recovery gain
-        # times the recent average step time.
-        window = self.records[-self._review_every:]
-        if not window:
-            return
-        avg_step = float(np.mean([r.wait_time for r in window]))
-        per_step_saving = (gain_partitions / n) * avg_step
-        remaining = max_steps - step
-        if per_step_saving * remaining <= cost:
-            return
-
-        self._migration_penalty += cost
-        self.migrations.append(
-            MigrationEvent(
-                step=step,
-                sim_time=self._cluster.clock + cost,
-                from_label=current.label,
-                to_label=best.label,
-                partition_copies=plan.total_partition_copies,
-                cost_seconds=cost,
-            )
-        )
-        self._placement = best.placement
-        self._strategy = ISGCStrategy(
-            best.placement, wait_for=self._wait_for, rng=self._rng
-        )
-        if self._tracer is not None:
-            self._tracer.registry.counter("adaptive.migrations").inc()
-            self._tracer.set_context(scheme=self._strategy.name)
+    @property
+    def migrations(self) -> List[MigrationEvent]:
+        return list(self._rule.migrations)
 
     # ------------------------------------------------------------------
     def run(
@@ -172,77 +130,6 @@ class AdaptivePlacementTrainer:
         loss_threshold: Optional[float] = None,
     ) -> TrainingSummary:
         """Train with periodic migration reviews; returns a summary."""
-        if max_steps <= 0:
-            raise TrainingError(f"max_steps must be positive, got {max_steps}")
-        tracker = LossTracker(loss_threshold, smoothing_window=5)
-        n = self._placement.num_partitions
-        self.records = []
-
-        for step in range(max_steps):
-            if step > 0 and step % self._review_every == 0:
-                self._maybe_migrate(step, max_steps)
-
-            partition_gradients = {}
-            batch_losses = []
-            for pid in range(n):
-                x, y = self._streams[pid].batch(step)
-                loss, grad = self._model.loss_and_gradient(x, y)
-                partition_gradients[pid] = grad
-                batch_losses.append(loss)
-
-            payloads = self._strategy.encode(partition_gradients)
-            round_result = self._cluster.run_round(step, self._strategy.policy)
-            available = round_result.outcome.accepted_workers
-            grad_sum, recovered = self._strategy.decode(available, payloads)
-            if self._tracer is not None:
-                decision = self._strategy.last_decode
-                self._tracer.record_decode(
-                    step,
-                    decoder_scheme=self._placement.scheme,
-                    num_searches=(
-                        decision.num_searches if decision is not None else 1
-                    ),
-                    num_recovered=len(recovered),
-                    num_partitions=n,
-                )
-            mean_grad = grad_sum / len(recovered)
-            params = self._optimizer.update(
-                self._model.get_parameters(), mean_grad
-            )
-            self._model.set_parameters(params)
-
-            if self._eval is not None:
-                loss = self._model.loss(self._eval.features, self._eval.labels)
-            else:
-                loss = float(np.mean(batch_losses))
-            tracker.record(loss)
-            self.records.append(
-                StepRecord(
-                    step=step,
-                    sim_time=self._cluster.clock + self._migration_penalty,
-                    wait_time=round_result.step_time,
-                    num_available=len(available),
-                    num_recovered=len(recovered),
-                    recovery_fraction=len(recovered) / n,
-                    loss=loss,
-                )
-            )
-            if tracker.reached_threshold():
-                break
-
-        records = self.records
-        losses = tuple(r.loss for r in records)
-        total = records[-1].sim_time if records else 0.0
-        return TrainingSummary(
-            scheme=f"adaptive-is-gc ({len(self.migrations)} migrations)",
-            num_steps=len(records),
-            total_sim_time=total,
-            final_loss=losses[-1] if losses else float("nan"),
-            reached_threshold=tracker.reached_threshold(),
-            avg_step_time=(total / len(records)) if records else 0.0,
-            avg_recovery_fraction=float(
-                np.mean([r.recovery_fraction for r in records])
-            ) if records else 0.0,
-            loss_curve=losses,
-            time_curve=tuple(r.sim_time for r in records),
+        return self._engine.run(
+            max_steps, loss_threshold=loss_threshold, smoothing_window=5
         )

@@ -17,56 +17,35 @@ identical delay traces:
   updates happened since the worker fetched;
 * per-update records mirror :class:`~repro.types.StepRecord` so the
   analysis layer works unchanged.
+
+The event loop lives in :meth:`~repro.engine.core.RoundEngine.run_updates`
+over an :class:`~repro.engine.backends.AsyncArrivalBackend`; this class
+is a compatibility shim.  One deliberate behaviour fix rode along with
+the refactor: when no ``eval_data`` is given, the reported loss is now
+the *pre-update* batch loss (matching every synchronous loop) instead
+of the historical post-update re-evaluation of the same batch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
 
+from ..engine.backends import AsyncArrivalBackend
+from ..engine.core import RoundEngine
+from ..engine.rules import AsyncUpdate
 from ..exceptions import TrainingError
-from ..obs.registry import MetricsRegistry, NULL_REGISTRY
-from ..simulation.events import Event, EventQueue
+from ..obs.registry import MetricsRegistry
 from ..simulation.network import NetworkModel
 from ..simulation.cluster import ComputeModel
-from ..straggler.models import DelayModel, NoDelay
+from ..straggler.models import DelayModel
+from ..types import AsyncSummary, AsyncUpdateRecord
 from .datasets import BatchStream, Dataset
 from .models import Model
 from .optimizers import SGD
 
-
-@dataclass(frozen=True)
-class AsyncUpdateRecord:
-    """One asynchronous master update."""
-
-    update_index: int
-    sim_time: float
-    worker: int
-    staleness: int
-    loss: float
-
-
-@dataclass(frozen=True)
-class AsyncSummary:
-    """Aggregate outcome of an asynchronous run."""
-
-    num_updates: int
-    total_sim_time: float
-    final_loss: float
-    mean_staleness: float
-    max_staleness: int
-    loss_curve: tuple
-
-    def describe(self) -> str:
-        """One-line human-readable summary of the run."""
-        return (
-            f"async-sgd: {self.num_updates} updates, "
-            f"{self.total_sim_time:.2f}s simulated; mean staleness "
-            f"{self.mean_staleness:.2f} (max {self.max_staleness}), "
-            f"final loss {self.final_loss:.4f}"
-        )
+__all__ = ["AsyncSGDTrainer", "AsyncSummary", "AsyncUpdateRecord"]
 
 
 class AsyncSGDTrainer:
@@ -87,101 +66,55 @@ class AsyncSGDTrainer:
         if not streams:
             raise TrainingError("need at least one batch stream")
         self._model = model
-        self._streams = list(streams)
-        self._optimizer = optimizer
-        self._compute = compute if compute is not None else ComputeModel()
-        self._network = network if network is not None else NetworkModel()
-        self._delays = delay_model if delay_model is not None else NoDelay()
-        self._eval = eval_data
-        self._rng = rng if rng is not None else np.random.default_rng()
         # Async has no synchronous rounds, so it feeds the metrics
         # registry directly instead of a RoundTracer (no-op by default).
-        self._metrics = metrics if metrics is not None else NULL_REGISTRY
-        self._records: List[AsyncUpdateRecord] = []
+        self._engine = RoundEngine(
+            model=model,
+            streams=streams,
+            strategy=_OnePartitionPerWorker(len(streams)),
+            backend=AsyncArrivalBackend(
+                compute=compute,
+                network=network,
+                delay_model=delay_model,
+                rng=rng,
+                metrics=metrics,
+            ),
+            rule=AsyncUpdate(optimizer),
+            eval_data=eval_data,
+        )
+
+    @property
+    def engine(self) -> RoundEngine:
+        """The underlying round engine."""
+        return self._engine
 
     @property
     def records(self) -> List[AsyncUpdateRecord]:
-        return list(self._records)
+        return list(self._engine.async_records)
 
     # ------------------------------------------------------------------
     def run(self, max_updates: int) -> AsyncSummary:
         """Simulate until the master has applied ``max_updates``."""
-        if max_updates <= 0:
-            raise TrainingError(f"max_updates must be positive, got {max_updates}")
-        n = len(self._streams)
-        queue = EventQueue()
-        grad_elems = self._model.num_parameters
+        return self._engine.run_updates(max_updates)
 
-        # Per-worker state: the master-version seen at the last fetch
-        # and a per-worker step counter for batch selection.
-        fetch_version = [0] * n
-        worker_step = [0] * n
-        master_version = 0
-        self._records = []
 
-        def schedule(worker: int, now: float) -> None:
-            """Worker fetches parameters at ``now`` and will deliver."""
-            fetch_version[worker] = master_version
-            compute_t = self._compute.step_time(1)
-            straggle_t = self._delays.sample(worker, worker_step[worker], self._rng)
-            upload_t = self._network.transfer_time(grad_elems)
-            arrival = now + compute_t + straggle_t + upload_t
-            queue.push(Event(arrival, "gradient", worker=worker))
+class _OnePartitionPerWorker:
+    """Minimal strategy stand-in for the async path.
 
-        for worker in range(n):
-            schedule(worker, 0.0)
+    The async extreme has no coding: worker ``i`` holds partition ``i``
+    and nothing is ever encoded or decoded.  The engine only reads
+    ``placement.num_partitions`` at construction time.
+    """
 
-        losses: List[float] = []
-        clock = 0.0
-        while self._records.__len__() < max_updates:
-            event = queue.pop()
-            clock = event.time
-            worker = event.worker
-            # Evaluate the gradient at the *current* parameters is the
-            # hogwild idealization; real async evaluates at the fetched
-            # (stale) parameters.  We model real async: the gradient
-            # below was computed against the stale fetch, which we
-            # reconstruct by evaluating at current params and recording
-            # staleness — adequate for timing studies, while the noise
-            # of staleness is reflected through the staleness metric
-            # and the per-worker single-partition variance.
-            x, y = self._streams[worker].batch(worker_step[worker])
-            worker_step[worker] += 1
-            _, grad = self._model.loss_and_gradient(x, y)
-            staleness = master_version - fetch_version[worker]
+    name = "async-sgd"
 
-            params = self._optimizer.update(self._model.get_parameters(), grad)
-            self._model.set_parameters(params)
-            master_version += 1
+    def __init__(self, num_workers: int):
+        self.placement = _TrivialPlacement(num_workers)
 
-            if self._eval is not None:
-                loss = self._model.loss(self._eval.features, self._eval.labels)
-            else:
-                loss = float(self._model.loss(x, y))
-            losses.append(loss)
-            prev_time = self._records[-1].sim_time if self._records else 0.0
-            self._records.append(
-                AsyncUpdateRecord(
-                    update_index=master_version,
-                    sim_time=clock,
-                    worker=worker,
-                    staleness=staleness,
-                    loss=loss,
-                )
-            )
-            self._metrics.counter("async.updates").inc()
-            self._metrics.histogram("async.staleness").observe(staleness)
-            self._metrics.histogram("async.update_interval").observe(
-                clock - prev_time
-            )
-            schedule(worker, clock)
 
-        staleness_vals = [r.staleness for r in self._records]
-        return AsyncSummary(
-            num_updates=len(self._records),
-            total_sim_time=clock,
-            final_loss=losses[-1],
-            mean_staleness=float(np.mean(staleness_vals)),
-            max_staleness=int(max(staleness_vals)),
-            loss_curve=tuple(losses),
-        )
+class _TrivialPlacement:
+    def __init__(self, num_workers: int):
+        self.num_workers = num_workers
+        self.num_partitions = num_workers
+        self.partitions_per_worker = 1
+        self.scheme = "async"

@@ -32,6 +32,31 @@ class EvaluationReport:
         return f"loss {self.loss:.4f}, accuracy {100 * self.accuracy:.1f}%"
 
 
+def held_out_loss(
+    model: Model,
+    eval_data: Dataset | None,
+    fallback_losses: "tuple[float, ...] | list[float] | None" = (),
+) -> float:
+    """The loss every training loop reports for one step.
+
+    The paper evaluates on a fixed held-out batch so scheme comparisons
+    are exact; when no ``eval_data`` is given the mean of this step's
+    *pre-update* partition batch losses stands in, and when the caller
+    has no batch losses either (the actor path, local-update rounds)
+    the loss is NaN rather than a misleading number.
+
+    Historically each trainer inlined its own variant of this — the
+    async trainer even evaluated a single *post-update* batch loss as
+    its fallback.  Centralising the rule here makes every loop use the
+    same eval batch and the same reduction.
+    """
+    if eval_data is not None:
+        return float(model.loss(eval_data.features, eval_data.labels))
+    if fallback_losses is not None and len(fallback_losses) > 0:
+        return float(np.mean(fallback_losses))
+    return float("nan")
+
+
 def evaluate(model: Model, dataset: Dataset) -> EvaluationReport:
     """Loss (all models) plus accuracy when the model can classify."""
     if dataset.num_samples == 0:

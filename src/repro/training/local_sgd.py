@@ -12,18 +12,24 @@ role of ``g_i``).
 
 Cost/benefit: τ× fewer communication rounds (and τ× fewer straggler
 waits) per epoch, against the client-drift of local updates.
+
+The delta computation lives in
+:class:`~repro.engine.rules.LocalUpdate`; this class is a compatibility
+shim pairing it with the engine's flat backend.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..engine.backends import FlatBackend
+from ..engine.core import RoundEngine
+from ..engine.rules import LocalUpdate
 from ..exceptions import TrainingError
 from ..simulation.cluster import ClusterSimulator
 from ..types import StepRecord, TrainingSummary
-from .convergence import LossTracker
 from .datasets import BatchStream, Dataset
 from .models import Model
 from .strategies import TrainingStrategy
@@ -54,37 +60,35 @@ class LocalUpdateTrainer:
         if local_lr <= 0:
             raise TrainingError(f"local_lr must be positive, got {local_lr}")
         self._model = model
-        self._streams = list(streams)
-        self._strategy = strategy
-        self._cluster = cluster
-        self._tau = local_steps
-        self._lr = local_lr
-        self._eval = eval_data
-        self.records: List[StepRecord] = []
+        self._rule = LocalUpdate(local_steps, local_lr)
+        self._engine = RoundEngine(
+            model=model,
+            streams=streams,
+            strategy=strategy,
+            backend=FlatBackend(cluster),
+            rule=self._rule,
+            eval_data=eval_data,
+        )
+
+    @property
+    def engine(self) -> RoundEngine:
+        """The underlying round engine."""
+        return self._engine
 
     @property
     def local_steps(self) -> int:
-        return self._tau
+        return self._rule.local_steps
+
+    @property
+    def records(self) -> List[StepRecord]:
+        return list(self._engine.records)
 
     # ------------------------------------------------------------------
     def _partition_delta(
         self, pid: int, round_index: int, start: np.ndarray
     ) -> np.ndarray:
-        """τ local SGD steps on partition ``pid``; returns −Δ.
-
-        The sign convention matches gradients: the master *subtracts*
-        the aggregated quantity scaled by its own step size of 1, so we
-        return ``start − final`` ("the direction to move along").
-        Batches are drawn at global steps ``round·τ .. round·τ+τ−1`` so
-        every replica of the partition sees the identical sequence.
-        """
-        params = start.copy()
-        for t in range(self._tau):
-            self._model.set_parameters(params)
-            x, y = self._streams[pid].batch(round_index * self._tau + t)
-            _, grad = self._model.loss_and_gradient(x, y)
-            params = params - self._lr * grad
-        return start - params
+        """τ local SGD steps on partition ``pid``; returns −Δ."""
+        return self._rule.partition_delta(self._engine, pid, round_index, start)
 
     def run(
         self,
@@ -93,62 +97,9 @@ class LocalUpdateTrainer:
     ) -> TrainingSummary:
         """Run ``max_rounds`` communication rounds of τ local steps."""
         if max_rounds <= 0:
-            raise TrainingError(f"max_rounds must be positive, got {max_rounds}")
-        tracker = LossTracker(loss_threshold, smoothing_window=3)
-        n = self._strategy.placement.num_partitions
-        self.records = []
-
-        for round_index in range(max_rounds):
-            start = self._model.get_parameters()
-            deltas: Dict[int, np.ndarray] = {
-                pid: self._partition_delta(pid, round_index, start)
-                for pid in range(n)
-            }
-            self._model.set_parameters(start)
-
-            payloads = self._strategy.encode(deltas)
-            round_result = self._cluster.run_round(
-                round_index, self._strategy.policy
+            raise TrainingError(
+                f"max_rounds must be positive, got {max_rounds}"
             )
-            available = round_result.outcome.accepted_workers
-            delta_sum, recovered = self._strategy.decode(available, payloads)
-            if not recovered:
-                raise TrainingError(f"round {round_index}: nothing recovered")
-            mean_delta = delta_sum / len(recovered)
-            self._model.set_parameters(start - mean_delta)
-
-            if self._eval is not None:
-                loss = self._model.loss(self._eval.features, self._eval.labels)
-            else:
-                loss = float("nan")
-            tracker.record(loss)
-            self.records.append(
-                StepRecord(
-                    step=round_index,
-                    sim_time=self._cluster.clock,
-                    wait_time=round_result.step_time,
-                    num_available=len(available),
-                    num_recovered=len(recovered),
-                    recovery_fraction=len(recovered) / n,
-                    loss=loss,
-                )
-            )
-            if tracker.reached_threshold():
-                break
-
-        records = self.records
-        losses = tuple(r.loss for r in records)
-        total = records[-1].sim_time if records else 0.0
-        return TrainingSummary(
-            scheme=f"local-sgd(τ={self._tau})+{self._strategy.name}",
-            num_steps=len(records),
-            total_sim_time=total,
-            final_loss=losses[-1] if losses else float("nan"),
-            reached_threshold=tracker.reached_threshold(),
-            avg_step_time=(total / len(records)) if records else 0.0,
-            avg_recovery_fraction=float(
-                np.mean([r.recovery_fraction for r in records])
-            ) if records else 0.0,
-            loss_curve=losses,
-            time_curve=tuple(r.sim_time for r in records),
+        return self._engine.run(
+            max_rounds, loss_threshold=loss_threshold, smoothing_window=3
         )

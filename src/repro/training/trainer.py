@@ -17,21 +17,26 @@ paper's loop (Sec. VIII-A):
 
 Everything is measured in simulated seconds; losses are evaluated on a
 fixed held-out evaluation batch so scheme comparisons are exact.
+
+The loop itself lives in :class:`~repro.engine.core.RoundEngine`; this
+class is a compatibility shim pairing the engine's flat backend with
+the sync update rule.  ``tests/golden`` pins its trajectories
+bit-for-bit against the pre-engine implementation.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
-import numpy as np
-
+from ..engine.backends import FlatBackend
+from ..engine.core import RoundEngine
+from ..engine.rules import SyncUpdate
 from ..exceptions import TrainingError
 from ..simulation.cluster import ClusterSimulator
 from ..types import StepRecord, TrainingSummary
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.tracer import RoundTracer
-from .convergence import LossTracker
 from .datasets import BatchStream, Dataset
 from .models import Model
 from .optimizers import SGD
@@ -63,29 +68,31 @@ class DistributedTrainer:
                 f"cluster has {cluster.num_workers} workers but placement "
                 f"expects {strategy.placement.num_workers}"
             )
-        self._model = model
-        self._streams = list(streams)
-        self._strategy = strategy
-        self._cluster = cluster
-        self._optimizer = optimizer
-        self._eval = eval_data
-        # Linear-scaling rule adapted to partial recovery: when fewer
-        # partitions are recovered the gradient estimate is noisier, so
-        # scale the step down by the recovered fraction (an extension;
-        # off by default to match the paper's constant-η setting).
-        self._recovery_scaled_lr = recovery_scaled_lr
         # Observability: the tracer rides on the cluster (which records
-        # the timing half of each round); the trainer adds the decode
+        # the timing half of each round); the engine adds the decode
         # half.  Passing one here attaches it to the cluster.
         if tracer is not None:
             cluster.tracer = tracer
             tracer.set_context(scheme=strategy.name)
-        self._tracer = cluster.tracer
-        self._records: List[StepRecord] = []
+        self._model = model
+        self._cluster = cluster
+        self._engine = RoundEngine(
+            model=model,
+            streams=streams,
+            strategy=strategy,
+            backend=FlatBackend(cluster),
+            rule=SyncUpdate(optimizer, recovery_scaled_lr=recovery_scaled_lr),
+            eval_data=eval_data,
+        )
+
+    @property
+    def engine(self) -> RoundEngine:
+        """The underlying round engine."""
+        return self._engine
 
     @property
     def records(self) -> List[StepRecord]:
-        return list(self._records)
+        return list(self._engine.records)
 
     @property
     def model(self) -> Model:
@@ -103,94 +110,8 @@ class DistributedTrainer:
         Returns a :class:`~repro.types.TrainingSummary`; per-step detail
         stays available on :attr:`records`.
         """
-        if max_steps <= 0:
-            raise TrainingError(f"max_steps must be positive, got {max_steps}")
-        tracker = LossTracker(loss_threshold, smoothing_window)
-        n = self._strategy.placement.num_partitions
-        self._records = []
-
-        for step in range(max_steps):
-            loss = self._run_step(step, n, tracker)
-            if tracker.reached_threshold():
-                break
-
-        records = self._records
-        losses = tuple(r.loss for r in records)
-        times = tuple(r.sim_time for r in records)
-        total_time = records[-1].sim_time if records else 0.0
-        return TrainingSummary(
-            scheme=self._strategy.name,
-            num_steps=len(records),
-            total_sim_time=total_time,
-            final_loss=losses[-1] if losses else float("nan"),
-            reached_threshold=tracker.reached_threshold(),
-            avg_step_time=(total_time / len(records)) if records else 0.0,
-            avg_recovery_fraction=float(
-                np.mean([r.recovery_fraction for r in records])
-            ) if records else 0.0,
-            loss_curve=losses,
-            time_curve=times,
+        return self._engine.run(
+            max_steps,
+            loss_threshold=loss_threshold,
+            smoothing_window=smoothing_window,
         )
-
-    # ------------------------------------------------------------------
-    def _run_step(self, step: int, n: int, tracker: LossTracker) -> float:
-        # 1. Per-partition gradients on this step's seeded batches.
-        partition_gradients = {}
-        batch_losses = []
-        for pid in range(n):
-            x, y = self._streams[pid].batch(step)
-            loss, grad = self._model.loss_and_gradient(x, y)
-            partition_gradients[pid] = grad
-            batch_losses.append(loss)
-
-        # 2. Encode and simulate the round.
-        payloads = self._strategy.encode(partition_gradients)
-        round_result = self._cluster.run_round(step, self._strategy.policy)
-        available = round_result.outcome.accepted_workers
-
-        # 3. Decode and update (unbiased mean over recovered partitions).
-        grad_sum, recovered = self._strategy.decode(available, payloads)
-        if not recovered:
-            raise TrainingError(f"step {step}: nothing recovered")
-        if self._tracer is not None:
-            decision = getattr(self._strategy, "last_decode", None)
-            self._tracer.record_decode(
-                step,
-                decoder_scheme=(
-                    self._strategy.placement.scheme
-                    if decision is not None else self._strategy.name
-                ),
-                num_searches=(
-                    decision.num_searches if decision is not None else 1
-                ),
-                num_recovered=len(recovered),
-                num_partitions=n,
-            )
-        mean_grad = grad_sum / len(recovered)
-        if self._recovery_scaled_lr:
-            mean_grad = mean_grad * (len(recovered) / n)
-        params = self._optimizer.update(self._model.get_parameters(), mean_grad)
-        self._model.set_parameters(params)
-
-        # 4. Loss bookkeeping: evaluation batch if given, else the mean
-        #    of this step's partition batch losses (pre-update).
-        if self._eval is not None:
-            loss = self._model.loss(self._eval.features, self._eval.labels)
-        else:
-            loss = float(np.mean(batch_losses))
-        tracker.record(loss)
-
-        grad_norm = float(np.linalg.norm(mean_grad))
-        self._records.append(
-            StepRecord(
-                step=step,
-                sim_time=self._cluster.clock,
-                wait_time=round_result.step_time,
-                num_available=len(available),
-                num_recovered=len(recovered),
-                recovery_fraction=len(recovered) / n,
-                loss=loss,
-                grad_norm=grad_norm,
-            )
-        )
-        return loss

@@ -66,6 +66,38 @@ class StepRecord:
 
 
 @dataclass(frozen=True)
+class AsyncUpdateRecord:
+    """One asynchronous master update."""
+
+    update_index: int
+    sim_time: float
+    worker: int
+    staleness: int
+    loss: float
+
+
+@dataclass(frozen=True)
+class AsyncSummary:
+    """Aggregate outcome of an asynchronous run."""
+
+    num_updates: int
+    total_sim_time: float
+    final_loss: float
+    mean_staleness: float
+    max_staleness: int
+    loss_curve: tuple
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the run."""
+        return (
+            f"async-sgd: {self.num_updates} updates, "
+            f"{self.total_sim_time:.2f}s simulated; mean staleness "
+            f"{self.mean_staleness:.2f} (max {self.max_staleness}), "
+            f"final loss {self.final_loss:.4f}"
+        )
+
+
+@dataclass(frozen=True)
 class TrainingSummary:
     """Aggregate outcome of a simulated training run."""
 

@@ -1,0 +1,146 @@
+"""Serialization and validation of the declarative ExperimentSpec."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import textwrap
+
+import pytest
+
+from repro.engine import ExperimentSpec, build_engine, run_spec
+from repro.exceptions import ConfigurationError
+
+
+def _spec(**over):
+    base = dict(
+        name="spec-test",
+        scheme="is-gc-cr",
+        num_workers=4,
+        partitions_per_worker=2,
+        wait_for=2,
+        max_steps=5,
+        seed=0,
+    )
+    base.update(over)
+    return ExperimentSpec(**base)
+
+
+class TestValidation:
+    def test_defaults_build(self):
+        spec = _spec()
+        assert spec.backend == "flat"
+        assert spec.rule == "sync"
+        assert spec.dataset["kind"] == "classification"
+
+    @pytest.mark.parametrize("field, value", [
+        ("num_workers", 0),
+        ("num_workers", -3),
+        ("max_steps", 0),
+    ])
+    def test_rejects_non_positive(self, field, value):
+        with pytest.raises(ConfigurationError, match="positive"):
+            _spec(**{field: value})
+
+    def test_rejects_unknown_rule(self):
+        with pytest.raises(ConfigurationError, match="unknown rule"):
+            _spec(rule="teleport")
+
+    def test_unknown_scheme_fails_at_build(self):
+        spec = _spec(scheme="quantum")
+        with pytest.raises(ConfigurationError, match="quantum"):
+            build_engine(spec)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        spec = _spec(scheme_params={"policy": None}, learning_rate=0.1)
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = _spec().to_dict()
+        data["gpu_count"] = 8
+        with pytest.raises(ConfigurationError, match="gpu_count"):
+            ExperimentSpec.from_dict(data)
+
+    def test_json_file_round_trip(self, tmp_path):
+        spec = _spec(delay={"kind": "exponential", "mean": 0.25})
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert ExperimentSpec.load(path) == spec
+
+    def test_json_round_trip_preserves_trajectory(self, tmp_path):
+        """Serialisation must not perturb the run: same spec on disk,
+        same bits out."""
+        spec = _spec()
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        direct = run_spec(spec)
+        loaded = run_spec(str(path))
+        assert direct.loss_curve == loaded.loss_curve
+        assert direct.total_sim_time == loaded.total_sim_time
+
+    def test_toml_load(self, tmp_path):
+        path = tmp_path / "spec.toml"
+        path.write_text(textwrap.dedent("""\
+            name = "toml-spec"
+            scheme = "is-gc-fr"
+            num_workers = 4
+            partitions_per_worker = 2
+            wait_for = 2
+            max_steps = 3
+            seed = 7
+
+            [delay]
+            kind = "exponential"
+            mean = 0.5
+        """))
+        spec = ExperimentSpec.load(path)
+        assert spec.name == "toml-spec"
+        assert spec.scheme == "is-gc-fr"
+        assert spec.delay == {"kind": "exponential", "mean": 0.5}
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("name: nope")
+        with pytest.raises(ConfigurationError, match=".yaml"):
+            ExperimentSpec.load(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            ExperimentSpec.load(tmp_path / "ghost.json")
+
+    def test_non_mapping_file_rejected(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ConfigurationError, match="mapping"):
+            ExperimentSpec.load(path)
+
+
+class TestRules:
+    @pytest.mark.parametrize("rule, params", [
+        ("sync", {}),
+        ("local-update", {"local_steps": 2, "local_lr": 0.05}),
+        ("adaptive", {"review_every": 2}),
+    ])
+    def test_each_sync_rule_runs(self, rule, params):
+        summary = run_spec(_spec(rule=rule, rule_params=params))
+        assert summary.num_steps == 5
+
+    def test_async_rule_returns_async_summary(self):
+        summary = run_spec(_spec(scheme="sync-sgd", wait_for=None,
+                                 rule="async"))
+        assert summary.num_updates == 5
+
+    def test_seed_controls_trajectory(self):
+        a = run_spec(_spec(seed=1))
+        b = run_spec(_spec(seed=1))
+        c = run_spec(_spec(seed=2))
+        assert a.loss_curve == b.loss_curve
+        assert a.loss_curve != c.loss_curve
+
+    def test_replace_is_the_sweep_idiom(self):
+        spec = _spec()
+        widened = dataclasses.replace(spec, wait_for=3)
+        assert widened.wait_for == 3
+        assert spec.wait_for == 2
