@@ -1,11 +1,12 @@
 # Developer entry points.  `make check` is the pre-commit gate: lint
-# (when ruff is available) followed by the tier-1 test suite.
+# (when ruff is available), the project's own static-analysis pass
+# (`repro check`), then the tier-1 test suite.
 
 PYTHON ?= python
 
-.PHONY: check lint test trace-demo
+.PHONY: check lint static test trace-demo
 
-check: lint test
+check: lint static test
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -13,6 +14,9 @@ lint:
 	else \
 		echo "ruff not installed; skipping lint"; \
 	fi
+
+static:
+	PYTHONPATH=src $(PYTHON) -m repro check src tests examples README.md docs
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q

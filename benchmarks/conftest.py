@@ -27,7 +27,7 @@ def pytest_terminal_summary(terminalreporter):  # noqa: D103 - pytest hook
     if not _REPORTS:
         return
     terminalreporter.write_sep("=", "paper reproduction tables")
-    for name, text in _REPORTS:
+    for _name, text in _REPORTS:
         terminalreporter.write_line("")
         terminalreporter.write_line(text)
     terminalreporter.write_line("")

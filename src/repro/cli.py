@@ -10,6 +10,11 @@ Exposes the library's main entry points without writing Python::
     python -m repro run       experiment.json
     python -m repro trace record --out run.jsonl
     python -m repro trace summarize run.jsonl
+    python -m repro check     src tests examples
+
+``repro check`` exits 0 when clean, 1 when it reports findings, and 2
+on usage errors (unknown rule id, missing path) — the same convention
+the other subcommands follow for invalid configurations.
 """
 
 from __future__ import annotations
@@ -146,6 +151,7 @@ def cmd_advise(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run a short simulated training job and print its summary."""
     from .analysis.plotting import downsample, sparkline
+    from .engine.spec import make_strategy
     from .simulation.cluster import ClusterSimulator
     from .straggler.models import ExponentialDelay
     from .training.datasets import (
@@ -153,7 +159,6 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     from .training.models import SoftmaxRegressionModel
     from .training.optimizers import SGD
-    from .training.strategies import ISGCStrategy, ISSGDStrategy
     from .training.trainer import DistributedTrainer
 
     placement = _build_placement(args)
@@ -165,12 +170,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         partition_dataset(dataset, n, seed=args.seed + 1),
         batch_size=32, seed=args.seed + 2,
     )
+    # Built through the scheme registry so CLI, specs and library code
+    # share one construction path (what `repro check` REG001 enforces).
     if args.c == 1:
-        strategy = ISSGDStrategy(n, args.w)
+        strategy = make_strategy("is-sgd", num_workers=n, wait_for=args.w)
     else:
-        strategy = ISGCStrategy(
-            placement, wait_for=args.w,
+        scheme_params = {}
+        if args.scheme == "hr":
+            scheme_params = {
+                "c1": args.c1, "c2": args.c - args.c1,
+                "num_groups": args.g,
+            }
+        strategy = make_strategy(
+            f"is-gc-{args.scheme}",
+            num_workers=n,
+            partitions_per_worker=args.c,
+            wait_for=args.w,
             rng=np.random.default_rng(args.seed),
+            **scheme_params,
         )
     cluster = ClusterSimulator(
         n, placement.partitions_per_worker,
@@ -228,6 +245,26 @@ def cmd_trace_record(args: argparse.Namespace) -> int:
     for p in points:
         print(f"  {p.scheme:<16} avg step {p.avg_step_time:.4f}s")
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Run the static-analysis pass; exit 0 clean / 1 findings / 2 usage."""
+    from .staticcheck import (
+        render_catalogue, render_json, render_text, run_check,
+    )
+
+    if args.list_rules:
+        print(render_catalogue())
+        return 0
+    select = (
+        [s for s in args.select.split(",")] if args.select else None
+    )
+    result = run_check(args.paths, select=select)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
@@ -300,6 +337,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("spec", help="path to an ExperimentSpec file")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "check",
+        help="static analysis: determinism, time units, registries, "
+             "spec feasibility",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src", "tests", "examples"],
+        help="files/directories to check (default: src tests examples)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    p.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument(

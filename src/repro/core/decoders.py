@@ -79,7 +79,7 @@ class Decoder(abc.ABC):
 
     def __init__(self, placement: Placement, rng: np.random.Generator | None = None):
         self._placement = placement
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[DET003] deliberate opt-in to entropy when no rng is injected
         self._metrics: "MetricsRegistry" = NULL_REGISTRY
 
     @property

@@ -162,7 +162,7 @@ class ActorBackend(ExecutionBackend):
         self._compute = compute if compute is not None else ComputeModel()
         self._network = network if network is not None else NetworkModel()
         self._delays = delay_model if delay_model is not None else NoDelay()
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[DET003] deliberate opt-in to entropy when no rng is injected
         self._keep_log = keep_message_log
         self.message_log: List = []
         self._clock = 0.0
@@ -262,7 +262,7 @@ class AsyncArrivalBackend(ExecutionBackend):
         self._compute = compute if compute is not None else ComputeModel()
         self._network = network if network is not None else NetworkModel()
         self._delays = delay_model if delay_model is not None else NoDelay()
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[DET003] deliberate opt-in to entropy when no rng is injected
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._grad_elems = 0
         self._num_workers = 0

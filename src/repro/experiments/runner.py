@@ -61,7 +61,7 @@ def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
         try:
             trace_path = argv[idx + 1]
         except IndexError:
-            raise SystemExit("--trace requires a file path")
+            raise SystemExit("--trace requires a file path") from None
         del argv[idx : idx + 2]
     targets = argv or ["all"]
     names = sorted(EXPERIMENTS) if "all" in targets else targets

@@ -10,6 +10,7 @@ reporting tables.
 from __future__ import annotations
 
 import itertools
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Sequence
 
@@ -19,7 +20,13 @@ from ..exceptions import ConfigurationError
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One evaluated grid point."""
+    """One evaluated grid point.
+
+    ``error`` carries the *full formatted traceback* of a failed
+    point, not just ``str(exc)`` — a long sweep's one bad corner keeps
+    the frame that failed, so post-mortems don't require re-running
+    the grid.  Use :attr:`error_summary` for table cells and logs.
+    """
 
     params: Dict[str, Any]
     value: Any
@@ -27,7 +34,16 @@ class SweepPoint:
 
     @property
     def ok(self) -> bool:
+        """True when the point evaluated without raising."""
         return self.error is None
+
+    @property
+    def error_summary(self) -> "str | None":
+        """The traceback's final ``ExcType: message`` line, or ``None``."""
+        if self.error is None:
+            return None
+        lines = [ln for ln in self.error.strip().splitlines() if ln.strip()]
+        return lines[-1] if lines else self.error
 
 
 @dataclass
@@ -76,11 +92,15 @@ class Sweep:
             try:
                 value = fn(**params)
                 self.points.append(SweepPoint(params=params, value=value))
-            except Exception as exc:  # noqa: BLE001 - captured by design
+            except Exception:  # noqa: BLE001 - captured by design
                 if strict:
                     raise
                 self.points.append(
-                    SweepPoint(params=params, value=None, error=str(exc))
+                    SweepPoint(
+                        params=params,
+                        value=None,
+                        error=traceback.format_exc(),
+                    )
                 )
         return self.points
 
@@ -92,7 +112,9 @@ class Sweep:
         names = list(self.axes)
         table = Table(title=self.name, columns=[*names, value_label])
         for point in self.points:
-            cell = point.value if point.ok else f"error: {point.error}"
+            cell = (
+                point.value if point.ok else f"error: {point.error_summary}"
+            )
             table.add_row(*(point.params[k] for k in names), cell)
         return table
 

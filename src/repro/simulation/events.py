@@ -71,7 +71,12 @@ class EventQueue:
         return bool(self._heap)
 
     def drain_until(self, deadline: float) -> Iterator[Event]:
-        """Pop events with ``time <= deadline`` in order."""
+        """Pop events with ``time <= deadline`` in order.
+
+        ``deadline`` is in the same clock as the queued event times —
+        absolute simulated seconds for simulator-produced events (the
+        queue itself is origin-agnostic; it only compares).
+        """
         while self._heap and self._heap[0][0] <= deadline:
             yield self.pop()
 

@@ -1,0 +1,76 @@
+"""``repro.staticcheck`` — the project-invariant static-analysis pass.
+
+The two costliest defects in this repo's history were statically
+detectable: the absolute-vs-step-relative seconds mismatch fixed in
+PR 1, and the strict RNG/seed discipline the PR-2 golden trajectories
+depend on.  This package makes those invariants — plus registry
+hygiene and spec feasibility — machine-checkable, as ``repro check``:
+
+========  ==============================================================
+family    rules
+========  ==============================================================
+GEN       ``GEN001`` unparseable file
+DET       ``DET001`` module-level RNG, ``DET002`` wall-clock reads,
+          ``DET003`` unseeded ``default_rng()``, ``DET004`` ordering
+          hazards
+TIME      ``TIME001`` mixed absolute/step-relative arithmetic,
+          ``TIME002`` undocumented time units
+REG       ``REG001``/``REG002`` strategies/backends built outside the
+          registries, ``REG003`` factory signature round-trip
+SPEC      ``SPEC001`` infeasible spec files, ``SPEC002`` infeasible
+          spec literals
+========  ==============================================================
+
+Suppress a deliberate exception with ``# repro: noqa[RULE]`` on the
+offending line (always with a justification comment).  See
+``docs/static_analysis.md`` for the full catalogue and how to add a
+rule.
+"""
+
+from .engine import (
+    RULE_REGISTRY,
+    CheckResult,
+    Rule,
+    StaticCheckError,
+    check_source,
+    check_spec_mapping,
+    iter_source_files,
+    noqa_map,
+    python_rule,
+    run_check,
+    spec_rule,
+)
+from .findings import Finding, Severity
+from .report import (
+    JSON_SCHEMA_VERSION,
+    render_catalogue,
+    render_json,
+    render_text,
+    to_json_dict,
+)
+from .specrules import spec_feasibility_problems
+
+# Importing the rule modules registers their rules.
+from . import determinism, registries, specrules, timeunits  # noqa: F401
+
+__all__ = [
+    "RULE_REGISTRY",
+    "CheckResult",
+    "Finding",
+    "JSON_SCHEMA_VERSION",
+    "Rule",
+    "Severity",
+    "StaticCheckError",
+    "check_source",
+    "check_spec_mapping",
+    "iter_source_files",
+    "noqa_map",
+    "python_rule",
+    "render_catalogue",
+    "render_json",
+    "render_text",
+    "run_check",
+    "spec_feasibility_problems",
+    "spec_rule",
+    "to_json_dict",
+]

@@ -1,0 +1,452 @@
+"""The rule engine behind ``repro check``.
+
+Responsibilities:
+
+* a **rule registry** (:data:`RULE_REGISTRY`) populated by the
+  :func:`python_rule` / :func:`spec_rule` decorators in the rule
+  modules;
+* **file discovery** — ``.py`` files are parsed to an AST, ``.md``
+  files contribute their fenced ```````python`````` blocks (at their
+  true line numbers), and ``.json``/``.toml`` files that look like
+  :class:`~repro.engine.spec.ExperimentSpec` documents go to the
+  spec-feasibility rules;
+* **suppressions** — a ``# repro: noqa[RULE1,RULE2]`` comment on the
+  offending line silences those rules there (bare ``# repro: noqa``
+  silences every rule on the line);
+* **scoping** — each rule declares path fragments it applies to (and
+  sanctioned exceptions), so e.g. determinism rules police
+  ``repro/engine`` without flagging an example script.
+
+The engine never *imports* the code it checks — analysis is purely
+syntactic, so ``repro check`` is safe to run on untrusted specs and
+broken branches alike.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from ..exceptions import ReproError
+from .findings import Finding, Severity
+
+#: Rule id for files that cannot be parsed at all.
+SYNTAX_RULE = "GEN001"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+_MD_BLOCK_RE = re.compile(r"```python[ \t]*\n(.*?)```", re.DOTALL)
+
+
+class StaticCheckError(ReproError):
+    """Usage errors of the checker itself (bad path, unknown rule)."""
+
+
+@dataclass(frozen=True)
+class PythonContext:
+    """Everything a Python (AST) rule sees for one parsed source unit."""
+
+    #: display path used in findings (as given on the command line).
+    path: str
+    #: posix-style path used for rule scope matching.
+    scope_path: str
+    source: str
+    tree: ast.AST
+
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule.id,
+            severity=rule.severity,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class SpecContext:
+    """What a spec-feasibility rule sees for one spec document."""
+
+    path: str
+    scope_path: str
+    data: Mapping[str, object]
+
+    def finding(self, rule: "Rule", message: str, line: int = 1) -> Finding:
+        """Build a :class:`Finding` for this document."""
+        return Finding(
+            path=self.path,
+            line=line,
+            col=1,
+            rule=rule.id,
+            severity=rule.severity,
+            message=message,
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered check.
+
+    ``scope`` is a tuple of path fragments the rule applies to (empty =
+    everywhere); ``exclude`` lists sanctioned locations inside that
+    scope.  ``kind`` is ``"python"`` (AST contexts, including markdown
+    code blocks) or ``"spec"`` (parsed JSON/TOML spec documents).
+    """
+
+    id: str
+    name: str
+    description: str
+    severity: Severity
+    kind: str
+    scope: tuple
+    exclude: tuple
+    check: Callable[..., Iterable[Finding]]
+
+    def applies_to(self, scope_path: str) -> bool:
+        """Whether this rule runs on the file at ``scope_path``."""
+        if self.scope and not any(s in scope_path for s in self.scope):
+            return False
+        return not any(e in scope_path for e in self.exclude)
+
+
+RULE_REGISTRY: Dict[str, Rule] = {}
+
+
+def _register(rule: Rule) -> None:
+    if rule.id in RULE_REGISTRY:
+        raise StaticCheckError(f"duplicate rule id {rule.id!r}")
+    RULE_REGISTRY[rule.id] = rule
+
+
+def python_rule(
+    rule_id: str,
+    *,
+    name: str,
+    description: str,
+    severity: Severity = Severity.ERROR,
+    scope: Sequence[str] = (),
+    exclude: Sequence[str] = (),
+) -> Callable[[Callable], Callable]:
+    """Decorator registering an AST rule ``fn(ctx, rule) -> findings``."""
+
+    def wrap(fn: Callable) -> Callable:
+        _register(
+            Rule(
+                id=rule_id,
+                name=name,
+                description=description,
+                severity=severity,
+                kind="python",
+                scope=tuple(scope),
+                exclude=tuple(exclude),
+                check=fn,
+            )
+        )
+        return fn
+
+    return wrap
+
+
+def spec_rule(
+    rule_id: str,
+    *,
+    name: str,
+    description: str,
+    severity: Severity = Severity.ERROR,
+    scope: Sequence[str] = (),
+    exclude: Sequence[str] = (),
+) -> Callable[[Callable], Callable]:
+    """Decorator registering a spec-document rule."""
+
+    def wrap(fn: Callable) -> Callable:
+        _register(
+            Rule(
+                id=rule_id,
+                name=name,
+                description=description,
+                severity=severity,
+                kind="spec",
+                scope=tuple(scope),
+                exclude=tuple(exclude),
+                check=fn,
+            )
+        )
+        return fn
+
+    return wrap
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+
+
+def noqa_map(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Per-line suppressions: line → set of rule ids, or ``None`` = all."""
+    suppressions: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            suppressions[lineno] = None
+        else:
+            suppressions[lineno] = {
+                r.strip().upper() for r in rules.split(",") if r.strip()
+            }
+    return suppressions
+
+
+def _apply_noqa(
+    findings: Iterable[Finding],
+    suppressions: Mapping[int, Optional[Set[str]]],
+) -> List[Finding]:
+    kept = []
+    for f in findings:
+        allowed = suppressions.get(f.line, ...)
+        if allowed is None:
+            continue  # bare noqa: everything suppressed on this line
+        if allowed is not ... and f.rule in allowed:
+            continue
+        kept.append(f)
+    return kept
+
+
+# ----------------------------------------------------------------------
+# File discovery
+
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache"}
+_CHECKED_SUFFIXES = {".py", ".md", ".json", ".toml"}
+
+
+def iter_source_files(paths: Sequence["str | Path"]) -> List[Path]:
+    """Expand files/directories into the checkable file list."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise StaticCheckError(f"no such file or directory: {path}")
+        if path.is_file():
+            out.append(path)
+            continue
+        for sub in sorted(path.rglob("*")):
+            if sub.suffix not in _CHECKED_SUFFIXES or not sub.is_file():
+                continue
+            parts = set(sub.parts)
+            if parts & _SKIP_DIRS or any(
+                p.endswith(".egg-info") for p in sub.parts
+            ):
+                continue
+            out.append(sub)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Per-file checking
+
+
+def _rules(kind: str, select: Optional[Set[str]]) -> List[Rule]:
+    rules = [r for r in RULE_REGISTRY.values() if r.kind == kind]
+    if select is not None:
+        rules = [r for r in rules if r.id in select]
+    return sorted(rules, key=lambda r: r.id)
+
+
+def check_source(
+    source: str,
+    path: str = "<snippet>.py",
+    scope_path: Optional[str] = None,
+    select: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Check one Python source string (the unit-test entry point).
+
+    ``scope_path`` feeds rule scope matching; pass e.g.
+    ``"src/repro/engine/foo.py"`` to exercise rules scoped to the
+    engine package regardless of where the snippet really lives.
+    """
+    scope_path = scope_path if scope_path is not None else path
+    scope_path = Path(scope_path).as_posix()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule=SYNTAX_RULE,
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = PythonContext(
+        path=path, scope_path=scope_path, source=source, tree=tree
+    )
+    findings: List[Finding] = []
+    for rule in _rules("python", select):
+        if rule.applies_to(scope_path):
+            findings.extend(rule.check(ctx, rule))
+    return _apply_noqa(sorted(findings), noqa_map(source))
+
+
+def check_spec_mapping(
+    data: Mapping[str, object],
+    path: str = "<spec>.json",
+    select: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Run the spec-feasibility rules over one parsed spec mapping."""
+    ctx = SpecContext(path=path, scope_path=Path(path).as_posix(), data=data)
+    findings: List[Finding] = []
+    for rule in _rules("spec", select):
+        if rule.applies_to(ctx.scope_path):
+            findings.extend(rule.check(ctx, rule))
+    return sorted(findings)
+
+
+def _looks_like_spec(data: object) -> bool:
+    return (
+        isinstance(data, Mapping)
+        and "scheme" in data
+        and "num_workers" in data
+    )
+
+
+def _check_markdown(
+    text: str, path: str, select: Optional[Set[str]]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for match in _MD_BLOCK_RE.finditer(text):
+        block = match.group(1)
+        # Pad with blank lines so AST positions are file positions.
+        offset = text[: match.start(1)].count("\n")
+        findings.extend(
+            check_source("\n" * offset + block, path=path, select=select)
+        )
+    return _apply_noqa(findings, noqa_map(text))
+
+
+def _check_data_file(
+    path: Path, text: str, select: Optional[Set[str]]
+) -> List[Finding]:
+    if path.suffix == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            return [
+                Finding(
+                    path=str(path),
+                    line=exc.lineno,
+                    col=exc.colno,
+                    rule=SYNTAX_RULE,
+                    severity=Severity.ERROR,
+                    message=f"invalid JSON: {exc.msg}",
+                )
+            ]
+    else:  # .toml
+        try:
+            import tomllib
+        except ImportError:  # pragma: no cover - Python 3.10
+            return []  # tomllib is 3.11+; TOML specs are skipped there
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            return [
+                Finding(
+                    path=str(path),
+                    line=1,
+                    col=1,
+                    rule=SYNTAX_RULE,
+                    severity=Severity.ERROR,
+                    message=f"invalid TOML: {exc}",
+                )
+            ]
+    if not _looks_like_spec(data):
+        return []
+    return check_spec_mapping(data, path=str(path), select=select)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one :func:`run_check` invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    num_files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no finding survived suppression."""
+        return not self.findings
+
+
+def run_check(
+    paths: Sequence["str | Path"],
+    select: Optional[Iterable[str]] = None,
+) -> CheckResult:
+    """Check every file under ``paths``; the library entry point.
+
+    ``select`` restricts to the given rule ids (unknown ids raise
+    :class:`StaticCheckError` — a usage error, exit code 2 at the CLI).
+    """
+    selected: Optional[Set[str]] = None
+    if select is not None:
+        selected = {s.strip().upper() for s in select if s.strip()}
+        unknown = selected - set(RULE_REGISTRY) - {SYNTAX_RULE}
+        if unknown:
+            raise StaticCheckError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"see `repro check --list-rules`"
+            )
+    result = CheckResult()
+    for path in iter_source_files(paths):
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue  # unreadable/binary files are not checkable
+        result.num_files += 1
+        if path.suffix == ".py":
+            result.findings.extend(
+                check_source(text, path=str(path), select=selected)
+            )
+        elif path.suffix == ".md":
+            result.findings.extend(
+                _check_markdown(text, str(path), selected)
+            )
+        else:
+            result.findings.extend(_check_data_file(path, text, selected))
+    result.findings.sort()
+    return result
+
+
+# ----------------------------------------------------------------------
+# Shared AST helpers used by several rule modules.
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a Name/Attribute (``c`` of ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

@@ -1,0 +1,183 @@
+"""Registry-hygiene rules (REG0xx).
+
+PR 2 made the system *open for extension, closed for modification*:
+strategies come from :func:`repro.engine.spec.make_strategy` (backed
+by ``@register_scheme`` factories) and execution backends from
+``@register_backend`` factories.  Library code that hand-constructs a
+strategy or backend bypasses the registries — it silently diverges
+from what ``repro run <spec>`` would build and breaks spec
+round-tripping.  These rules keep the library honest:
+
+* ``REG001`` — a ``*Strategy`` class constructed in library code
+  outside the registered factories (``engine/spec.py``) or the class
+  definitions themselves (``training/strategies.py``);
+* ``REG002`` — a ``*Backend`` constructed outside the factories; the
+  historical trainer shims (``repro/training``, ``repro/runtime``) are
+  the sanctioned compatibility layer and are excluded;
+* ``REG003`` — a ``@register_scheme`` factory whose signature cannot
+  round-trip spec ``scheme_params`` (missing ``**params``) or a
+  ``@register_backend`` factory that does not take the build context.
+
+Examples and tests are intentionally out of scope: demonstrating the
+low-level object API is part of their job.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional
+
+from .engine import PythonContext, Rule, python_rule, terminal_name
+from .findings import Finding
+
+_STRATEGY_RE = re.compile(r"^[A-Z]\w*Strategy$")
+_BACKEND_RE = re.compile(r"^[A-Z]\w*Backend$")
+
+#: Only library code is policed (tests/examples teach the object API).
+LIBRARY_SCOPE = ("repro/",)
+
+
+def _decorator_name(dec: ast.AST) -> Optional[str]:
+    """Name of a decorator, unwrapping a call like ``@register_x(...)``."""
+    if isinstance(dec, ast.Call):
+        dec = dec.func
+    return terminal_name(dec)
+
+
+def _defined_class_names(tree: ast.AST) -> set:
+    return {
+        node.name for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
+    }
+
+
+@python_rule(
+    "REG001",
+    name="strategy-outside-factory",
+    description=(
+        "Library code must obtain strategies via make_strategy / the "
+        "SCHEME_REGISTRY so specs, CLI and code agree on construction."
+    ),
+    scope=LIBRARY_SCOPE,
+    exclude=(
+        "training/strategies.py",  # the class definitions themselves
+        "engine/spec.py",          # the registered factories
+        "staticcheck/",            # this checker's own pattern tables
+    ),
+)
+def check_strategy_construction(
+    ctx: PythonContext, rule: Rule
+) -> List[Finding]:
+    """Flag direct ``SomeStrategy(...)`` constructions in library code."""
+    findings = []
+    local_classes = _defined_class_names(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = terminal_name(node.func)
+        if name is None or not _STRATEGY_RE.match(name):
+            continue
+        if name in local_classes:
+            continue  # a module may build instances of its own classes
+        findings.append(ctx.finding(
+            rule, node,
+            f"{name}(...) constructed directly; library code should go "
+            f"through make_strategy(<scheme>, ...) so registry, spec "
+            f"and CLI construction stay identical",
+        ))
+    return findings
+
+
+@python_rule(
+    "REG002",
+    name="backend-outside-factory",
+    description=(
+        "Library code must obtain execution backends via the "
+        "@register_backend factories; the training/runtime shims are "
+        "the sanctioned compatibility layer."
+    ),
+    scope=LIBRARY_SCOPE,
+    exclude=(
+        "engine/backends.py",  # the class definitions themselves
+        "engine/spec.py",      # the registered factories
+        "repro/training/",     # historical trainer shims (pinned by goldens)
+        "repro/runtime/",      # actor-system shim
+        "staticcheck/",
+    ),
+)
+def check_backend_construction(
+    ctx: PythonContext, rule: Rule
+) -> List[Finding]:
+    """Flag direct ``SomeBackend(...)`` constructions in library code."""
+    findings = []
+    local_classes = _defined_class_names(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = terminal_name(node.func)
+        if name is None or not _BACKEND_RE.match(name):
+            continue
+        if name in local_classes:
+            continue
+        findings.append(ctx.finding(
+            rule, node,
+            f"{name}(...) constructed directly; register a backend "
+            f"factory with @register_backend and build through the "
+            f"BACKEND_REGISTRY",
+        ))
+    return findings
+
+
+@python_rule(
+    "REG003",
+    name="registered-factory-signature",
+    description=(
+        "@register_scheme factories must accept **params (otherwise "
+        "spec scheme_params cannot round-trip); @register_backend "
+        "factories must take the BuildContext argument."
+    ),
+)
+def check_factory_signatures(ctx: PythonContext, rule: Rule) -> List[Finding]:
+    """Validate the calling convention of registered factories."""
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        decorators = {
+            _decorator_name(d) for d in node.decorator_list
+        }
+        if "register_scheme" in decorators:
+            if node.args.kwarg is None:
+                findings.append(ctx.finding(
+                    rule, node,
+                    f"scheme factory {node.name}() has no **params "
+                    f"catch-all, so ExperimentSpec.scheme_params cannot "
+                    f"round-trip through it; add **params",
+                ))
+            else:
+                accepted = {
+                    a.arg
+                    for a in (*node.args.args, *node.args.kwonlyargs)
+                }
+                missing = {
+                    "num_workers", "partitions_per_worker",
+                    "wait_for", "rng",
+                } - accepted
+                # **params swallows whatever is not named explicitly —
+                # naming num_workers is still required because every
+                # factory needs it to build a placement.
+                if "num_workers" in missing:
+                    findings.append(ctx.finding(
+                        rule, node,
+                        f"scheme factory {node.name}() does not accept "
+                        f"num_workers, which make_strategy always passes",
+                    ))
+        if "register_backend" in decorators:
+            positional = [*node.args.posonlyargs, *node.args.args]
+            if len(positional) != 1 and node.args.kwarg is None:
+                findings.append(ctx.finding(
+                    rule, node,
+                    f"backend factory {node.name}() must take exactly "
+                    f"one argument (the BuildContext)",
+                ))
+    return findings

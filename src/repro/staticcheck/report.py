@@ -1,0 +1,87 @@
+"""Reporters for ``repro check``: text, JSON, and the rule catalogue.
+
+The JSON document is versioned and stable — CI annotators and editor
+integrations parse it::
+
+    {
+      "version": 1,
+      "checked_files": 188,
+      "findings": [{"path", "line", "col", "rule", "severity",
+                    "message"}, ...],
+      "summary": {"total": 2, "by_rule": {"DET001": 2},
+                  "by_severity": {"error": 2}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict, Sequence
+
+from .engine import RULE_REGISTRY, CheckResult
+from .findings import Finding
+
+#: Bump when the JSON structure changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: CheckResult) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines = [f.format() for f in result.findings]
+    if result.findings:
+        by_rule = Counter(f.rule for f in result.findings)
+        breakdown = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append(
+            f"\n{len(result.findings)} finding"
+            f"{'s' if len(result.findings) != 1 else ''} "
+            f"({breakdown}) in {result.num_files} files"
+        )
+    else:
+        lines.append(f"{result.num_files} files checked, no findings")
+    return "\n".join(lines)
+
+
+def to_json_dict(result: CheckResult) -> Dict[str, Any]:
+    """The JSON-ready mapping (see the module docstring for the schema)."""
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "checked_files": result.num_files,
+        "findings": [f.to_dict() for f in result.findings],
+        "summary": {
+            "total": len(result.findings),
+            "by_rule": dict(
+                sorted(Counter(f.rule for f in result.findings).items())
+            ),
+            "by_severity": dict(
+                sorted(
+                    Counter(
+                        f.severity.value for f in result.findings
+                    ).items()
+                )
+            ),
+        },
+    }
+
+
+def render_json(result: CheckResult) -> str:
+    """The JSON report as a string (``repro check --format json``)."""
+    return json.dumps(to_json_dict(result), indent=2, sort_keys=False)
+
+
+def render_catalogue() -> str:
+    """The rule catalogue (``repro check --list-rules``)."""
+    lines = []
+    for rule in sorted(RULE_REGISTRY.values(), key=lambda r: r.id):
+        scope = ", ".join(rule.scope) if rule.scope else "all files"
+        lines.append(f"{rule.id}  {rule.name} [{rule.severity.value}]")
+        lines.append(f"    {rule.description}")
+        lines.append(f"    scope: {scope}")
+    return "\n".join(lines)
+
+
+def findings_only(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """Tiny helper for tests: summarise findings by rule id."""
+    return dict(Counter(f.rule for f in findings))

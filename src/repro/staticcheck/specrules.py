@@ -1,0 +1,254 @@
+"""Spec-feasibility rules (SPEC0xx).
+
+An :class:`~repro.engine.spec.ExperimentSpec` can describe a placement
+that cannot exist: ``CR(n, c)`` with ``c = n`` (every pair of workers
+conflicts — Theorem 1 leaves at most one usable payload), ``FR``
+without ``c | n``, an HR split violating Theorem 5–7's group
+constraints, or a ``wait_for`` outside the ``1 ≤ w ≤ n`` range in
+which the Theorem 10/11 recovery bounds are even defined.  Today such
+a spec fails deep inside a run — or worse, silently degenerates.
+These rules validate spec *documents* (``examples/specs/*.json`` /
+``.toml``) and literal ``ExperimentSpec(...)`` constructions without
+executing anything:
+
+* ``SPEC001`` — an infeasible JSON/TOML spec file;
+* ``SPEC002`` — an infeasible literal ``ExperimentSpec(...)`` call in
+  non-test Python code (tests construct invalid specs on purpose).
+
+:func:`spec_feasibility_problems` is the shared validator; every
+message cites the violated constraint so the fix is obvious from the
+report alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, FrozenSet, List, Mapping
+
+from .engine import PythonContext, Rule, SpecContext, python_rule, spec_rule, terminal_name
+from .findings import Finding
+
+#: Schemes whose placement constraints the validator knows statically.
+#: Third-party registered schemes are skipped (their constraints live
+#: in their own factories).
+KNOWN_SCHEMES = frozenset({
+    "sync-sgd", "is-sgd", "gc", "is-gc-fr", "is-gc-cr", "is-gc-hr",
+})
+
+#: Schemes that wait for ``w`` workers and therefore need ``wait_for``.
+WAITING_SCHEMES = frozenset({
+    "is-sgd", "is-gc-fr", "is-gc-cr", "is-gc-hr",
+})
+
+
+def _as_int(value: Any) -> "int | None":
+    if isinstance(value, bool) or not isinstance(value, int):
+        return None
+    return value
+
+
+def spec_feasibility_problems(
+    data: Mapping[str, Any],
+    unresolved: FrozenSet[str] = frozenset(),
+) -> List[str]:
+    """Constraint violations of one spec mapping, as messages.
+
+    Purely arithmetic — nothing is imported or executed, so the checks
+    are safe on untrusted input.  ``unresolved`` names spec fields
+    whose values were not statically known (e.g. a computed
+    ``wait_for`` in a literal spec); checks involving them are skipped
+    rather than guessed at.
+    """
+    problems: List[str] = []
+    scheme = data.get("scheme")
+    n = _as_int(data.get("num_workers"))
+    if n is None or n < 1:
+        problems.append(
+            f"num_workers must be a positive integer, got "
+            f"{data.get('num_workers')!r}"
+        )
+        return problems  # everything below needs a valid n
+
+    c = _as_int(data.get("partitions_per_worker", 1))
+    c_known = "partitions_per_worker" not in unresolved
+    if c_known and (c is None or not 1 <= c <= n):
+        problems.append(
+            f"partitions_per_worker must satisfy 1 <= c <= n "
+            f"(each worker stores c of the n partitions); got "
+            f"c={data.get('partitions_per_worker')!r}, n={n}"
+        )
+        c_known = False
+
+    # ------------------------------------------------------------------
+    # Placement feasibility per scheme.
+    if scheme in ("gc", "is-gc-cr") and c_known and c >= n:
+        problems.append(
+            f"CR placement requires 1 <= c < n: with c = n = {n} every "
+            f"pair of workers shares a partition (Theorem 1: conflict "
+            f"iff circular distance < c), so at most one payload is "
+            f"ever decodable"
+        )
+    if scheme == "is-gc-fr" and c_known and n % c != 0:
+        problems.append(
+            f"FR placement requires c | n (Sec. III: workers form n/c "
+            f"groups of c replicas); got n={n}, c={c}"
+        )
+    if scheme == "is-gc-hr" and "scheme_params" not in unresolved:
+        params = data.get("scheme_params") or {}
+        if not isinstance(params, Mapping):
+            problems.append(
+                f"scheme_params must be a mapping, got {params!r}"
+            )
+            params = {}
+        c1 = _as_int(params.get("c1"))
+        c2 = _as_int(params.get("c2"))
+        g = _as_int(params.get("num_groups"))
+        if c1 is None or c2 is None or g is None:
+            problems.append(
+                "scheme 'is-gc-hr' needs integer scheme_params c1, c2 "
+                "and num_groups (HR(n, c1, c2) with g groups, Sec. VI)"
+            )
+        else:
+            problems.extend(_hr_problems(n, c1, c2, g))
+            declared = _as_int(data.get("partitions_per_worker"))
+            if (
+                "partitions_per_worker" in data
+                and c_known
+                and declared != c1 + c2
+            ):
+                problems.append(
+                    f"HR spec declares partitions_per_worker={declared} "
+                    f"but the placement stores c1 + c2 = {c1 + c2} "
+                    f"partitions per worker; make them agree"
+                )
+
+    # ------------------------------------------------------------------
+    # wait_for sanity (Theorems 10/11 bound α(G[W']) for 1 <= w <= n).
+    if "wait_for" not in unresolved:
+        w = data.get("wait_for")
+        if w is None:
+            if scheme in WAITING_SCHEMES:
+                problems.append(
+                    f"scheme {scheme!r} waits for w workers each round; "
+                    f"set wait_for (1 <= w <= n)"
+                )
+            elif data.get("rule") == "adaptive":
+                problems.append(
+                    "rule 'adaptive' ranks placements for a target w; "
+                    "set wait_for (1 <= w <= n)"
+                )
+        else:
+            w = _as_int(w)
+            if w is None or not 1 <= w <= n:
+                problems.append(
+                    f"wait_for must satisfy 1 <= w <= n = {n} (the "
+                    f"Theorem 10/11 recovery bounds are defined only "
+                    f"there, and more than n workers can never arrive); "
+                    f"got {data.get('wait_for')!r}"
+                )
+    return problems
+
+
+def _hr_problems(n: int, c1: int, c2: int, g: int) -> List[str]:
+    """Theorem 5–7 feasibility of ``HR(n, c1, c2)`` with ``g`` groups."""
+    problems: List[str] = []
+    if c1 < 0 or c2 < 0 or c1 + c2 < 1:
+        problems.append(
+            f"HR needs c1, c2 >= 0 with c = c1 + c2 >= 1; got "
+            f"c1={c1}, c2={c2}"
+        )
+        return problems
+    if g < 1 or n % g != 0:
+        problems.append(
+            f"HR requires g | n (workers split into g equal groups, "
+            f"Sec. VI); got n={n}, num_groups={g}"
+        )
+        return problems
+    n0 = n // g
+    c = c1 + c2
+    if c > n:
+        problems.append(
+            f"HR needs c = c1 + c2 <= n; got c={c}, n={n}"
+        )
+        return problems
+    if c1 > 0 and g > 1:
+        if c > n0:
+            problems.append(
+                f"HR requires c <= n0 = n/g (Theorem 5: a group must "
+                f"hold all its partitions); got c={c}, n0={n0}"
+            )
+        if c1 > n0:
+            problems.append(
+                f"HR upper part needs c1 <= n0 (at most one within-group "
+                f"wrap); got c1={c1}, n0={n0}"
+            )
+        if c2 > 0 and n0 > c + c1:
+            problems.append(
+                f"general HR needs n0 <= c + c1 (Theorem 6 within-group "
+                f"completeness: workers of one group must pairwise "
+                f"conflict); got n0={n0}, c={c}, c1={c1}"
+            )
+    return problems
+
+
+@spec_rule(
+    "SPEC001",
+    name="infeasible-spec-file",
+    description=(
+        "A JSON/TOML ExperimentSpec document violates a placement or "
+        "bound constraint and would fail (or degenerate) at run time."
+    ),
+)
+def check_spec_file(ctx: SpecContext, rule: Rule) -> List[Finding]:
+    """Validate one spec document against the placement constraints."""
+    return [
+        ctx.finding(rule, problem)
+        for problem in spec_feasibility_problems(ctx.data)
+    ]
+
+
+def _literal(node: ast.AST) -> Any:
+    try:
+        return ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return _UNRESOLVED
+
+
+_UNRESOLVED = object()
+
+
+@python_rule(
+    "SPEC002",
+    name="infeasible-spec-literal",
+    description=(
+        "A literal ExperimentSpec(...) construction violates a "
+        "placement or bound constraint (tests are exempt — they build "
+        "invalid specs on purpose)."
+    ),
+    exclude=("test_", "conftest.py"),
+)
+def check_spec_literals(ctx: PythonContext, rule: Rule) -> List[Finding]:
+    """Validate literal ``ExperimentSpec(...)`` calls without running."""
+    findings = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if terminal_name(node.func) != "ExperimentSpec":
+            continue
+        if node.args or any(kw.arg is None for kw in node.keywords):
+            continue  # positional or **splat construction: not literal
+        data = {}
+        unresolved = set()
+        for kw in node.keywords:
+            value = _literal(kw.value)
+            if value is _UNRESOLVED:
+                unresolved.add(kw.arg)
+            else:
+                data[kw.arg] = value
+        if "scheme" not in data or "num_workers" not in data:
+            continue  # cannot reason statically about this one
+        for problem in spec_feasibility_problems(
+            data, unresolved=frozenset(unresolved)
+        ):
+            findings.append(ctx.finding(rule, node, problem))
+    return findings

@@ -83,7 +83,11 @@ class AdaptivePlacementTrainer:
         # migrated run consumes the same random stream as the pre-engine
         # implementation did.
         rng = rng if rng is not None else np.random.default_rng()
-        strategy = ISGCStrategy(initial_placement, wait_for=wait_for, rng=rng)
+        # Wraps the caller's Placement object with the shared generator;
+        # the name-keyed registry cannot express either (see REG001).
+        strategy = ISGCStrategy(  # repro: noqa[REG001]
+            initial_placement, wait_for=wait_for, rng=rng
+        )
         if tracer is not None:
             cluster.tracer = tracer
             tracer.set_context(scheme=strategy.name)

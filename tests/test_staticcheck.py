@@ -1,0 +1,487 @@
+"""Tests for :mod:`repro.staticcheck` — the rule engine and every rule.
+
+Each rule family gets at least one minimal offending snippet asserted
+to be caught, and a clean twin asserted clean; the fixtures are inline
+strings so the full-repo run (also asserted clean here) never trips
+over them.
+"""
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.staticcheck import (
+    RULE_REGISTRY,
+    StaticCheckError,
+    check_source,
+    check_spec_mapping,
+    noqa_map,
+    run_check,
+    spec_feasibility_problems,
+)
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+ENGINE_PATH = "src/repro/engine/somemodule.py"
+SIM_PATH = "src/repro/simulation/somemodule.py"
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+def check(source, scope_path="src/repro/engine/mod.py", **kw):
+    return check_source(textwrap.dedent(source), scope_path=scope_path, **kw)
+
+
+# ----------------------------------------------------------------------
+# Registry / engine mechanics
+
+
+class TestEngine:
+    def test_all_rule_families_registered(self):
+        families = {rule_id[:3] for rule_id in RULE_REGISTRY}
+        assert {"DET", "TIME"[:3], "REG", "SPE"} <= families
+
+    def test_syntax_error_is_a_finding(self):
+        findings = check_source("def broken(:\n")
+        assert rules_of(findings) == ["GEN001"]
+
+    def test_clean_snippet_is_clean(self):
+        findings = check(
+            """
+            import numpy as np
+
+            def f(seed):
+                rng = np.random.default_rng(seed)
+                return rng.standard_normal(4)
+            """
+        )
+        assert findings == []
+
+    def test_select_restricts_rules(self):
+        src = "import numpy as np\nx = np.random.randn(3)\n"
+        assert rules_of(check(src, select={"DET001"})) == ["DET001"]
+        assert check(src, select={"TIME001"}) == []
+
+    def test_noqa_map_parses_variants(self):
+        src = (
+            "a = 1  # repro: noqa\n"
+            "b = 2  # repro: noqa[DET001]\n"
+            "c = 3  # repro: noqa[DET001, TIME002]\n"
+            "d = 4\n"
+        )
+        m = noqa_map(src)
+        assert m[1] is None
+        assert m[2] == {"DET001"}
+        assert m[3] == {"DET001", "TIME002"}
+        assert 4 not in m
+
+    def test_noqa_suppresses_matching_rule_only(self):
+        caught = check(
+            "import numpy as np\n"
+            "x = np.random.randn(3)  # repro: noqa[TIME001]\n"
+        )
+        assert rules_of(caught) == ["DET001"]
+        clean = check(
+            "import numpy as np\n"
+            "x = np.random.randn(3)  # repro: noqa[DET001]\n"
+        )
+        assert clean == []
+
+    def test_unknown_select_rule_is_usage_error(self):
+        with pytest.raises(StaticCheckError):
+            run_check([str(REPO / "src" / "repro" / "cli.py")],
+                      select=["NOPE999"])
+
+    def test_missing_path_is_usage_error(self):
+        with pytest.raises(StaticCheckError):
+            run_check([str(REPO / "does-not-exist")])
+
+
+# ----------------------------------------------------------------------
+# Determinism rules
+
+
+class TestDeterminismRules:
+    def test_det001_np_random_module_call(self):
+        findings = check("import numpy as np\nx = np.random.randn(3)\n")
+        assert "DET001" in rules_of(findings)
+
+    def test_det001_full_numpy_name(self):
+        findings = check("import numpy\nx = numpy.random.shuffle([1])\n")
+        assert "DET001" in rules_of(findings)
+
+    def test_det001_stdlib_random(self):
+        findings = check("import random\nx = random.choice([1, 2])\n")
+        assert "DET001" in rules_of(findings)
+
+    def test_det001_from_import(self):
+        findings = check("from numpy.random import randn\n")
+        assert "DET001" in rules_of(findings)
+
+    def test_det001_ignores_methods_on_generators(self):
+        findings = check(
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)
+            x = rng.choice([1, 2])
+            """
+        )
+        assert findings == []
+
+    def test_det001_ignores_stdlib_names_without_import(self):
+        # `random` here is somebody's object, not the stdlib module.
+        findings = check("x = obj.random.choice([1])\n")
+        assert findings == []
+
+    def test_det002_wall_clock_in_core_scope(self):
+        src = "import time\nt = time.time()\n"
+        assert rules_of(check(src)) == ["DET002"]
+        # ...but not outside the deterministic core.
+        assert check(src, scope_path="examples/demo.py") == []
+
+    def test_det002_datetime_now(self):
+        src = "import datetime\nt = datetime.datetime.now()\n"
+        assert rules_of(check(src)) == ["DET002"]
+
+    def test_det003_unseeded_default_rng(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_of(check(src)) == ["DET003"]
+        assert check(src, scope_path="examples/demo.py") == []
+
+    def test_det003_seeded_is_fine(self):
+        assert check(
+            "import numpy as np\nrng = np.random.default_rng(0)\n"
+        ) == []
+
+    def test_det004_list_of_set(self):
+        findings = check("order = list(set(workers))\n")
+        assert rules_of(findings) == ["DET004"]
+
+    def test_det004_for_over_set(self):
+        findings = check("for w in set(workers):\n    pass\n")
+        assert rules_of(findings) == ["DET004"]
+
+    def test_det004_listdir_unsorted_vs_sorted(self):
+        assert rules_of(
+            check("import os\nnames = os.listdir('.')\n")
+        ) == ["DET004"]
+        assert check("import os\nnames = sorted(os.listdir('.'))\n") == []
+
+    def test_det004_sorted_set_is_fine(self):
+        assert check("order = sorted(set(workers))\n") == []
+
+
+# ----------------------------------------------------------------------
+# Time-unit rules
+
+
+class TestTimeUnitRules:
+    def test_time001_comparison_mixing_origins(self):
+        findings = check(
+            "if proceed_time <= step_end:\n    pass\n", scope_path=SIM_PATH
+        )
+        assert rules_of(findings) == ["TIME001"]
+
+    def test_time001_adding_two_absolutes(self):
+        findings = check("t = step_start + step_end\n", scope_path=SIM_PATH)
+        assert rules_of(findings) == ["TIME001"]
+
+    def test_time001_relative_minus_absolute(self):
+        findings = check(
+            "t = result.proceed_time - self.step_start\n",
+            scope_path=SIM_PATH,
+        )
+        assert rules_of(findings) == ["TIME001"]
+
+    def test_time001_cross_origin_assignment(self):
+        findings = check(
+            "step_end = outcome.proceed_time\n", scope_path=SIM_PATH
+        )
+        assert rules_of(findings) == ["TIME001"]
+
+    def test_time001_sanctioned_conversions_clean(self):
+        # absolute + relative -> absolute; absolute - absolute -> duration.
+        assert check(
+            "end = step_start + outcome.proceed_time\n"
+            "duration = step_end - step_start\n",
+            scope_path=SIM_PATH,
+        ) == []
+
+    def test_time001_out_of_scope(self):
+        assert check(
+            "t = step_start + step_end\n", scope_path="src/repro/core/x.py"
+        ) == []
+
+    def test_time002_undocumented_time_param(self):
+        findings = check(
+            """
+            def wait(deadline):
+                return deadline * 2
+            """,
+            scope_path=SIM_PATH,
+        )
+        assert rules_of(findings) == ["TIME002"]
+
+    def test_time002_documented_in_function_docstring(self):
+        assert check(
+            '''
+            def wait(deadline):
+                """Block until ``deadline`` (step-relative seconds)."""
+                return deadline * 2
+            ''',
+            scope_path=SIM_PATH,
+        ) == []
+
+    def test_time002_documented_in_class_docstring(self):
+        assert check(
+            '''
+            class Policy:
+                """Deadline is absolute simulated seconds."""
+
+                def __init__(self, deadline):
+                    self.deadline = deadline
+            ''',
+            scope_path=SIM_PATH,
+        ) == []
+
+    def test_time002_non_time_params_ignored(self):
+        assert check(
+            "def f(num_workers, fraction):\n    return num_workers\n",
+            scope_path=SIM_PATH,
+        ) == []
+
+
+# ----------------------------------------------------------------------
+# Registry-hygiene rules
+
+
+class TestRegistryRules:
+    def test_reg001_direct_strategy_construction(self):
+        findings = check(
+            "s = ISGCStrategy(placement, wait_for=2)\n",
+            scope_path="src/repro/experiments/foo.py",
+        )
+        assert rules_of(findings) == ["REG001"]
+
+    def test_reg001_factories_and_examples_exempt(self):
+        src = "s = ISGCStrategy(placement, wait_for=2)\n"
+        assert check(src, scope_path="src/repro/engine/spec.py") == []
+        assert check(src, scope_path="examples/demo.py") == []
+
+    def test_reg001_own_class_exempt(self):
+        assert check(
+            """
+            class MyStrategy:
+                pass
+
+            s = MyStrategy()
+            """,
+            scope_path="src/repro/experiments/foo.py",
+        ) == []
+
+    def test_reg002_direct_backend_construction(self):
+        findings = check(
+            "b = FlatBackend(cluster)\n",
+            scope_path="src/repro/experiments/foo.py",
+        )
+        assert rules_of(findings) == ["REG002"]
+
+    def test_reg002_shim_layer_exempt(self):
+        assert check(
+            "b = FlatBackend(cluster)\n",
+            scope_path="src/repro/training/trainer.py",
+        ) == []
+
+    def test_reg003_scheme_factory_missing_kwargs(self):
+        findings = check(
+            """
+            @register_scheme("toy")
+            def make_toy(*, num_workers, wait_for=None, rng=None):
+                return object()
+            """
+        )
+        assert rules_of(findings) == ["REG003"]
+
+    def test_reg003_scheme_factory_missing_num_workers(self):
+        findings = check(
+            """
+            @register_scheme("toy")
+            def make_toy(**params):
+                return object()
+            """
+        )
+        assert rules_of(findings) == ["REG003"]
+
+    def test_reg003_conforming_factory_clean(self):
+        assert check(
+            """
+            @register_scheme("toy")
+            def make_toy(*, num_workers, partitions_per_worker=1,
+                         wait_for=None, rng=None, **params):
+                return object()
+            """
+        ) == []
+
+    def test_reg003_backend_factory_arity(self):
+        findings = check(
+            """
+            @register_backend("toy")
+            def make_backend():
+                return object()
+            """
+        )
+        assert rules_of(findings) == ["REG003"]
+
+
+# ----------------------------------------------------------------------
+# Spec feasibility
+
+
+def base_spec(**over):
+    spec = {
+        "name": "t", "scheme": "is-gc-cr", "num_workers": 8,
+        "partitions_per_worker": 2, "wait_for": 4,
+    }
+    spec.update(over)
+    return spec
+
+
+class TestSpecFeasibility:
+    def test_feasible_cr_spec_clean(self):
+        assert spec_feasibility_problems(base_spec()) == []
+
+    def test_cr_with_c_equal_n_rejected_citing_constraint(self):
+        problems = spec_feasibility_problems(
+            base_spec(partitions_per_worker=8)
+        )
+        assert len(problems) == 1
+        # The message must cite the violated constraint.
+        assert "1 <= c < n" in problems[0]
+        assert "Theorem 1" in problems[0]
+
+    def test_fr_divisibility(self):
+        problems = spec_feasibility_problems(
+            base_spec(scheme="is-gc-fr", partitions_per_worker=3)
+        )
+        assert any("c | n" in p for p in problems)
+
+    def test_hr_missing_params(self):
+        problems = spec_feasibility_problems(base_spec(scheme="is-gc-hr"))
+        assert any("num_groups" in p for p in problems)
+
+    def test_hr_group_divisibility(self):
+        problems = spec_feasibility_problems(base_spec(
+            scheme="is-gc-hr", num_workers=8, partitions_per_worker=3,
+            scheme_params={"c1": 1, "c2": 2, "num_groups": 3},
+        ))
+        assert any("g | n" in p for p in problems)
+
+    def test_hr_theorem6_completeness(self):
+        # n0 = 6 > c + c1 = 3 + 1 violates within-group completeness.
+        problems = spec_feasibility_problems(base_spec(
+            scheme="is-gc-hr", num_workers=12, partitions_per_worker=3,
+            scheme_params={"c1": 1, "c2": 2, "num_groups": 2},
+        ))
+        assert any("Theorem 6" in p for p in problems)
+
+    def test_hr_partitions_mismatch(self):
+        problems = spec_feasibility_problems(base_spec(
+            scheme="is-gc-hr", num_workers=12, partitions_per_worker=1,
+            scheme_params={"c1": 1, "c2": 2, "num_groups": 3},
+        ))
+        assert any("c1 + c2" in p for p in problems)
+
+    def test_valid_hr_spec_clean(self):
+        assert spec_feasibility_problems(base_spec(
+            scheme="is-gc-hr", num_workers=12, partitions_per_worker=3,
+            wait_for=6, scheme_params={"c1": 1, "c2": 2, "num_groups": 3},
+        )) == []
+
+    def test_wait_for_range(self):
+        problems = spec_feasibility_problems(base_spec(wait_for=9))
+        assert any("1 <= w <= n" in p for p in problems)
+
+    def test_wait_for_required_for_waiting_schemes(self):
+        problems = spec_feasibility_problems(base_spec(wait_for=None))
+        assert any("wait_for" in p for p in problems)
+
+    def test_sync_sgd_needs_no_wait_for(self):
+        assert spec_feasibility_problems({
+            "scheme": "sync-sgd", "num_workers": 4, "wait_for": None,
+        }) == []
+
+    def test_bad_num_workers(self):
+        problems = spec_feasibility_problems(
+            {"scheme": "sync-sgd", "num_workers": 0}
+        )
+        assert any("num_workers" in p for p in problems)
+
+    def test_spec001_via_mapping(self):
+        findings = check_spec_mapping(
+            base_spec(partitions_per_worker=8), path="examples/specs/x.json"
+        )
+        assert rules_of(findings) == ["SPEC001"]
+
+    def test_spec002_literal_in_example(self):
+        findings = check(
+            """
+            spec = ExperimentSpec(
+                name="x", scheme="is-gc-cr", num_workers=4,
+                partitions_per_worker=4, wait_for=2,
+            )
+            """,
+            scope_path="examples/demo.py",
+        )
+        assert rules_of(findings) == ["SPEC002"]
+
+    def test_spec002_skips_unresolved_fields(self):
+        # wait_for computed at runtime: no "missing wait_for" guess.
+        assert check(
+            """
+            spec = ExperimentSpec(
+                name="x", scheme="is-gc-cr", num_workers=8,
+                partitions_per_worker=2, wait_for=pick_w(),
+            )
+            """,
+            scope_path="examples/demo.py",
+        ) == []
+
+    def test_spec002_exempts_tests(self):
+        assert check(
+            """
+            spec = ExperimentSpec(
+                name="x", scheme="is-gc-cr", num_workers=4,
+                partitions_per_worker=4, wait_for=2,
+            )
+            """,
+            scope_path="tests/test_whatever.py",
+        ) == []
+
+
+# ----------------------------------------------------------------------
+# The acceptance gate: the repo itself is clean.
+
+
+class TestFullRepo:
+    def test_repo_tree_is_clean(self):
+        result = run_check(
+            [REPO / "src", REPO / "tests", REPO / "examples"]
+        )
+        assert result.findings == [], "\n".join(
+            f.format() for f in result.findings
+        )
+        assert result.num_files > 100
+
+    def test_markdown_docs_are_clean(self):
+        result = run_check([REPO / "README.md", REPO / "docs"])
+        assert result.findings == [], "\n".join(
+            f.format() for f in result.findings
+        )
+
+    def test_shipped_spec_files_are_feasible(self):
+        result = run_check([REPO / "examples" / "specs"])
+        assert result.findings == []
+        assert result.num_files == 3

@@ -43,6 +43,32 @@ class TestSweep:
         assert SweepPoint(params={}, value=1).ok
         assert not SweepPoint(params={}, value=None, error="boom").ok
 
+    def test_error_preserves_full_traceback(self):
+        def boom(a):
+            raise ValueError(f"bad corner a={a}")
+
+        points = Sweep("s", {"a": (7,)}).run(boom)
+        assert not points[0].ok
+        assert "Traceback (most recent call last)" in points[0].error
+        # The frame that failed survives, not just str(exc).
+        assert "in boom" in points[0].error
+        assert points[0].error_summary == "ValueError: bad corner a=7"
+
+    def test_error_summary(self):
+        assert SweepPoint(params={}, value=1).error_summary is None
+        point = SweepPoint(
+            params={}, value=None,
+            error="Traceback ...\n  File x, line 1\nKeyError: 'k'\n",
+        )
+        assert point.error_summary == "KeyError: 'k'"
+
+    def test_table_cell_uses_error_summary(self):
+        sweep = Sweep("s", {"a": (0,)})
+        sweep.run(lambda a: 1 // a)
+        text = sweep.to_table().render()
+        assert "ZeroDivisionError" in text
+        assert "Traceback" not in text
+
 
 class TestTables:
     def test_long_table(self):
