@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint static test trace-demo
+.PHONY: check lint static test bench trace-demo
 
 check: lint static test
 
@@ -20,6 +20,11 @@ static:
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Smoke-sized parallel/cache benchmark; writes BENCH_parallel.json
+# (the perf-trajectory data point CI archives per commit).
+bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel.py --smoke
 
 trace-demo:
 	PYTHONPATH=src $(PYTHON) examples/traced_run.py

@@ -31,6 +31,7 @@ from repro import (
     read_traces,
 )
 from repro.analysis.reporting import trace_summary_table
+from repro.parallel import DecodeCache
 
 N, C, W, STEPS = 8, 2, 4, 120
 
@@ -47,11 +48,13 @@ def main() -> None:
     )
     placement = CyclicRepetition(N, C)
     tracer = RoundTracer()
+    cache = DecodeCache()  # memoised decodes, bit-identical to uncached
     trainer = DistributedTrainer(
         model=SoftmaxRegressionModel(12, 3, seed=0),
         streams=streams,
         strategy=ISGCStrategy(placement, wait_for=W,
-                              rng=np.random.default_rng(3)),
+                              rng=np.random.default_rng(3),
+                              cache=cache),
         cluster=ClusterSimulator(
             N, C, delay_model=ExponentialDelay(1.0),
             rng=np.random.default_rng(4),
@@ -85,7 +88,9 @@ def main() -> None:
     tracer.export_jsonl(out)
     loaded = read_traces(out)
     aggs = aggregate_traces(loaded)
-    trace_summary_table(aggs, title=f"Re-aggregated from {out.name}").show()
+    trace_summary_table(
+        aggs, title=f"Re-aggregated from {out.name}", cache=cache
+    ).show()
 
     live = aggregate_traces(tracer.traces)
     assert live == aggs, "exported trace must reproduce live aggregates"

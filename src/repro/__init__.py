@@ -129,6 +129,7 @@ from .engine import (
     register_scheme,
     run_spec,
 )
+from .parallel import DecodeCache, ProcessExecutor, SerialExecutor
 from .runtime import SimulatedRuntime
 from .obs import (
     MetricsRegistry,
@@ -237,6 +238,10 @@ __all__ = [
     "make_strategy",
     "register_scheme",
     "register_backend",
+    # parallel execution
+    "DecodeCache",
+    "ProcessExecutor",
+    "SerialExecutor",
     # observability
     "MetricsRegistry",
     "RoundTrace",

@@ -7,7 +7,9 @@ Exposes the library's main entry points without writing Python::
     python -m repro recovery  --scheme fr -n 8 -c 2 --trials 2000
     python -m repro bounds    -n 8 -c 2
     python -m repro experiment fig13
+    python -m repro experiment fig11 --jobs 8
     python -m repro run       experiment.json
+    python -m repro run       experiment.json --sweep wait_for=2,3,4 --jobs 4
     python -m repro trace record --out run.jsonl
     python -m repro trace summarize run.jsonl
     python -m repro check     src tests examples
@@ -204,12 +206,62 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sweep_value(token: str):
+    """``--sweep`` tokens: int if possible, else float, else string."""
+    for caster in (int, float):
+        try:
+            return caster(token)
+        except ValueError:
+            continue
+    return token
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    """Run a declarative :class:`ExperimentSpec` from a JSON/TOML file."""
+    """Run a declarative :class:`ExperimentSpec` from a JSON/TOML file.
+
+    With ``--sweep field=v1,v2`` (repeatable) the spec becomes the base
+    of a grid sweep over those fields; ``--jobs N`` fans the grid out
+    over a process pool with bit-for-bit identical results.
+    """
     from .analysis.plotting import downsample, sparkline
     from .engine.spec import ExperimentSpec, run_spec
 
     spec = ExperimentSpec.load(args.spec)
+    if args.sweep:
+        from .experiments.runner import executor_for_jobs
+        from .experiments.sweep import Sweep
+
+        axes = {}
+        for clause in args.sweep:
+            name, sep, values = clause.partition("=")
+            if not sep or not values:
+                raise ReproError(
+                    f"--sweep needs field=v1,v2,... , got {clause!r}"
+                )
+            axes[name.strip()] = [
+                _parse_sweep_value(tok) for tok in values.split(",") if tok
+            ]
+        sweep = Sweep.over_spec(f"{spec.name} sweep", spec, axes)
+        result = sweep.run(executor=executor_for_jobs(args.jobs))
+        names = list(axes)
+        table = Table(
+            title=f"{spec.name} — sweep over {', '.join(names)} "
+                  f"[{result.executor} executor, {result.elapsed:.2f}s]",
+            columns=[*names, "steps", "sim time (s)", "final loss"],
+        )
+        for point in result:
+            if point.ok:
+                s = point.value
+                cells = [
+                    s.num_steps if hasattr(s, "num_steps") else s.num_updates,
+                    round(s.total_sim_time, 3),
+                    round(s.final_loss, 4),
+                ]
+            else:
+                cells = [f"error: {point.error_summary}", "-", "-"]
+            table.add_row(*(point.params[k] for k in names), *cells)
+        table.show()
+        return 0 if result.ok else 1
     summary = run_spec(spec)
     backend = "async-arrivals" if spec.rule == "async" else spec.backend
     print(f"{spec.name} [{spec.scheme} / {backend} / {spec.rule}]")
@@ -222,7 +274,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_experiment(args: argparse.Namespace) -> int:
     """Run one of the paper experiments end to end."""
     from .experiments.runner import main as runner_main
-    runner_main([args.figure])
+
+    argv = [args.figure]
+    if args.jobs is not None:
+        argv += ["--jobs", str(args.jobs)]
+    runner_main(argv)
     return 0
 
 
@@ -336,6 +392,16 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="run a declarative experiment spec (.json/.toml)"
     )
     p.add_argument("spec", help="path to an ExperimentSpec file")
+    p.add_argument(
+        "--sweep", action="append", default=None, metavar="FIELD=V1,V2",
+        help="sweep a spec field over values (repeatable); grid points "
+             "run under the sweep executor",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="process-pool workers for --sweep grids (default: serial; "
+             "results are identical either way)",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -364,6 +430,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="run a paper experiment")
     p.add_argument(
         "figure", choices=("fig11", "fig12", "fig13", "extra", "all"),
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="process-pool workers for the figure grid (default: serial; "
+             "results are identical either way)",
     )
     p.set_defaults(func=cmd_experiment)
 

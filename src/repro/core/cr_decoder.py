@@ -24,32 +24,42 @@ heuristic loses nothing.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List
+from typing import Any, FrozenSet, List
 
 from ..exceptions import ConfigurationError
 from ..graphs.circulant import circular_distance
 from .cyclic import CyclicRepetition
-from .decoders import Decoder, register_decoder
+from .decoders import Decoder, Selection, _legacy_positional, register_decoder
 
 
 @register_decoder("cr")
 class CRDecoder(Decoder):
     """Alg. 2: windowed greedy search over the worker circle."""
 
-    def __init__(self, placement: CyclicRepetition, rng=None, starts: str = "window"):
+    def __init__(
+        self,
+        placement: CyclicRepetition,
+        *args: Any,
+        rng=None,
+        starts: str = "window",
+        cache=None,
+    ):
         if not isinstance(placement, CyclicRepetition):
             raise TypeError(
                 f"CRDecoder requires a CyclicRepetition placement, "
                 f"got {type(placement).__name__}"
             )
+        rng, starts = _legacy_positional(
+            "CRDecoder()", args, (("rng", rng), ("starts", starts))
+        )
         if starts not in ("window", "all"):
             raise ConfigurationError(
                 f"starts must be 'window' or 'all', got {starts!r}"
             )
-        super().__init__(placement, rng=rng)
+        super().__init__(placement, rng=rng, cache=cache)
         self._starts = starts
 
-    def _select(self, available: FrozenSet[int]) -> tuple[FrozenSet[int], int]:
+    def _decode(self, available: FrozenSet[int]) -> Selection:
         n = self._placement.num_workers
         c = self._placement.partitions_per_worker
         avail_sorted = sorted(available)
@@ -70,10 +80,17 @@ class CRDecoder(Decoder):
         searches = 0
         for start in start_vertices:
             searches += 1
-            chain = self._greedy_chain(start, available, n, c)
+            # The chain is a pure function of (placement, mask, start) —
+            # cacheable; the RNG draws above stay live either way.
+            chain = self._memo(
+                "cr-chain",
+                available,
+                start,
+                lambda start=start: self._greedy_chain(start, available, n, c),
+            )
             if len(chain) > len(best):
                 best = chain
-        return best, searches
+        return Selection(best, searches)
 
     @staticmethod
     def _greedy_chain(

@@ -12,12 +12,48 @@ All decoders share two contracts the paper relies on:
 * **fairness** — under homogeneous stragglers every partition has the
   same probability of appearing in ``I`` (randomized tie-breaking,
   driven by an injected :class:`numpy.random.Generator`).
+
+Public API
+----------
+:meth:`Decoder.decode` is the **single public entry point**: it
+validates the availability mask, runs the scheme's search, checks the
+disjointness invariant and returns a
+:class:`~repro.types.DecodeResult`.  Subclasses implement the
+:meth:`Decoder._decode` hook returning a typed :class:`Selection`.
+(The pre-redesign ``_select -> tuple[FrozenSet[int], int]`` convention
+still works for one release, with a :class:`DeprecationWarning`.)
+
+``rng``, ``metrics`` and ``cache`` are keyword-only in
+:func:`decoder_for` and every decoder constructor; positional use is
+shimmed with a one-release deprecation warning.
+
+Caching
+-------
+Attach a :class:`~repro.parallel.DecodeCache` (constructor ``cache=``
+or :meth:`Decoder.attach_cache`) and the decoders memoise their
+*deterministic* search kernels through :meth:`Decoder._memo`, keyed on
+(placement fingerprint, frozen availability mask).  Fairness RNG draws
+are never cached, so cached decoding is bit-for-bit identical to
+uncached — same results, same generator stream.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, FrozenSet, Iterable, Type
+import warnings
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    NamedTuple,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+)
 
 import numpy as np
 
@@ -27,6 +63,42 @@ from ..types import DecodeResult
 from .placement import Placement
 
 _REGISTRY: Dict[str, Type["Decoder"]] = {}
+
+_T = TypeVar("_T")
+
+
+class Selection(NamedTuple):
+    """What a decoder's search found for one availability mask."""
+
+    #: the pairwise non-conflicting workers whose payloads are summed.
+    workers: FrozenSet[int]
+    #: how many greedy searches (start vertices) were run.
+    num_searches: int
+
+
+def _legacy_positional(
+    where: str, args: Tuple[Any, ...], spec: Sequence[Tuple[str, Any]]
+) -> list:
+    """One-release shim mapping legacy positional args onto keyword-only
+    parameters; warns when any are present."""
+    if len(args) > len(spec):
+        names = ", ".join(name for name, _ in spec)
+        raise TypeError(
+            f"{where} takes at most {len(spec)} optional arguments "
+            f"({names}), got {len(args)} positional"
+        )
+    if args:
+        names = ", ".join(name for name, _ in spec[: len(args)])
+        warnings.warn(
+            f"passing {names} positionally to {where} is deprecated and "
+            f"will be removed next release; use keyword arguments",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    values = [value for _, value in spec]
+    for i, arg in enumerate(args):
+        values[i] = arg
+    return values
 
 
 def register_decoder(scheme: str) -> Callable[[Type["Decoder"]], Type["Decoder"]]:
@@ -42,18 +114,24 @@ def register_decoder(scheme: str) -> Callable[[Type["Decoder"]], Type["Decoder"]
 
 def decoder_for(
     placement: Placement,
+    *args: Any,
     rng: np.random.Generator | None = None,
     metrics: "MetricsRegistry | None" = None,
+    cache: "Any | None" = None,
 ) -> "Decoder":
     """Instantiate the registered decoder matching ``placement.scheme``.
 
-    Falls back to the exact-MIS decoder for unknown schemes, which is
-    correct for *any* placement (just not linear-time).  The fallback is
-    registered on demand, so this works even when only this module has
-    been imported; if registration is somehow impossible a descriptive
+    ``rng``, ``metrics`` and ``cache`` are keyword-only.  Falls back to
+    the exact-MIS decoder for unknown schemes, which is correct for
+    *any* placement (just not linear-time).  The fallback is registered
+    on demand, so this works even when only this module has been
+    imported; if registration is somehow impossible a descriptive
     :class:`~repro.exceptions.DecodeError` is raised instead of a bare
     ``KeyError``.
     """
+    rng, metrics = _legacy_positional(
+        "decoder_for", args, (("rng", rng), ("metrics", metrics))
+    )
     cls = _REGISTRY.get(placement.scheme)
     if cls is None:
         if "exact" not in _REGISTRY:
@@ -66,7 +144,7 @@ def decoder_for(
                 f"and the exact-MIS fallback is unavailable; registered "
                 f"schemes: {sorted(_REGISTRY)}"
             )
-    decoder = cls(placement, rng=rng)
+    decoder = cls(placement, rng=rng, cache=cache)
     if metrics is not None:
         decoder.attach_metrics(metrics)
     return decoder
@@ -77,10 +155,20 @@ class Decoder(abc.ABC):
 
     scheme: str = "abstract"
 
-    def __init__(self, placement: Placement, rng: np.random.Generator | None = None):
+    def __init__(
+        self,
+        placement: Placement,
+        *args: Any,
+        rng: np.random.Generator | None = None,
+        cache: "Any | None" = None,
+    ):
+        (rng,) = _legacy_positional(
+            f"{type(self).__name__}()", args, (("rng", rng),)
+        )
         self._placement = placement
         self._rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[DET003] deliberate opt-in to entropy when no rng is injected
         self._metrics: "MetricsRegistry" = NULL_REGISTRY
+        self._cache = cache
 
     @property
     def placement(self) -> Placement:
@@ -95,8 +183,19 @@ class Decoder(abc.ABC):
         """Route this decoder's per-call metrics into ``registry``."""
         self._metrics = registry
 
+    @property
+    def cache(self):
+        """The attached :class:`~repro.parallel.DecodeCache`, or ``None``."""
+        return self._cache
+
+    def attach_cache(self, cache) -> None:
+        """Memoise this decoder's deterministic search kernels in
+        ``cache`` (results stay bit-for-bit identical — see module
+        docstring)."""
+        self._cache = cache
+
     def decode(self, available_workers: Iterable[int]) -> DecodeResult:
-        """Run one decoding round.
+        """Run one decoding round — the single public entry point.
 
         Parameters
         ----------
@@ -111,7 +210,8 @@ class Decoder(abc.ABC):
         bad = [w for w in available if not 0 <= w < n]
         if bad:
             raise DecodeError(f"available workers out of range [0, {n}): {bad}")
-        selected, searches = self._select(available)
+        selection = self._decode(available)
+        selected, searches = selection
         if not selected:
             raise DecodeError(
                 "decoder selected no workers despite availability "
@@ -135,9 +235,54 @@ class Decoder(abc.ABC):
         )
 
     # ------------------------------------------------------------------
-    @abc.abstractmethod
+    def _decode(self, available: FrozenSet[int]) -> Selection:
+        """Search hook: the :class:`Selection` for ``available``.
+
+        Subclasses override this.  A subclass that still overrides the
+        legacy ``_select`` hook keeps working for one release via this
+        default implementation (with a :class:`DeprecationWarning`).
+        """
+        legacy = type(self)._select
+        if legacy is Decoder._select:
+            raise NotImplementedError(
+                f"{type(self).__name__} must implement _decode()"
+            )
+        warnings.warn(
+            f"{type(self).__name__} overrides the deprecated _select() "
+            f"hook; implement _decode() returning a Selection instead "
+            f"(removal next release)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        workers, searches = legacy(self, available)
+        return Selection(frozenset(workers), int(searches))
+
     def _select(self, available: FrozenSet[int]) -> tuple[FrozenSet[int], int]:
-        """Return (selected worker set, number of greedy searches run)."""
+        """Deprecated pre-redesign hook; implement :meth:`_decode`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _decode()"
+        )
+
+    # ------------------------------------------------------------------
+    def _memo(
+        self,
+        kind: str,
+        available: FrozenSet[int],
+        extra: Hashable,
+        compute: Callable[[], _T],
+    ) -> _T:
+        """Memoise a *deterministic* search kernel through the attached
+        cache; a plain ``compute()`` when no cache is attached.
+
+        Only pure functions of (placement, ``available``, ``extra``)
+        may go through here — never anything that touches ``self._rng``.
+        """
+        cache = self._cache
+        if cache is None:
+            return compute()
+        return cache.get_or_compute(
+            self._placement.fingerprint, kind, (available, extra), compute
+        )
 
     def _check_disjoint(self, selected: Iterable[int]) -> None:
         """Internal invariant: selected workers' partitions are disjoint."""

@@ -11,7 +11,7 @@ independent sets exist one is chosen uniformly at random.
 
 from __future__ import annotations
 
-from typing import FrozenSet
+from typing import Any, FrozenSet, Tuple
 
 from ..graphs.graph import Graph
 from ..graphs.independent_set import (
@@ -19,7 +19,7 @@ from ..graphs.independent_set import (
     maximum_independent_set,
 )
 from .conflict import conflict_graph
-from .decoders import Decoder, register_decoder
+from .decoders import Decoder, Selection, _legacy_positional, register_decoder
 from .placement import Placement
 
 
@@ -30,13 +30,18 @@ class ExactDecoder(Decoder):
     def __init__(
         self,
         placement: Placement,
+        *args: Any,
         rng=None,
         fair: bool = True,
+        cache=None,
     ):
         """``fair=True`` samples uniformly among all maximum independent
         sets (slower); ``fair=False`` returns a single deterministic
         optimum (used in benchmarks where only the size matters)."""
-        super().__init__(placement, rng=rng)
+        rng, fair = _legacy_positional(
+            "ExactDecoder()", args, (("rng", rng), ("fair", fair))
+        )
+        super().__init__(placement, rng=rng, cache=cache)
         self._graph: Graph = conflict_graph(placement)
         self._fair = fair
 
@@ -45,12 +50,30 @@ class ExactDecoder(Decoder):
         """The full conflict graph of the placement."""
         return self._graph
 
-    def _select(self, available: FrozenSet[int]) -> tuple[FrozenSet[int], int]:
-        induced = self._graph.subgraph(available)
+    def _decode(self, available: FrozenSet[int]) -> Selection:
         if self._fair:
-            optima = all_maximum_independent_sets(induced)
+            # all_maximum_independent_sets is canonically ordered (pure
+            # in the induced subgraph), so the optima list memoises; the
+            # uniform index draw below stays live for fairness.
+            optima: Tuple[FrozenSet[int], ...] = self._memo(
+                "exact-optima",
+                available,
+                "fair",
+                lambda: tuple(
+                    all_maximum_independent_sets(
+                        self._graph.subgraph(available)
+                    )
+                ),
+            )
             idx = int(self._rng.integers(len(optima)))
             chosen = optima[idx]
         else:
-            chosen = maximum_independent_set(induced)
-        return frozenset(int(v) for v in chosen), 1
+            chosen = self._memo(
+                "exact-optima",
+                available,
+                "first",
+                lambda: maximum_independent_set(
+                    self._graph.subgraph(available)
+                ),
+            )
+        return Selection(frozenset(int(v) for v in chosen), 1)

@@ -9,25 +9,37 @@ contribute when stragglers are homogeneous).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List
+from typing import Any, Dict, FrozenSet, List
 
-from .decoders import Decoder, register_decoder
+from .decoders import Decoder, Selection, _legacy_positional, register_decoder
 from .fractional import FractionalRepetition
 
 
 @register_decoder("fr")
 class FRDecoder(Decoder):
-    """Alg. 1: one random available worker per FR group."""
+    """Alg. 1: one random available worker per FR group.
 
-    def __init__(self, placement: FractionalRepetition, rng=None):
+    Deliberately uncached: decoding is already O(|W'|) — there is no
+    search kernel worth memoising, and the per-group RNG draws must
+    stay live for fairness anyway.
+    """
+
+    def __init__(
+        self,
+        placement: FractionalRepetition,
+        *args: Any,
+        rng=None,
+        cache=None,
+    ):
         if not isinstance(placement, FractionalRepetition):
             raise TypeError(
                 f"FRDecoder requires a FractionalRepetition placement, "
                 f"got {type(placement).__name__}"
             )
-        super().__init__(placement, rng=rng)
+        (rng,) = _legacy_positional("FRDecoder()", args, (("rng", rng),))
+        super().__init__(placement, rng=rng, cache=cache)
 
-    def _select(self, available: FrozenSet[int]) -> tuple[FrozenSet[int], int]:
+    def _decode(self, available: FrozenSet[int]) -> Selection:
         placement: FractionalRepetition = self._placement  # type: ignore[assignment]
         by_group: Dict[int, List[int]] = {}
         for worker in available:
@@ -36,4 +48,4 @@ class FRDecoder(Decoder):
             int(self._rng.choice(sorted(members)))
             for members in by_group.values()
         )
-        return selected, 1
+        return Selection(selected, 1)

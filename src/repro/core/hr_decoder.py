@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import FrozenSet, List
 
 from ..graphs.circulant import circular_distance
-from .decoders import Decoder, register_decoder
+from .decoders import Decoder, Selection, _legacy_positional, register_decoder
 from .hybrid import HybridRepetition
 
 
@@ -35,15 +35,16 @@ from .hybrid import HybridRepetition
 class HRDecoder(Decoder):
     """Alg. 3/4: group-seeded greedy walk with the HR conflict predicate."""
 
-    def __init__(self, placement: HybridRepetition, rng=None):
+    def __init__(self, placement: HybridRepetition, *args, rng=None, cache=None):
         if not isinstance(placement, HybridRepetition):
             raise TypeError(
                 f"HRDecoder requires a HybridRepetition placement, "
                 f"got {type(placement).__name__}"
             )
-        super().__init__(placement, rng=rng)
+        (rng,) = _legacy_positional("HRDecoder()", args, (("rng", rng),))
+        super().__init__(placement, rng=rng, cache=cache)
 
-    def _select(self, available: FrozenSet[int]) -> tuple[FrozenSet[int], int]:
+    def _decode(self, available: FrozenSet[int]) -> Selection:
         placement: HybridRepetition = self._placement  # type: ignore[assignment]
         n = placement.num_workers
         c = placement.partitions_per_worker
@@ -57,9 +58,7 @@ class HRDecoder(Decoder):
     # ------------------------------------------------------------------
     # Pure-CR degenerate case
     # ------------------------------------------------------------------
-    def _cr_walk(
-        self, available: FrozenSet[int], n: int, c: int
-    ) -> tuple[FrozenSet[int], int]:
+    def _cr_walk(self, available: FrozenSet[int], n: int, c: int) -> Selection:
         """Alg. 2 on the global circle (HR(n, 0, c) ≡ CR(n, c))."""
         u = int(self._rng.choice(sorted(available)))
         starts = sorted({(u + v) % n for v in range(c)} & available)
@@ -67,26 +66,40 @@ class HRDecoder(Decoder):
         self._rng.shuffle(starts)
         best: FrozenSet[int] = frozenset()
         for start in starts:
-            chain: List[int] = [start]
-            last = start
-            for offset in range(1, n):
-                cand = (start + offset) % n
-                if cand not in available:
-                    continue
-                if (
-                    circular_distance(last, cand, n) >= c
-                    and circular_distance(cand, start, n) >= c
-                ):
-                    chain.append(cand)
-                    last = cand
+            # Pure in (mask, start) — memoisable; RNG draws stay live.
+            chain = self._memo(
+                "hr-cr-chain",
+                available,
+                start,
+                lambda start=start: self._circle_chain(start, available, n, c),
+            )
             if len(chain) > len(best):
-                best = frozenset(chain)
-        return best, len(starts)
+                best = chain
+        return Selection(best, len(starts))
+
+    @staticmethod
+    def _circle_chain(
+        start: int, available: FrozenSet[int], n: int, c: int
+    ) -> FrozenSet[int]:
+        """Deterministic clockwise greedy walk on an ``n``-circle."""
+        chain: List[int] = [start]
+        last = start
+        for offset in range(1, n):
+            cand = (start + offset) % n
+            if cand not in available:
+                continue
+            if (
+                circular_distance(last, cand, n) >= c
+                and circular_distance(cand, start, n) >= c
+            ):
+                chain.append(cand)
+                last = cand
+        return frozenset(chain)
 
     # ------------------------------------------------------------------
     # Grouped-CR case (c2 = 0): groups are conflict-isolated
     # ------------------------------------------------------------------
-    def _per_group(self, available: FrozenSet[int]) -> tuple[FrozenSet[int], int]:
+    def _per_group(self, available: FrozenSet[int]) -> Selection:
         placement: HybridRepetition = self._placement  # type: ignore[assignment]
         n0 = placement.group_size
         c = placement.partitions_per_worker
@@ -105,29 +118,26 @@ class HRDecoder(Decoder):
             best_local: FrozenSet[int] = frozenset()
             for start in starts:
                 searches += 1
-                chain: List[int] = [start]
-                last = start
-                for offset in range(1, n0):
-                    cand = (start + offset) % n0
-                    if cand not in local_avail:
-                        continue
-                    if (
-                        circular_distance(last, cand, n0) >= c
-                        and circular_distance(cand, start, n0) >= c
-                    ):
-                        chain.append(cand)
-                        last = cand
+                # local_avail is a pure projection of the global mask, so
+                # keying on (mask, group, start) is sound.
+                chain = self._memo(
+                    "hr-group-chain",
+                    available,
+                    (group, start),
+                    lambda start=start: self._circle_chain(
+                        start, local_avail, n0, c
+                    ),
+                )
                 if len(chain) > len(best_local):
-                    best_local = frozenset(chain)
+                    best_local = chain
             selected |= {base + v for v in best_local}
-        return frozenset(selected), max(searches, 1)
+        return Selection(frozenset(selected), max(searches, 1))
 
     # ------------------------------------------------------------------
     # General HR (c1 > 0 and c2 > 0): Alg. 3
     # ------------------------------------------------------------------
-    def _general_walk(self, available: FrozenSet[int]) -> tuple[FrozenSet[int], int]:
+    def _general_walk(self, available: FrozenSet[int]) -> Selection:
         placement: HybridRepetition = self._placement  # type: ignore[assignment]
-        n = placement.num_workers
         n0 = placement.group_size
         non_empty = sorted({w // n0 for w in available})
         group = int(self._rng.choice(non_empty))
@@ -139,17 +149,31 @@ class HRDecoder(Decoder):
         self._rng.shuffle(starts)
         best: FrozenSet[int] = frozenset()
         for start in starts:
-            chain: List[int] = [start]
-            last = start
-            for offset in range(1, n):
-                cand = (start + offset) % n
-                if cand not in available:
-                    continue
-                if not placement.conflicts_fast(last, cand) and not (
-                    placement.conflicts_fast(cand, start)
-                ):
-                    chain.append(cand)
-                    last = cand
+            chain = self._memo(
+                "hr-general-chain",
+                available,
+                start,
+                lambda start=start: self._conflict_chain(start, available),
+            )
             if len(chain) > len(best):
-                best = frozenset(chain)
-        return best, len(starts)
+                best = chain
+        return Selection(best, len(starts))
+
+    def _conflict_chain(
+        self, start: int, available: FrozenSet[int]
+    ) -> FrozenSet[int]:
+        """Deterministic Alg. 3 walk under the Alg. 4 conflict predicate."""
+        placement: HybridRepetition = self._placement  # type: ignore[assignment]
+        n = placement.num_workers
+        chain: List[int] = [start]
+        last = start
+        for offset in range(1, n):
+            cand = (start + offset) % n
+            if cand not in available:
+                continue
+            if not placement.conflicts_fast(last, cand) and not (
+                placement.conflicts_fast(cand, start)
+            ):
+                chain.append(cand)
+                last = cand
+        return frozenset(chain)

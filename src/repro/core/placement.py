@@ -16,7 +16,8 @@ being implemented whenever the translation is non-trivial.
 from __future__ import annotations
 
 import abc
-from typing import Dict, FrozenSet, List, Tuple
+import hashlib
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..exceptions import PlacementError
 
@@ -48,6 +49,7 @@ class Placement(abc.ABC):
         self._c = partitions_per_worker
         self._assignments: Dict[int, Tuple[int, ...]] = {}
         self._replicas: Dict[int, FrozenSet[int]] = {}
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Subclass hook
@@ -127,6 +129,25 @@ class Placement(abc.ABC):
         return bool(
             set(self.partitions_of(worker_a)) & set(self.partitions_of(worker_b))
         )
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest of this placement, stable across processes.
+
+        Unlike ``hash()`` (salted per interpreter for strings, and only
+        process-stable here by accident of implementation), this is a
+        deterministic function of (class, scheme, n, c, assignments) —
+        the contract cache keys need to survive process-pool boundaries.
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(
+                f"{type(self).__name__}|{self.scheme}|{self._n}|{self._c}".encode()
+            )
+            for worker, parts in sorted(self._assignments.items()):
+                h.update(f"|{worker}:{','.join(map(str, parts))}".encode())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def assignment_table(self) -> Dict[int, Tuple[int, ...]]:
         """A defensive copy of the full worker → partitions mapping."""

@@ -70,6 +70,12 @@ class RoundEngine:
         self.max_steps = 0
         backend.bind(self)
         self.tracer = tracer if tracer is not None else backend.tracer
+        # A decode cache riding on the strategy reports its hit/miss
+        # counters through the trace registry (``decode.cache.*``), so
+        # the hit rate lands in the run's trace summary.
+        cache = getattr(strategy, "decode_cache", None)
+        if self.tracer is not None and cache is not None:
+            cache.attach_metrics(self.tracer.registry)
         # The engine is imported by repro.training, so training-layer
         # helpers bind at construction time rather than import time.
         from ..training.evaluation import held_out_loss

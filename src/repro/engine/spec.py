@@ -152,36 +152,45 @@ def _classic_gc(*, num_workers, partitions_per_worker=1, wait_for=None,
     return ClassicGCStrategy(placement, rng=rng)
 
 
-def _isgc(placement, wait_for, rng, policy):
+def _isgc(placement, wait_for, rng, policy, cache=None):
+    from ..parallel.cache import DecodeCache
     from ..training.strategies import ISGCStrategy
 
     if wait_for is None:
         raise ConfigurationError("IS-GC schemes need wait_for")
-    return ISGCStrategy(placement, wait_for=wait_for, rng=rng, policy=policy)
+    # Spec-built IS-GC runs cache their decode search kernels by
+    # default: cached decoding is bit-for-bit identical to uncached
+    # (the memo sits under the fairness RNG draws), so this is pure
+    # speed-up.  Pass an explicit cache to share one across runs.
+    if cache is None:
+        cache = DecodeCache()
+    return ISGCStrategy(
+        placement, wait_for=wait_for, rng=rng, policy=policy, cache=cache
+    )
 
 
 @register_scheme("is-gc-fr")
 def _isgc_fr(*, num_workers, partitions_per_worker=1, wait_for=None,
-             rng=None, policy=None, **params):
+             rng=None, policy=None, cache=None, **params):
     from ..core.fractional import FractionalRepetition
 
     placement = FractionalRepetition(num_workers, partitions_per_worker)
-    return _isgc(placement, wait_for, rng, policy)
+    return _isgc(placement, wait_for, rng, policy, cache)
 
 
 @register_scheme("is-gc-cr")
 def _isgc_cr(*, num_workers, partitions_per_worker=1, wait_for=None,
-             rng=None, policy=None, **params):
+             rng=None, policy=None, cache=None, **params):
     from ..core.cyclic import CyclicRepetition
 
     placement = CyclicRepetition(num_workers, partitions_per_worker)
-    return _isgc(placement, wait_for, rng, policy)
+    return _isgc(placement, wait_for, rng, policy, cache)
 
 
 @register_scheme("is-gc-hr")
 def _isgc_hr(*, num_workers, partitions_per_worker=1, wait_for=None,
              rng=None, policy=None, c1=None, c2=None, num_groups=None,
-             **params):
+             cache=None, **params):
     from ..core.hybrid import HybridRepetition
 
     if c1 is None or c2 is None or num_groups is None:
@@ -189,7 +198,7 @@ def _isgc_hr(*, num_workers, partitions_per_worker=1, wait_for=None,
             "scheme 'is-gc-hr' needs c1, c2 and num_groups params"
         )
     placement = HybridRepetition(num_workers, c1, c2, num_groups)
-    return _isgc(placement, wait_for, rng, policy)
+    return _isgc(placement, wait_for, rng, policy, cache)
 
 
 # ----------------------------------------------------------------------
@@ -574,6 +583,18 @@ def build_engine(spec: ExperimentSpec) -> RoundEngine:
         rule=rule,
         eval_data=dataset,
     )
+
+
+def run_spec_variation(base: ExperimentSpec, **overrides):
+    """Run ``base`` with dataclass-field overrides applied.
+
+    Module-level (hence picklable) cell function for spec grid sweeps:
+    ``ProcessExecutor`` ships ``functools.partial(run_spec_variation,
+    base)`` plus per-point override dicts across the pool boundary.
+    Overrides re-run the spec's validation via ``dataclasses.replace``.
+    """
+    spec = dataclasses.replace(base, **overrides) if overrides else base
+    return run_spec(spec)
 
 
 def run_spec(spec: "ExperimentSpec | str | pathlib.Path"):

@@ -21,6 +21,7 @@ below ~10 % when delays dominate (mean 3.0 s).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Tuple
 
@@ -29,6 +30,7 @@ import numpy as np
 from ..analysis.reporting import Table
 from ..core.cyclic import CyclicRepetition
 from ..core.decoders import Decoder, decoder_for
+from ..parallel import PointTask, SweepExecutor
 from ..simulation.cluster import ClusterSimulator, ComputeModel
 from ..simulation.policies import WaitForK, WaitPolicy
 from ..straggler.models import ExponentialDelay
@@ -144,16 +146,40 @@ def run_condition(
 def run_fig11(
     cfg: Fig11Config | None = None,
     tracer: "RoundTracer | None" = None,
+    executor: "SweepExecutor | None" = None,
 ) -> Dict[Tuple[float, int], List[SchemePoint]]:
-    """Both panels: every (delay mean, #delayed) condition."""
+    """Both panels: every (delay mean, #delayed) condition.
+
+    Conditions are independent (each builds its own trace from
+    ``(cfg.seed, delay, num_delayed)``), so any
+    :class:`~repro.parallel.SweepExecutor` reproduces the serial
+    results bit-for-bit.  Tracing forces the serial path — a tracer
+    accumulates in-process state that cannot cross a pool boundary.
+    """
     cfg = cfg or Fig11Config()
-    results: Dict[Tuple[float, int], List[SchemePoint]] = {}
-    for delay in cfg.expected_delays:
-        for num_delayed in cfg.num_delayed_options:
-            results[(delay, num_delayed)] = run_condition(
+    conditions = [
+        (delay, num_delayed)
+        for delay in cfg.expected_delays
+        for num_delayed in cfg.num_delayed_options
+    ]
+    if tracer is not None or executor is None:
+        return {
+            (delay, num_delayed): run_condition(
                 cfg, delay, num_delayed, tracer=tracer
             )
-    return results
+            for delay, num_delayed in conditions
+        }
+    tasks = [
+        PointTask(
+            index=i,
+            params={"expected_delay": delay, "num_delayed": num_delayed},
+        )
+        for i, (delay, num_delayed) in enumerate(conditions)
+    ]
+    outcomes = executor.run(
+        functools.partial(run_condition, cfg), tasks, reraise=True
+    )
+    return {conditions[o.index]: o.value for o in outcomes}
 
 
 def run_traced_fig11(
@@ -182,10 +208,13 @@ def run_traced_fig11(
     return points, tracer
 
 
-def fig11_tables(cfg: Fig11Config | None = None) -> List[Table]:
+def fig11_tables(
+    cfg: Fig11Config | None = None,
+    executor: "SweepExecutor | None" = None,
+) -> List[Table]:
     """Render the Fig. 11 reproduction as printable tables."""
     cfg = cfg or Fig11Config()
-    results = run_fig11(cfg)
+    results = run_fig11(cfg, executor=executor)
     tables: List[Table] = []
     for (delay, num_delayed), points in sorted(results.items()):
         table = Table(

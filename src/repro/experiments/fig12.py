@@ -19,6 +19,7 @@ scheme replays the same recorded delay trace per trial.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -30,6 +31,7 @@ from ..analysis.stats import summarize_trials
 from ..core.cyclic import CyclicRepetition
 from ..core.fractional import FractionalRepetition
 from ..engine.spec import make_strategy
+from ..parallel import PointTask, SweepExecutor
 from ..simulation.cluster import ClusterSimulator
 from ..straggler.models import ExponentialDelay
 from ..straggler.traces import DelayTrace, TraceReplayModel
@@ -114,52 +116,71 @@ def _strategies_for(cfg: Fig12Config, w: int, trial_seed: int) -> List[TrainingS
     ]
 
 
-def run_fig12(cfg: Fig12Config | None = None) -> Dict[int, List[TrainingPoint]]:
-    """Panels (b)-(d): train every scheme at every w, averaged over trials."""
-    cfg = cfg or Fig12Config()
-    n = cfg.num_workers
+def _fig12_cell(cfg: Fig12Config, wait_for: int) -> List[TrainingPoint]:
+    """One wait-count column: every scheme, averaged over trials.
 
+    Self-contained (dataset, streams and traces all rebuild from
+    ``cfg``'s seeds), hence picklable as ``partial(_fig12_cell, cfg)``
+    and bit-identical under any executor.
+    """
+    n = cfg.num_workers
+    w = wait_for
     dataset = make_cifar_like(cfg.dataset_samples, side=8, seed=cfg.seed)
     partitions = partition_dataset(dataset, n, seed=cfg.seed + 1)
     streams = build_batch_streams(partitions, cfg.batch_size, seed=cfg.seed + 2)
 
-    results: Dict[int, List[TrainingPoint]] = {}
-    for w in cfg.wait_values:
-        cell: Dict[str, List[TrainingSummary]] = {}
-        for trial in range(cfg.num_trials):
-            trial_seed = cfg.seed + 1000 * trial
-            trace = DelayTrace.record(
-                ExponentialDelay(
-                    cfg.expected_delay, affected=range(cfg.num_straggling)
+    cell: Dict[str, List[TrainingSummary]] = {}
+    for trial in range(cfg.num_trials):
+        trial_seed = cfg.seed + 1000 * trial
+        trace = DelayTrace.record(
+            ExponentialDelay(
+                cfg.expected_delay, affected=range(cfg.num_straggling)
+            ),
+            n, cfg.max_steps, np.random.default_rng(trial_seed),
+        )
+        for strategy in _strategies_for(cfg, w, trial_seed):
+            summary = _run_one(cfg, strategy, trace, streams, dataset)
+            cell.setdefault(strategy.name, []).append(summary)
+    points: List[TrainingPoint] = []
+    for scheme, summaries in cell.items():
+        steps = [float(s.num_steps) for s in summaries]
+        totals = [s.total_sim_time for s in summaries]
+        points.append(
+            TrainingPoint(
+                scheme=scheme,
+                wait_for=w,
+                recovery_pct=100 * float(
+                    np.mean([s.avg_recovery_fraction for s in summaries])
                 ),
-                n, cfg.max_steps, np.random.default_rng(trial_seed),
+                num_steps=float(np.mean(steps)),
+                avg_step_time=float(
+                    np.mean([s.avg_step_time for s in summaries])
+                ),
+                total_time=float(np.mean(totals)),
+                reached_threshold=all(s.reached_threshold for s in summaries),
+                num_steps_ci=summarize_trials(steps).format(4),
+                total_time_ci=summarize_trials(totals).format(4),
             )
-            for strategy in _strategies_for(cfg, w, trial_seed):
-                summary = _run_one(cfg, strategy, trace, streams, dataset)
-                cell.setdefault(strategy.name, []).append(summary)
-        points: List[TrainingPoint] = []
-        for scheme, summaries in cell.items():
-            steps = [float(s.num_steps) for s in summaries]
-            totals = [s.total_sim_time for s in summaries]
-            points.append(
-                TrainingPoint(
-                    scheme=scheme,
-                    wait_for=w,
-                    recovery_pct=100 * float(
-                        np.mean([s.avg_recovery_fraction for s in summaries])
-                    ),
-                    num_steps=float(np.mean(steps)),
-                    avg_step_time=float(
-                        np.mean([s.avg_step_time for s in summaries])
-                    ),
-                    total_time=float(np.mean(totals)),
-                    reached_threshold=all(s.reached_threshold for s in summaries),
-                    num_steps_ci=summarize_trials(steps).format(4),
-                    total_time_ci=summarize_trials(totals).format(4),
-                )
-            )
-        results[w] = points
-    return results
+        )
+    return points
+
+
+def run_fig12(
+    cfg: Fig12Config | None = None,
+    executor: "SweepExecutor | None" = None,
+) -> Dict[int, List[TrainingPoint]]:
+    """Panels (b)-(d): train every scheme at every w, averaged over trials."""
+    cfg = cfg or Fig12Config()
+    if executor is None:
+        return {w: _fig12_cell(cfg, w) for w in cfg.wait_values}
+    tasks = [
+        PointTask(index=i, params={"wait_for": w})
+        for i, w in enumerate(cfg.wait_values)
+    ]
+    outcomes = executor.run(
+        functools.partial(_fig12_cell, cfg), tasks, reraise=True
+    )
+    return {cfg.wait_values[o.index]: o.value for o in outcomes}
 
 
 def recovery_table(cfg: Fig12Config | None = None) -> Table:
@@ -188,11 +209,14 @@ def recovery_table(cfg: Fig12Config | None = None) -> Table:
     return table
 
 
-def fig12_tables(cfg: Fig12Config | None = None) -> List[Table]:
+def fig12_tables(
+    cfg: Fig12Config | None = None,
+    executor: "SweepExecutor | None" = None,
+) -> List[Table]:
     """All four panels as printable tables."""
     cfg = cfg or Fig12Config()
     tables = [recovery_table(cfg)]
-    results = run_fig12(cfg)
+    results = run_fig12(cfg, executor=executor)
     for panel, attr, ci_attr, unit in (
         ("(b) steps to threshold", "num_steps", "num_steps_ci", "steps"),
         ("(c) avg time per step", "avg_step_time", None, "s"),

@@ -15,6 +15,7 @@ more recovery per step means faster loss descent.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -24,6 +25,7 @@ from ..analysis.recovery import monte_carlo_recovery
 from ..analysis.reporting import Table
 from ..core.hybrid import HybridRepetition
 from ..engine.spec import make_strategy
+from ..parallel import PointTask, SweepExecutor
 from ..simulation.cluster import ClusterSimulator
 from ..straggler.models import ExponentialDelay
 from ..straggler.traces import DelayTrace, TraceReplayModel
@@ -51,11 +53,14 @@ def _placement(cfg: Fig13Config, c1: int) -> HybridRepetition:
     )
 
 
-def run_fig13(cfg: Fig13Config | None = None) -> List[HRPoint]:
-    """Both panels for every ``c1``."""
-    cfg = cfg or Fig13Config()
-    n = cfg.num_workers
+def _fig13_cell(cfg: Fig13Config, c1: int) -> HRPoint:
+    """One ``c1`` setting, both panels.
 
+    Self-contained (dataset, streams and the shared delay trace all
+    rebuild from ``cfg``'s seeds), hence picklable as
+    ``partial(_fig13_cell, cfg)`` and bit-identical under any executor.
+    """
+    n = cfg.num_workers
     dataset = make_cifar_like(cfg.dataset_samples, side=8, seed=cfg.seed)
     partitions = partition_dataset(dataset, n, seed=cfg.seed + 1)
     streams = build_batch_streams(partitions, cfg.batch_size, seed=cfg.seed + 2)
@@ -64,49 +69,65 @@ def run_fig13(cfg: Fig13Config | None = None) -> List[HRPoint]:
         n, cfg.num_steps, np.random.default_rng(cfg.seed + 3),
     )
 
-    points: List[HRPoint] = []
-    for c1 in cfg.c1_values:
-        placement = _placement(cfg, c1)
-        stats = monte_carlo_recovery(
-            placement, cfg.wait_for, trials=cfg.recovery_trials, seed=cfg.seed
-        )
-        strategy = make_strategy(
-            "is-gc-hr",
-            num_workers=n,
-            wait_for=cfg.wait_for,
-            seed=cfg.seed + c1,
-            c1=c1,
-            c2=cfg.total_c - c1,
-            num_groups=cfg.num_groups,
-        )
-        model = MLPClassifier(8 * 8 * 3, hidden_units=32, num_classes=10, seed=0)
-        cluster = ClusterSimulator(
-            num_workers=n,
-            partitions_per_worker=placement.partitions_per_worker,
-            delay_model=TraceReplayModel(trace),
-            rng=np.random.default_rng(cfg.seed),
-        )
-        trainer = DistributedTrainer(
-            model, streams, strategy, cluster, SGD(cfg.learning_rate),
-            eval_data=dataset,
-        )
-        summary = trainer.run(cfg.num_steps)
-        points.append(
-            HRPoint(
-                c1=c1,
-                c2=cfg.total_c - c1,
-                mean_recovered=stats.mean_recovered,
-                mean_fraction=stats.mean_fraction,
-                loss_curve=summary.loss_curve,
-            )
-        )
-    return points
+    placement = _placement(cfg, c1)
+    stats = monte_carlo_recovery(
+        placement, cfg.wait_for, trials=cfg.recovery_trials, seed=cfg.seed
+    )
+    strategy = make_strategy(
+        "is-gc-hr",
+        num_workers=n,
+        wait_for=cfg.wait_for,
+        seed=cfg.seed + c1,
+        c1=c1,
+        c2=cfg.total_c - c1,
+        num_groups=cfg.num_groups,
+    )
+    model = MLPClassifier(8 * 8 * 3, hidden_units=32, num_classes=10, seed=0)
+    cluster = ClusterSimulator(
+        num_workers=n,
+        partitions_per_worker=placement.partitions_per_worker,
+        delay_model=TraceReplayModel(trace),
+        rng=np.random.default_rng(cfg.seed),
+    )
+    trainer = DistributedTrainer(
+        model, streams, strategy, cluster, SGD(cfg.learning_rate),
+        eval_data=dataset,
+    )
+    summary = trainer.run(cfg.num_steps)
+    return HRPoint(
+        c1=c1,
+        c2=cfg.total_c - c1,
+        mean_recovered=stats.mean_recovered,
+        mean_fraction=stats.mean_fraction,
+        loss_curve=summary.loss_curve,
+    )
 
 
-def fig13_tables(cfg: Fig13Config | None = None) -> List[Table]:
+def run_fig13(
+    cfg: Fig13Config | None = None,
+    executor: "SweepExecutor | None" = None,
+) -> List[HRPoint]:
+    """Both panels for every ``c1``."""
+    cfg = cfg or Fig13Config()
+    if executor is None:
+        return [_fig13_cell(cfg, c1) for c1 in cfg.c1_values]
+    tasks = [
+        PointTask(index=i, params={"c1": c1})
+        for i, c1 in enumerate(cfg.c1_values)
+    ]
+    outcomes = executor.run(
+        functools.partial(_fig13_cell, cfg), tasks, reraise=True
+    )
+    return [o.value for o in outcomes]
+
+
+def fig13_tables(
+    cfg: Fig13Config | None = None,
+    executor: "SweepExecutor | None" = None,
+) -> List[Table]:
     """Both panels as printable tables."""
     cfg = cfg or Fig13Config()
-    points = run_fig13(cfg)
+    points = run_fig13(cfg, executor=executor)
 
     recovery = Table(
         title=(

@@ -2,8 +2,11 @@
 
 Used by the benchmark harness (``benchmarks/``) and runnable directly::
 
-    python -m repro.experiments.runner [fig11|fig12|fig13|all] [--trace PATH]
+    python -m repro.experiments.runner [fig11|fig12|fig13|all] [--jobs N] [--trace PATH]
 
+``--jobs N`` fans the figure grids out over a
+:class:`~repro.parallel.ProcessExecutor` with ``N`` workers — results
+are bit-for-bit identical to serial runs (see ``docs/parallelism.md``).
 ``--trace PATH`` additionally runs the traced Fig. 11 condition and
 exports its round stream as JSONL (re-load with
 ``repro trace summarize PATH``).
@@ -12,35 +15,53 @@ exports its round stream as JSONL (re-load with
 from __future__ import annotations
 
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from ..analysis.reporting import Table
+from ..parallel import ProcessExecutor, SweepExecutor
 from .config import Fig11Config, Fig12Config, Fig13Config
 from .fig11 import fig11_tables, run_traced_fig11
 from .fig12 import fig12_tables
 from .fig13 import fig13_tables
 from .extra import adaptive_policy_table, enduring_straggler_table
 
-EXPERIMENTS: Dict[str, Callable[[], List[Table]]] = {
-    "fig11": lambda: fig11_tables(Fig11Config()),
-    "fig12": lambda: fig12_tables(Fig12Config()),
-    "fig13": lambda: fig13_tables(Fig13Config()),
-    "extra": lambda: [enduring_straggler_table(), adaptive_policy_table()],
+EXPERIMENTS: Dict[str, Callable[..., List[Table]]] = {
+    "fig11": lambda executor=None: fig11_tables(
+        Fig11Config(), executor=executor
+    ),
+    "fig12": lambda executor=None: fig12_tables(
+        Fig12Config(), executor=executor
+    ),
+    "fig13": lambda executor=None: fig13_tables(
+        Fig13Config(), executor=executor
+    ),
+    # The extra tables are cheap single-condition runs; no grid to fan out.
+    "extra": lambda executor=None: [
+        enduring_straggler_table(), adaptive_policy_table()
+    ],
 }
 
 
-def run(name: str) -> List[Table]:
+def executor_for_jobs(jobs: Optional[int]) -> "SweepExecutor | None":
+    """``--jobs`` semantics shared by the runner and the CLI: ``None``
+    or ``1`` means the default serial path, more means a process pool."""
+    if jobs is None or jobs <= 1:
+        return None
+    return ProcessExecutor(jobs)
+
+
+def run(name: str, jobs: Optional[int] = None) -> List[Table]:
     """Run one experiment by id and return its tables."""
     if name not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[name]()
+    return EXPERIMENTS[name](executor=executor_for_jobs(jobs))
 
 
-def run_all() -> Dict[str, List[Table]]:
+def run_all(jobs: Optional[int] = None) -> Dict[str, List[Table]]:
     """Run the whole evaluation section."""
-    return {name: fn() for name, fn in EXPERIMENTS.items()}
+    return {name: run(name, jobs=jobs) for name in EXPERIMENTS}
 
 
 def export_trace(path: str, cfg: Fig11Config | None = None) -> int:
@@ -56,6 +77,7 @@ def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
     """Run the experiments named in ``argv`` (default: all)."""
     argv = list(argv) if argv is not None else sys.argv[1:]
     trace_path: str | None = None
+    jobs: int | None = None
     if "--trace" in argv:
         idx = argv.index("--trace")
         try:
@@ -63,10 +85,17 @@ def main(argv: List[str] | None = None) -> None:  # pragma: no cover - CLI
         except IndexError:
             raise SystemExit("--trace requires a file path") from None
         del argv[idx : idx + 2]
+    if "--jobs" in argv:
+        idx = argv.index("--jobs")
+        try:
+            jobs = int(argv[idx + 1])
+        except (IndexError, ValueError):
+            raise SystemExit("--jobs requires an integer") from None
+        del argv[idx : idx + 2]
     targets = argv or ["all"]
     names = sorted(EXPERIMENTS) if "all" in targets else targets
     for name in names:
-        for table in run(name):
+        for table in run(name, jobs=jobs):
             table.show()
     if trace_path is not None:
         count = export_trace(trace_path)

@@ -5,17 +5,29 @@ the cartesian product of named parameter values and tabulate the
 results.  :class:`Sweep` does exactly that, with deterministic
 ordering, per-point error capture, and direct rendering into the
 reporting tables.
+
+One unified entry point: :meth:`Sweep.run` evaluates any sweep —
+plain-function or :meth:`over_spec`-built — under any
+:class:`~repro.parallel.SweepExecutor` (serial by default, a process
+pool via ``executor=ProcessExecutor(jobs)``), returning a
+:class:`SweepResult`.  Parallel results are bit-for-bit identical to
+serial because points are independent and per-point seeds are spawned
+in the parent (see ``docs/parallelism.md``).  The pre-redesign
+``run_specs`` remains as a deprecated alias for one release.
 """
 
 from __future__ import annotations
 
+import functools
 import itertools
-import traceback
+import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
 from ..analysis.reporting import Table
 from ..exceptions import ConfigurationError
+from ..parallel import PointTask, SerialExecutor, SweepExecutor, spawn_point_seeds
 
 
 @dataclass(frozen=True)
@@ -44,6 +56,58 @@ class SweepPoint:
             return None
         lines = [ln for ln in self.error.strip().splitlines() if ln.strip()]
         return lines[-1] if lines else self.error
+
+
+class SweepResult(Sequence[SweepPoint]):
+    """The unified result of one :meth:`Sweep.run`.
+
+    Behaves as an ordered sequence of :class:`SweepPoint` (row-major
+    grid order, independent of evaluation order), plus execution
+    metadata: which executor ran it and the wall-clock time.  Accepted
+    directly by :meth:`Sweep.to_table` / :meth:`Sweep.to_grid_table`.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[SweepPoint],
+        *,
+        executor: str = "serial",
+        elapsed: float = 0.0,
+    ):
+        self._points = list(points)
+        #: short name of the executor that produced this result.
+        self.executor = executor
+        #: wall-clock seconds for the whole grid.
+        self.elapsed = elapsed
+
+    def __getitem__(self, index):
+        return self._points[index]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self._points)
+
+    @property
+    def points(self) -> List[SweepPoint]:
+        return list(self._points)
+
+    @property
+    def ok(self) -> bool:
+        """True when every point evaluated without raising."""
+        return all(p.ok for p in self._points)
+
+    @property
+    def failures(self) -> List[SweepPoint]:
+        return [p for p in self._points if not p.ok]
+
+    def __repr__(self) -> str:
+        failed = len(self.failures)
+        return (
+            f"SweepResult({len(self._points)} points, {failed} failed, "
+            f"executor={self.executor!r}, elapsed={self.elapsed:.3f}s)"
+        )
 
 
 @dataclass
@@ -83,35 +147,91 @@ class Sweep:
 
     def run(
         self,
-        fn: Callable[..., Any],
+        fn: Optional[Callable[..., Any]] = None,
         strict: bool = False,
-    ) -> List[SweepPoint]:
-        """Evaluate ``fn`` over the grid; results land in ``points``."""
-        self.points = []
-        for params in self.combinations():
-            try:
-                value = fn(**params)
-                self.points.append(SweepPoint(params=params, value=value))
-            except Exception:  # noqa: BLE001 - captured by design
-                if strict:
-                    raise
-                self.points.append(
-                    SweepPoint(
-                        params=params,
-                        value=None,
-                        error=traceback.format_exc(),
-                    )
+        *,
+        executor: "SweepExecutor | None" = None,
+        seed: "int | None" = None,
+    ) -> SweepResult:
+        """Evaluate the grid — the single entry point for every sweep.
+
+        Parameters
+        ----------
+        fn:
+            The cell function, called as ``fn(**params)``.  Omit it for
+            an :meth:`over_spec`-built sweep, whose cell is the spec
+            runner.  Under a process executor ``fn`` must be picklable
+            (module-level function or ``functools.partial``).
+        strict:
+            Abort on the first failed point.  The serial executor
+            re-raises the original exception live; pool executors raise
+            :class:`~repro.parallel.ExecutionError` with the point's
+            full traceback.
+        executor:
+            A :class:`~repro.parallel.SweepExecutor`;
+            default :class:`~repro.parallel.SerialExecutor`.  Pass
+            ``ProcessExecutor(jobs)`` for a bit-for-bit identical
+            parallel run.
+        seed:
+            When given, per-point ``SeedSequence`` children are spawned
+            from it in the parent and each cell receives an extra
+            ``rng=`` keyword argument — same streams under any executor.
+
+        Results also land in ``self.points`` (kept for tabulation and
+        back-compat with the pre-redesign list-returning ``run``; a
+        :class:`SweepResult` *is* a sequence of points).
+        """
+        if fn is None:
+            base = getattr(self, "_spec_base", None)
+            if base is None:
+                raise ConfigurationError(
+                    "run() without fn needs a sweep built with "
+                    "Sweep.over_spec"
                 )
-        return self.points
+            from ..engine.spec import run_spec_variation
+
+            fn = functools.partial(run_spec_variation, base)
+        if executor is None:
+            executor = SerialExecutor()
+        combos = list(self.combinations())
+        if seed is not None:
+            seeds: List[Any] = spawn_point_seeds(seed, len(combos))
+        else:
+            seeds = [None] * len(combos)
+        tasks = [
+            PointTask(index=i, params=params, seed=s)
+            for i, (params, s) in enumerate(zip(combos, seeds))
+        ]
+        started = time.perf_counter()
+        outcomes = executor.run(fn, tasks, reraise=strict)
+        elapsed = time.perf_counter() - started
+        self.points = [
+            SweepPoint(
+                params=combos[o.index], value=o.value, error=o.error
+            )
+            for o in outcomes
+        ]
+        return SweepResult(
+            self.points, executor=executor.name, elapsed=elapsed
+        )
 
     # ------------------------------------------------------------------
-    def to_table(self, value_label: str = "value") -> Table:
-        """Long-format table: one row per grid point."""
-        if not self.points:
+    def to_table(
+        self,
+        value_label: str = "value",
+        result: "Sequence[SweepPoint] | None" = None,
+    ) -> Table:
+        """Long-format table: one row per grid point.
+
+        Tabulates ``result`` (any sequence of points, e.g. a
+        :class:`SweepResult`) when given, else the last :meth:`run`.
+        """
+        points = list(result) if result is not None else self.points
+        if not points:
             raise ConfigurationError("run() the sweep before tabulating")
         names = list(self.axes)
         table = Table(title=self.name, columns=[*names, value_label])
-        for point in self.points:
+        for point in points:
             cell = (
                 point.value if point.ok else f"error: {point.error_summary}"
             )
@@ -134,7 +254,9 @@ class Sweep:
         hand-wired build-a-trainer-per-point pattern: vary any spec
         field (``wait_for``, ``scheme``, ``delay``...) declaratively.
 
-        Call :meth:`run_specs` on the returned sweep to execute it.
+        Call :meth:`run` (no ``fn``) on the returned sweep to execute
+        it — under any executor, since the spec cell function is
+        picklable.
         """
         import dataclasses
 
@@ -154,24 +276,30 @@ class Sweep:
         sweep._spec_base = base
         return sweep
 
-    def run_specs(self, strict: bool = False) -> List[SweepPoint]:
-        """Execute an :meth:`over_spec` sweep; values are run summaries."""
-        import dataclasses
-
-        from ..engine.spec import run_spec
-
-        base = getattr(self, "_spec_base", None)
-        if base is None:
-            raise ConfigurationError(
-                "run_specs needs a sweep built with Sweep.over_spec"
-            )
-        return self.run(
-            lambda **params: run_spec(dataclasses.replace(base, **params)),
-            strict=strict,
+    def run_specs(
+        self,
+        strict: bool = False,
+        *,
+        executor: "SweepExecutor | None" = None,
+        seed: "int | None" = None,
+    ) -> SweepResult:
+        """Deprecated alias for :meth:`run` on an :meth:`over_spec`
+        sweep (removal next release)."""
+        warnings.warn(
+            "Sweep.run_specs() is deprecated and will be removed next "
+            "release; call Sweep.run() (optionally with executor=...) "
+            "instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        return self.run(strict=strict, executor=executor, seed=seed)
 
     def to_grid_table(
-        self, row_axis: str, col_axis: str, value_label: str = ""
+        self,
+        row_axis: str,
+        col_axis: str,
+        value_label: str = "",
+        result: "Sequence[SweepPoint] | None" = None,
     ) -> Table:
         """Wide-format table for exactly two axes (a heat-map layout)."""
         if set(self.axes) != {row_axis, col_axis}:
@@ -179,12 +307,13 @@ class Sweep:
                 f"grid layout needs exactly the axes {row_axis!r} and "
                 f"{col_axis!r}; sweep has {sorted(self.axes)}"
             )
-        if not self.points:
+        points = list(result) if result is not None else self.points
+        if not points:
             raise ConfigurationError("run() the sweep before tabulating")
         lookup = {
             (p.params[row_axis], p.params[col_axis]):
                 (p.value if p.ok else "err")
-            for p in self.points
+            for p in points
         }
         cols = list(self.axes[col_axis])
         table = Table(

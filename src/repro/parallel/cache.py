@@ -1,0 +1,147 @@
+"""Decode memoisation: :class:`DecodeCache`.
+
+Grid sweeps re-decode the same availability masks over and over — a
+300-step Fig. 11 condition sees the same ``W'`` many times, and every
+scheme in the cell replays the same trace.  The expensive part of a
+decode (the MIS search) is a *pure function* of (placement, mask), so
+it memoises perfectly; the fairness randomisation (which optimum to
+return, which start order to try) stays live in the decoder.  That
+split is what makes cached decoding **bit-for-bit identical** to
+uncached: the cache sits *under* the RNG draws, so the generator
+consumes exactly the same stream either way.
+
+Keys are ``(placement fingerprint, kind, frozen availability mask,
+extra)``: the fingerprint (a content digest, stable across processes —
+see :meth:`repro.core.placement.Placement.fingerprint`) isolates
+placements, ``kind`` isolates a decoder's different search kernels, and
+``extra`` carries kernel-specific parameters (e.g. a chain's start
+vertex).  Eviction is LRU; hit/miss/eviction counters are exported to
+an attached :class:`~repro.obs.registry.MetricsRegistry` under
+``decode.cache.*``.
+
+One cache instance may be shared by any number of decoders (and sweep
+points) within a process; pool workers each grow their own — decode
+results never cross process boundaries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+from ..exceptions import ConfigurationError
+from ..obs.registry import MetricsRegistry, NULL_REGISTRY
+
+CacheKey = Tuple[str, str, Hashable, Hashable]
+
+
+class DecodeCache:
+    """Bounded LRU memo for deterministic decode search kernels."""
+
+    def __init__(
+        self,
+        maxsize: int = 65536,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if maxsize <= 0:
+            raise ConfigurationError(
+                f"cache maxsize must be positive, got {maxsize}"
+            )
+        self._maxsize = maxsize
+        self._data: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+
+    # ------------------------------------------------------------------
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups, ``0.0`` before the first lookup."""
+        lookups = self._hits + self._misses
+        return self._hits / lookups if lookups else 0.0
+
+    def attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Route hit/miss/eviction counters into ``registry``."""
+        self._metrics = registry
+
+    # ------------------------------------------------------------------
+    def get_or_compute(
+        self,
+        fingerprint: str,
+        kind: str,
+        key: Hashable,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """The memoised value for ``(fingerprint, kind, key)``.
+
+        On a miss, ``compute()`` runs and its result is stored.  Stored
+        values must be immutable (frozensets, tuples) — they are handed
+        back to every future hit without copying.
+        """
+        full_key: CacheKey = (fingerprint, kind, key, None)
+        metrics = self._metrics
+        try:
+            value = self._data[full_key]
+        except KeyError:
+            self._misses += 1
+            metrics.counter("decode.cache.misses").inc()
+            value = compute()
+            self._data[full_key] = value
+            if len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+                metrics.counter("decode.cache.evictions").inc()
+            metrics.gauge("decode.cache.size").set(len(self._data))
+            return value
+        self._data.move_to_end(full_key)
+        self._hits += 1
+        metrics.counter("decode.cache.hits").inc()
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries (counters are left untouched)."""
+        self._data.clear()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Counters + hit rate as a JSON-ready dict."""
+        return {
+            "size": float(len(self._data)),
+            "maxsize": float(self._maxsize),
+            "hits": float(self._hits),
+            "misses": float(self._misses),
+            "evictions": float(self._evictions),
+            "hit_rate": self.hit_rate,
+        }
+
+    def describe(self) -> str:
+        """One-line summary for trace summaries and bench reports."""
+        return (
+            f"decode cache: {self._hits} hits / "
+            f"{self._hits + self._misses} lookups "
+            f"({100 * self.hit_rate:.1f}% hit rate), "
+            f"{len(self._data)}/{self._maxsize} entries, "
+            f"{self._evictions} evictions"
+        )

@@ -19,6 +19,8 @@ REG       ``REG001``/``REG002`` strategies/backends built outside the
           registries, ``REG003`` factory signature round-trip
 SPEC      ``SPEC001`` infeasible spec files, ``SPEC002`` infeasible
           spec literals
+PAR       ``PAR001`` arithmetic per-task seeds at a process-pool
+          boundary (use ``SeedSequence.spawn``)
 ========  ==============================================================
 
 Suppress a deliberate exception with ``# repro: noqa[RULE]`` on the
@@ -51,7 +53,7 @@ from .report import (
 from .specrules import spec_feasibility_problems
 
 # Importing the rule modules registers their rules.
-from . import determinism, registries, specrules, timeunits  # noqa: F401
+from . import determinism, parallelism, registries, specrules, timeunits  # noqa: F401
 
 __all__ = [
     "RULE_REGISTRY",

@@ -1,0 +1,140 @@
+"""Parallelism rules (PAR0xx).
+
+``repro.parallel`` makes process-pool sweeps bit-for-bit reproducible
+by spawning per-point ``np.random.SeedSequence`` children *in the
+parent* (see ``docs/parallelism.md``).  The classic way to break that
+guarantee is arithmetic seed derivation at the pool boundary::
+
+    pool.submit(run_cell, seed + i)          # PAR001
+    pool.map(run_cell, [seed * i for i in ids])  # PAR001
+
+Integer-offset seeds are statistically correlated across workers
+(neighbouring ``SeedSequence(seed + i)`` streams share entropy-pool
+structure) and, worse, invite drift between serial and parallel
+enumeration order.  The sanctioned pattern keeps derivation in the
+parent via ``SeedSequence.spawn``::
+
+    seeds = root_seed_sequence.spawn(len(tasks))   # ok
+    pool.submit(run_cell, seeds[i])                # ok
+
+* ``PAR001`` — in a module that uses ``ProcessPoolExecutor``, a
+  ``multiprocessing`` ``Pool`` or a ``fork`` context, an argument of a
+  pool dispatch call (``submit``/``map``/``starmap``/``apply_async``
+  and friends) derives a seed arithmetically from a seed-named
+  variable instead of shipping a spawned ``SeedSequence``.
+
+The check is a boundary heuristic: it inspects expressions written
+directly inside dispatch calls (including comprehensions building the
+iterable in place).  Seeds wrapped in ``SeedSequence(...)`` or produced
+by ``.spawn(...)`` are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List
+
+from .engine import PythonContext, Rule, python_rule, terminal_name
+from .findings import Finding
+
+#: Constructors that mark a module as pool-using.
+_POOL_CONSTRUCTORS = frozenset({"ProcessPoolExecutor", "Pool"})
+
+#: Methods that ship work (and its arguments) across the pool boundary.
+_DISPATCH_METHODS = frozenset({
+    "submit", "map", "map_async", "starmap", "starmap_async",
+    "apply", "apply_async", "imap", "imap_unordered",
+})
+
+#: Call targets that make a seed expression safe: derivation stays in
+#: SeedSequence space, so child streams are independent by construction.
+_SAFE_WRAPPERS = frozenset({"SeedSequence", "spawn", "spawn_point_seeds"})
+
+
+def _calls(tree: ast.AST) -> Iterable[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _uses_process_pool(tree: ast.AST) -> bool:
+    """Does this module construct a process pool or a fork context?"""
+    for call in _calls(tree):
+        name = terminal_name(call.func)
+        if name in _POOL_CONSTRUCTORS:
+            return True
+        if name in ("get_context", "set_start_method"):
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                if isinstance(arg, ast.Constant) and arg.value in (
+                    "fork", "forkserver", "spawn"
+                ):
+                    return True
+    return False
+
+
+def _mentions_seed(node: ast.AST) -> bool:
+    """Does any identifier under ``node`` look seed-named?"""
+    for sub in ast.walk(node):
+        name = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        if name is not None and "seed" in name.lower():
+            return True
+    return False
+
+
+def _arithmetic_seeds(node: ast.AST) -> Iterator[ast.AST]:
+    """Yield seed-arithmetic expressions under ``node``.
+
+    Descends the expression tree but stops at the safe wrappers — a
+    ``SeedSequence(seed + i)`` keeps derivation in SeedSequence space
+    and is exactly the sanctioned fix.
+    """
+    if isinstance(node, ast.Call):
+        if (terminal_name(node.func) or "") in _SAFE_WRAPPERS:
+            return
+        for child in list(node.args) + [kw.value for kw in node.keywords]:
+            yield from _arithmetic_seeds(child)
+        return
+    if isinstance(node, ast.BinOp) and (
+        _mentions_seed(node.left) or _mentions_seed(node.right)
+    ):
+        yield node
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from _arithmetic_seeds(child)
+
+
+@python_rule(
+    "PAR001",
+    name="pool-int-seed",
+    description=(
+        "Arithmetic per-task seeds (seed + i) shipped across a process-"
+        "pool boundary produce correlated streams and break serial/"
+        "parallel equivalence; spawn SeedSequence children in the "
+        "parent instead (np.random.SeedSequence(seed).spawn(n))."
+    ),
+)
+def check_pool_int_seed(ctx: PythonContext, rule: Rule) -> List[Finding]:
+    """Flag seed arithmetic inside pool dispatch-call arguments."""
+    if not _uses_process_pool(ctx.tree):
+        return []
+    findings: List[Finding] = []
+    for call in _calls(ctx.tree):
+        func = call.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _DISPATCH_METHODS
+        ):
+            continue
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for expr in _arithmetic_seeds(arg):
+                findings.append(ctx.finding(
+                    rule, expr,
+                    f"seed arithmetic ({ast.unparse(expr)}) crosses the "
+                    f".{func.attr}() pool boundary; derive per-task "
+                    f"seeds with SeedSequence.spawn in the parent",
+                ))
+    return findings

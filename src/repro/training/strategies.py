@@ -31,6 +31,7 @@ from ..core.cyclic import CyclicRepetition
 from ..core.decoders import Decoder, decoder_for
 from ..core.placement import Placement
 from ..exceptions import ConfigurationError
+from ..parallel.cache import DecodeCache
 from ..simulation.policies import WaitForAll, WaitForK, WaitPolicy
 from ..types import DecodeResult
 
@@ -189,6 +190,7 @@ class ISGCStrategy(TrainingStrategy):
         rng: np.random.Generator | None = None,
         decoder: Decoder | None = None,
         policy: WaitPolicy | None = None,
+        cache: "DecodeCache | None" = None,
     ):
         n = placement.num_workers
         if not 1 <= wait_for <= n:
@@ -198,7 +200,9 @@ class ISGCStrategy(TrainingStrategy):
         super().__init__(placement, policy or WaitForK(wait_for))
         self._w = wait_for
         self._code = SummationCode(placement)
-        self._decoder = decoder or decoder_for(placement, rng=rng)
+        self._decoder = decoder or decoder_for(placement, rng=rng, cache=cache)
+        if decoder is not None and cache is not None:
+            decoder.attach_cache(cache)
         self.name = f"is-gc-{placement.scheme}"
         #: The most recent DecodeResult, for observability (trainers
         #: read num_searches / recovered counts from here).
@@ -211,6 +215,11 @@ class ISGCStrategy(TrainingStrategy):
     @property
     def decoder(self) -> Decoder:
         return self._decoder
+
+    @property
+    def decode_cache(self) -> "DecodeCache | None":
+        """The decoder's :class:`DecodeCache`, if one is attached."""
+        return self._decoder.cache
 
     def encode(self, partition_gradients: GradientMap) -> Dict[int, np.ndarray]:
         return self._code.encode(partition_gradients)

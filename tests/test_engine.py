@@ -200,10 +200,10 @@ class TestSweepOverSpec:
         sweep = Sweep.over_spec(
             "wait-for sweep", base, {"wait_for": [2, 3], "seed": [1, 2]}
         )
-        points = sweep.run_specs(strict=True)
-        assert len(points) == 4
-        assert all(p.ok for p in points)
-        assert {p.params["wait_for"] for p in points} == {2, 3}
+        result = sweep.run(strict=True)
+        assert len(result) == 4
+        assert result.ok
+        assert {p.params["wait_for"] for p in result} == {2, 3}
 
     def test_sweep_rejects_non_spec_fields(self):
         from repro.experiments.sweep import Sweep

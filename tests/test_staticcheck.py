@@ -462,6 +462,103 @@ class TestSpecFeasibility:
 
 
 # ----------------------------------------------------------------------
+# PAR001: pool-boundary seed discipline
+
+
+class TestParallelismRules:
+    def test_submit_with_seed_arithmetic_flagged(self):
+        findings = check(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def sweep(fn, seed, n):
+                with ProcessPoolExecutor(4) as pool:
+                    return [pool.submit(fn, seed + i) for i in range(n)]
+            """,
+            scope_path="src/repro/experiments/mod.py",
+        )
+        assert rules_of(findings) == ["PAR001"]
+
+    def test_map_over_derived_seeds_flagged(self):
+        findings = check(
+            """
+            from multiprocessing import Pool
+
+            def sweep(fn, seed, n):
+                with Pool(4) as pool:
+                    return pool.map(fn, [seed * 1000 + i for i in range(n)])
+            """,
+            scope_path="examples/mod.py",
+        )
+        assert rules_of(findings) == ["PAR001"]
+
+    def test_fork_context_counts_as_pool_usage(self):
+        findings = check(
+            """
+            import multiprocessing as mp
+
+            def sweep(fn, base_seed, n):
+                ctx = mp.get_context("fork")
+                pool = ctx.Pool(2)
+                return pool.map_async(fn, [base_seed + i for i in range(n)])
+            """
+        )
+        assert rules_of(findings) == ["PAR001"]
+
+    def test_spawned_seed_sequences_are_clean(self):
+        assert check(
+            """
+            import numpy as np
+            from concurrent.futures import ProcessPoolExecutor
+
+            def sweep(fn, seed, n):
+                seeds = np.random.SeedSequence(seed).spawn(n)
+                with ProcessPoolExecutor(4) as pool:
+                    return [pool.submit(fn, s) for s in seeds]
+            """
+        ) == []
+
+    def test_seed_sequence_wrapper_inside_dispatch_is_clean(self):
+        # SeedSequence(seed + i) keeps derivation in SeedSequence space —
+        # exactly the sanctioned fix, even written inline.
+        assert check(
+            """
+            import numpy as np
+            from concurrent.futures import ProcessPoolExecutor
+
+            def sweep(fn, seed, n):
+                with ProcessPoolExecutor(4) as pool:
+                    return [
+                        pool.submit(fn, np.random.SeedSequence(seed + i))
+                        for i in range(n)
+                    ]
+            """
+        ) == []
+
+    def test_seed_arithmetic_without_pool_is_clean(self):
+        # Serial seed offsets (the figure runners' trial_seed pattern)
+        # are fine: no pool boundary, no stream-independence hazard.
+        assert check(
+            """
+            def trials(fn, seed, n):
+                return [fn(seed + 1000 * trial) for trial in range(n)]
+            """
+        ) == []
+
+    def test_noqa_suppresses_par001(self):
+        findings = check(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def sweep(fn, seed, n):
+                with ProcessPoolExecutor(4) as pool:
+                    return [pool.submit(fn, seed + i) for i in range(n)]  # repro: noqa[PAR001]
+            """
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # The acceptance gate: the repo itself is clean.
 
 
