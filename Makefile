@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint static test bench trace-demo
+.PHONY: check lint static test bench bench-placement trace-demo
 
 check: lint static test
 
@@ -25,6 +25,12 @@ test:
 # (the perf-trajectory data point CI archives per commit).
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_parallel.py --smoke
+
+# Placement-layer benchmark; writes BENCH_placement.json and asserts
+# the registry's dispatch overhead stays under 5% of direct
+# construction (and that fast-path conflict graphs match ground truth).
+bench-placement:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_placement.py --smoke
 
 trace-demo:
 	PYTHONPATH=src $(PYTHON) examples/traced_run.py

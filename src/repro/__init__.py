@@ -3,9 +3,11 @@ with Gradient Coding" (IS-GC, ICDCS 2023).
 
 Public API tour
 ---------------
-Placements (who stores which dataset partition)::
+Placements (who stores which dataset partition) — built by family name
+through the placement registry::
 
-    from repro import FractionalRepetition, CyclicRepetition, HybridRepetition
+    from repro import make_placement, registered_placements
+    placement = make_placement("cr", num_workers=8, partitions_per_worker=2)
 
 Decoding (the master's maximal partial-sum recovery)::
 
@@ -57,15 +59,23 @@ from .core import (
     FractionalRepetition,
     HRDecoder,
     HybridRepetition,
+    PLACEMENT_REGISTRY,
     Placement,
+    PlacementScheme,
     SummationCode,
     alpha_lower_bound,
     alpha_upper_bound,
+    as_placement,
     conflict_graph,
     decoder_for,
+    make_placement,
+    placement_scheme,
     rank_placements,
     recommend_placement,
     recovered_partitions_bounds,
+    register_placement,
+    registered_placements,
+    scheme_for,
 )
 from .codes import (
     ClassicGradientCode,
@@ -162,6 +172,14 @@ __all__ = [
     "CyclicRepetition",
     "HybridRepetition",
     "conflict_graph",
+    "PlacementScheme",
+    "PLACEMENT_REGISTRY",
+    "register_placement",
+    "registered_placements",
+    "placement_scheme",
+    "make_placement",
+    "as_placement",
+    "scheme_for",
     "Decoder",
     "decoder_for",
     "FRDecoder",

@@ -123,12 +123,13 @@ def variance_reduction_vs_issgd(
     IS-SGD at ``w`` recovers exactly the ``w`` available partitions;
     modelled here as the same estimator on the c=1 cyclic placement.
     """
-    from ..core.cyclic import CyclicRepetition
+    from ..core.scheme import make_placement
 
     n = placement.num_workers
     isgc = estimator_moments(placement, wait_for, partition_gradients, seed=seed)
     issgd = estimator_moments(
-        CyclicRepetition(n, 1), wait_for, partition_gradients, seed=seed
+        make_placement("cr", num_workers=n, partitions_per_worker=1),
+        wait_for, partition_gradients, seed=seed,
     )
     if isgc.total_variance == 0.0:
         return float("inf") if issgd.total_variance > 0 else 1.0

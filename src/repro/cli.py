@@ -6,6 +6,8 @@ Exposes the library's main entry points without writing Python::
     python -m repro decode    --scheme cr -n 8 -c 2 --available 0,2,5
     python -m repro recovery  --scheme fr -n 8 -c 2 --trials 2000
     python -m repro bounds    -n 8 -c 2
+    python -m repro placements
+    python -m repro placements hr -n 12 -c 3 --param c1=2 --param c2=1 --param num_groups=3
     python -m repro experiment fig13
     python -m repro experiment fig11 --jobs 8
     python -m repro run       experiment.json
@@ -31,24 +33,25 @@ from .analysis.recovery import monte_carlo_recovery
 from .analysis.reporting import Table
 from .core.bounds import alpha_lower_bound, alpha_upper_bound
 from .core.conflict import conflict_graph
-from .core.cyclic import CyclicRepetition
 from .core.decoders import decoder_for
-from .core.fractional import FractionalRepetition
-from .core.hybrid import HybridRepetition
 from .core.placement import Placement
+from .core.scheme import make_placement
 from .exceptions import ReproError
 
 
 def _build_placement(args: argparse.Namespace) -> Placement:
-    if args.scheme == "fr":
-        return FractionalRepetition(args.n, args.c)
-    if args.scheme == "cr":
-        return CyclicRepetition(args.n, args.c)
+    # Every CLI placement goes through the placement registry, the same
+    # construction path specs and library code use (REG001/REG004).
     if args.scheme == "hr":
         if args.g is None or args.c1 is None:
             raise ReproError("HR needs --g and --c1 (c2 = c - c1)")
-        return HybridRepetition(args.n, args.c1, args.c - args.c1, args.g)
-    raise ReproError(f"unknown scheme {args.scheme!r}")
+        return make_placement(
+            "hr", num_workers=args.n, c1=args.c1, c2=args.c - args.c1,
+            num_groups=args.g,
+        )
+    return make_placement(
+        args.scheme, num_workers=args.n, partitions_per_worker=args.c
+    )
 
 
 def _add_placement_args(parser: argparse.ArgumentParser) -> None:
@@ -125,6 +128,60 @@ def cmd_bounds(args: argparse.Namespace) -> int:
             alpha_lower_bound(args.n, args.c, w),
             alpha_upper_bound(args.n, args.c, w),
         )
+    table.show()
+    return 0
+
+
+def cmd_placements(args: argparse.Namespace) -> int:
+    """List registered placement families, or describe one of them."""
+    from .core.scheme import (
+        PLACEMENT_REGISTRY, registered_placements, spec_placement_scheme,
+    )
+
+    if args.family is None:
+        table = Table(
+            title="Registered placement families",
+            columns=["family", "aliases", "summary", "paper"],
+        )
+        for name in registered_placements():
+            cls = PLACEMENT_REGISTRY[name]
+            table.add_row(
+                name,
+                ", ".join(cls.aliases) if cls.aliases else "-",
+                cls.summary,
+                cls.paper,
+            )
+        table.show()
+        return 0
+
+    params = {}
+    for clause in args.param or []:
+        key, sep, value = clause.partition("=")
+        if not sep or not value:
+            raise ReproError(f"--param needs key=value, got {clause!r}")
+        params[key.strip()] = _parse_sweep_value(value.strip())
+    if args.n is None:
+        raise ReproError(
+            f"describing family {args.family!r} needs -n (number of workers)"
+        )
+    scheme = spec_placement_scheme(
+        args.family,
+        num_workers=args.n,
+        partitions_per_worker=args.c,
+        **params,
+    )
+    print(scheme.describe())
+    placement = scheme.construct()
+    graph = scheme.conflict_graph()
+    print(f"fingerprint    : {scheme.fingerprint()}")
+    print(f"conflict edges : {graph.number_of_edges()}")
+    table = Table(
+        title=f"recovery bounds (Thm 10/11) — {placement.num_workers} workers",
+        columns=["w", "lower", "upper"],
+    )
+    for w in range(1, placement.num_workers + 1):
+        lo, hi = scheme.recovery_bounds(w)
+        table.add_row(w, lo, hi)
     table.show()
     return 0
 
@@ -369,6 +426,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, required=True)
     p.add_argument("-c", type=int, required=True)
     p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser(
+        "placements",
+        help="list registered placement families / describe one",
+    )
+    p.add_argument(
+        "family", nargs="?", default=None,
+        help="family name to describe (omit to list all families)",
+    )
+    p.add_argument("-n", type=int, default=None, help="number of workers")
+    p.add_argument(
+        "-c", type=int, default=None, help="partitions per worker"
+    )
+    p.add_argument(
+        "--param", action="append", default=None, metavar="KEY=VALUE",
+        help="extra family parameter (repeatable), e.g. --param c1=2",
+    )
+    p.set_defaults(func=cmd_placements)
 
     p = sub.add_parser("advise", help="rank placements for (n, c, w)")
     p.add_argument("-n", type=int, required=True)

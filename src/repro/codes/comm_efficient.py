@@ -35,6 +35,10 @@ class CommEfficientGC:
     """Vandermonde block coding over an FR placement."""
 
     def __init__(self, placement: FractionalRepetition, blocks: int):
+        from ..core.scheme import PlacementScheme, as_placement
+
+        if isinstance(placement, PlacementScheme):
+            placement = as_placement(placement)
         if not isinstance(placement, FractionalRepetition):
             raise CodingError(
                 "communication-efficient GC is defined over FR placements, "

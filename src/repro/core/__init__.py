@@ -13,6 +13,23 @@ from .conflict import (
     fr_conflict_graph,
     hr_conflict_graph,
 )
+from .scheme import (
+    PLACEMENT_REGISTRY,
+    CommEfficientScheme,
+    CRScheme,
+    ExplicitScheme,
+    FRScheme,
+    HeteroScheme,
+    HRScheme,
+    MultiMessageScheme,
+    PlacementScheme,
+    as_placement,
+    make_placement,
+    placement_scheme,
+    register_placement,
+    registered_placements,
+    scheme_for,
+)
 from .decoders import Decoder, decoder_for, register_decoder
 from .fr_decoder import FRDecoder
 from .cr_decoder import CRDecoder
@@ -56,6 +73,21 @@ __all__ = [
     "cr_conflict_graph",
     "hr_conflict_graph",
     "edge_subset",
+    "PlacementScheme",
+    "PLACEMENT_REGISTRY",
+    "register_placement",
+    "registered_placements",
+    "placement_scheme",
+    "make_placement",
+    "as_placement",
+    "scheme_for",
+    "FRScheme",
+    "CRScheme",
+    "HRScheme",
+    "ExplicitScheme",
+    "HeteroScheme",
+    "CommEfficientScheme",
+    "MultiMessageScheme",
     "Decoder",
     "decoder_for",
     "register_decoder",

@@ -25,10 +25,9 @@ from typing import List
 from ..analysis.closed_form import expected_recovered_exact
 from ..analysis.recovery import monte_carlo_recovery
 from ..exceptions import ConfigurationError, PlacementError
-from .cyclic import CyclicRepetition
-from .fractional import FractionalRepetition
 from .hybrid import HybridRepetition
 from .placement import Placement
+from .scheme import make_placement
 
 #: Above this subset count we fall back to Monte-Carlo evaluation.
 _EXACT_LIMIT = 50_000
@@ -55,15 +54,23 @@ def candidate_placements(n: int, c: int) -> List[Placement]:
     assignment table."""
     if n <= 0 or not 1 <= c <= n:
         raise ConfigurationError(f"invalid (n, c) = ({n}, {c})")
-    candidates: List[Placement] = [CyclicRepetition(n, c)]
+    candidates: List[Placement] = [
+        make_placement("cr", num_workers=n, partitions_per_worker=c)
+    ]
     if n % c == 0:
-        candidates.append(FractionalRepetition(n, c))
+        candidates.append(
+            make_placement("fr", num_workers=n, partitions_per_worker=c)
+        )
     for g in range(2, n + 1):
         if n % g != 0:
             continue
         for c1 in range(0, c + 1):
             try:
-                candidates.append(HybridRepetition(n, c1, c - c1, g))
+                candidates.append(
+                    make_placement(
+                        "hr", num_workers=n, c1=c1, c2=c - c1, num_groups=g,
+                    )
+                )
             except PlacementError:
                 continue
     unique: List[Placement] = []

@@ -24,12 +24,12 @@ heuristic loses nothing.
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, List
+from typing import FrozenSet, List
 
 from ..exceptions import ConfigurationError
 from ..graphs.circulant import circular_distance
 from .cyclic import CyclicRepetition
-from .decoders import Decoder, Selection, _legacy_positional, register_decoder
+from .decoders import Decoder, Selection, register_decoder
 
 
 @register_decoder("cr")
@@ -39,7 +39,7 @@ class CRDecoder(Decoder):
     def __init__(
         self,
         placement: CyclicRepetition,
-        *args: Any,
+        *,
         rng=None,
         starts: str = "window",
         cache=None,
@@ -49,9 +49,6 @@ class CRDecoder(Decoder):
                 f"CRDecoder requires a CyclicRepetition placement, "
                 f"got {type(placement).__name__}"
             )
-        rng, starts = _legacy_positional(
-            "CRDecoder()", args, (("rng", rng), ("starts", starts))
-        )
         if starts not in ("window", "all"):
             raise ConfigurationError(
                 f"starts must be 'window' or 'all', got {starts!r}"

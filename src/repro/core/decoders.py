@@ -20,12 +20,9 @@ validates the availability mask, runs the scheme's search, checks the
 disjointness invariant and returns a
 :class:`~repro.types.DecodeResult`.  Subclasses implement the
 :meth:`Decoder._decode` hook returning a typed :class:`Selection`.
-(The pre-redesign ``_select -> tuple[FrozenSet[int], int]`` convention
-still works for one release, with a :class:`DeprecationWarning`.)
 
 ``rng``, ``metrics`` and ``cache`` are keyword-only in
-:func:`decoder_for` and every decoder constructor; positional use is
-shimmed with a one-release deprecation warning.
+:func:`decoder_for` and every decoder constructor.
 
 Caching
 -------
@@ -40,7 +37,6 @@ uncached — same results, same generator stream.
 from __future__ import annotations
 
 import abc
-import warnings
 from typing import (
     Any,
     Callable,
@@ -49,8 +45,6 @@ from typing import (
     Hashable,
     Iterable,
     NamedTuple,
-    Sequence,
-    Tuple,
     Type,
     TypeVar,
 )
@@ -76,31 +70,6 @@ class Selection(NamedTuple):
     num_searches: int
 
 
-def _legacy_positional(
-    where: str, args: Tuple[Any, ...], spec: Sequence[Tuple[str, Any]]
-) -> list:
-    """One-release shim mapping legacy positional args onto keyword-only
-    parameters; warns when any are present."""
-    if len(args) > len(spec):
-        names = ", ".join(name for name, _ in spec)
-        raise TypeError(
-            f"{where} takes at most {len(spec)} optional arguments "
-            f"({names}), got {len(args)} positional"
-        )
-    if args:
-        names = ", ".join(name for name, _ in spec[: len(args)])
-        warnings.warn(
-            f"passing {names} positionally to {where} is deprecated and "
-            f"will be removed next release; use keyword arguments",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-    values = [value for _, value in spec]
-    for i, arg in enumerate(args):
-        values[i] = arg
-    return values
-
-
 def register_decoder(scheme: str) -> Callable[[Type["Decoder"]], Type["Decoder"]]:
     """Class decorator registering a decoder under ``scheme``."""
 
@@ -113,25 +82,28 @@ def register_decoder(scheme: str) -> Callable[[Type["Decoder"]], Type["Decoder"]
 
 
 def decoder_for(
-    placement: Placement,
-    *args: Any,
+    placement: "Placement | Any",
+    *,
     rng: np.random.Generator | None = None,
     metrics: "MetricsRegistry | None" = None,
     cache: "Any | None" = None,
 ) -> "Decoder":
     """Instantiate the registered decoder matching ``placement.scheme``.
 
-    ``rng``, ``metrics`` and ``cache`` are keyword-only.  Falls back to
-    the exact-MIS decoder for unknown schemes, which is correct for
-    *any* placement (just not linear-time).  The fallback is registered
-    on demand, so this works even when only this module has been
-    imported; if registration is somehow impossible a descriptive
+    ``placement`` may also be a
+    :class:`~repro.core.scheme.PlacementScheme`; it is constructed
+    first.  ``rng``, ``metrics`` and ``cache`` are keyword-only.  Falls
+    back to the exact-MIS decoder for unknown schemes, which is correct
+    for *any* placement (just not linear-time).  The fallback is
+    registered on demand, so this works even when only this module has
+    been imported; if registration is somehow impossible a descriptive
     :class:`~repro.exceptions.DecodeError` is raised instead of a bare
     ``KeyError``.
     """
-    rng, metrics = _legacy_positional(
-        "decoder_for", args, (("rng", rng), ("metrics", metrics))
-    )
+    if not isinstance(placement, Placement):
+        from .scheme import as_placement
+
+        placement = as_placement(placement)
     cls = _REGISTRY.get(placement.scheme)
     if cls is None:
         if "exact" not in _REGISTRY:
@@ -158,13 +130,10 @@ class Decoder(abc.ABC):
     def __init__(
         self,
         placement: Placement,
-        *args: Any,
+        *,
         rng: np.random.Generator | None = None,
         cache: "Any | None" = None,
     ):
-        (rng,) = _legacy_positional(
-            f"{type(self).__name__}()", args, (("rng", rng),)
-        )
         self._placement = placement
         self._rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[DET003] deliberate opt-in to entropy when no rng is injected
         self._metrics: "MetricsRegistry" = NULL_REGISTRY
@@ -236,29 +205,7 @@ class Decoder(abc.ABC):
 
     # ------------------------------------------------------------------
     def _decode(self, available: FrozenSet[int]) -> Selection:
-        """Search hook: the :class:`Selection` for ``available``.
-
-        Subclasses override this.  A subclass that still overrides the
-        legacy ``_select`` hook keeps working for one release via this
-        default implementation (with a :class:`DeprecationWarning`).
-        """
-        legacy = type(self)._select
-        if legacy is Decoder._select:
-            raise NotImplementedError(
-                f"{type(self).__name__} must implement _decode()"
-            )
-        warnings.warn(
-            f"{type(self).__name__} overrides the deprecated _select() "
-            f"hook; implement _decode() returning a Selection instead "
-            f"(removal next release)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        workers, searches = legacy(self, available)
-        return Selection(frozenset(workers), int(searches))
-
-    def _select(self, available: FrozenSet[int]) -> tuple[FrozenSet[int], int]:
-        """Deprecated pre-redesign hook; implement :meth:`_decode`."""
+        """Search hook: the :class:`Selection` for ``available``."""
         raise NotImplementedError(
             f"{type(self).__name__} must implement _decode()"
         )

@@ -11,7 +11,7 @@ independent sets exist one is chosen uniformly at random.
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Tuple
+from typing import FrozenSet, Tuple
 
 from ..graphs.graph import Graph
 from ..graphs.independent_set import (
@@ -19,7 +19,7 @@ from ..graphs.independent_set import (
     maximum_independent_set,
 )
 from .conflict import conflict_graph
-from .decoders import Decoder, Selection, _legacy_positional, register_decoder
+from .decoders import Decoder, Selection, register_decoder
 from .placement import Placement
 
 
@@ -30,7 +30,7 @@ class ExactDecoder(Decoder):
     def __init__(
         self,
         placement: Placement,
-        *args: Any,
+        *,
         rng=None,
         fair: bool = True,
         cache=None,
@@ -38,9 +38,6 @@ class ExactDecoder(Decoder):
         """``fair=True`` samples uniformly among all maximum independent
         sets (slower); ``fair=False`` returns a single deterministic
         optimum (used in benchmarks where only the size matters)."""
-        rng, fair = _legacy_positional(
-            "ExactDecoder()", args, (("rng", rng), ("fair", fair))
-        )
         super().__init__(placement, rng=rng, cache=cache)
         self._graph: Graph = conflict_graph(placement)
         self._fair = fair

@@ -9,9 +9,9 @@ contribute when stragglers are homogeneous).
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List
 
-from .decoders import Decoder, Selection, _legacy_positional, register_decoder
+from .decoders import Decoder, Selection, register_decoder
 from .fractional import FractionalRepetition
 
 
@@ -27,7 +27,7 @@ class FRDecoder(Decoder):
     def __init__(
         self,
         placement: FractionalRepetition,
-        *args: Any,
+        *,
         rng=None,
         cache=None,
     ):
@@ -36,7 +36,6 @@ class FRDecoder(Decoder):
                 f"FRDecoder requires a FractionalRepetition placement, "
                 f"got {type(placement).__name__}"
             )
-        (rng,) = _legacy_positional("FRDecoder()", args, (("rng", rng),))
         super().__init__(placement, rng=rng, cache=cache)
 
     def _decode(self, available: FrozenSet[int]) -> Selection:

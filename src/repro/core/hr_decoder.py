@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import FrozenSet, List
 
 from ..graphs.circulant import circular_distance
-from .decoders import Decoder, Selection, _legacy_positional, register_decoder
+from .decoders import Decoder, Selection, register_decoder
 from .hybrid import HybridRepetition
 
 
@@ -35,13 +35,12 @@ from .hybrid import HybridRepetition
 class HRDecoder(Decoder):
     """Alg. 3/4: group-seeded greedy walk with the HR conflict predicate."""
 
-    def __init__(self, placement: HybridRepetition, *args, rng=None, cache=None):
+    def __init__(self, placement: HybridRepetition, *, rng=None, cache=None):
         if not isinstance(placement, HybridRepetition):
             raise TypeError(
                 f"HRDecoder requires a HybridRepetition placement, "
                 f"got {type(placement).__name__}"
             )
-        (rng,) = _legacy_positional("HRDecoder()", args, (("rng", rng),))
         super().__init__(placement, rng=rng, cache=cache)
 
     def _decode(self, available: FrozenSet[int]) -> Selection:

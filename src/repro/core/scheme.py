@@ -1,0 +1,936 @@
+"""The unified placement layer: one protocol, one registry.
+
+Everything the paper derives — decoding (Algs. 1–4), the recovery
+bounds (Theorems 10/11), the FR/CR/HR trade-off (Theorems 5–7) — starts
+from a *placement family*: a named recipe that, given parameters,
+yields a :class:`~repro.core.placement.Placement`.  Before this module
+each family grew its own ad-hoc conflict/bound/fingerprint plumbing;
+now they all speak one protocol:
+
+* :class:`PlacementScheme` — ``construct()`` (cached), ``conflict_graph()``
+  (ground truth by default, with per-family *verified* fast paths
+  routed through :mod:`repro.core.conflict`), ``recovery_bounds(w)``
+  (Theorem 10/11 style partition-count brackets), ``fingerprint()``
+  (the :class:`~repro.parallel.DecodeCache` key) and ``describe()``;
+* :data:`PLACEMENT_REGISTRY` + :func:`register_placement` — the name →
+  scheme-class registry, mirroring
+  :func:`~repro.engine.spec.register_scheme` /
+  :func:`~repro.engine.spec.register_backend`;
+* :func:`make_placement` / :func:`placement_scheme` — the construction
+  entry points the CLI, the spec engine, the advisor and library code
+  share (``repro check`` REG004 enforces this).
+
+Registered families: ``fr``, ``cr``, ``hr``, ``explicit``, ``hetero``,
+``comm-efficient`` and ``multimessage`` (see ``docs/placements.md`` for
+the catalogue with paper pointers).  A new family needs one
+``@register_placement`` class; specs (via the generic ``is-gc``
+scheme), ``repro placements``, caching and the static checks pick it
+up by name.
+
+Fast paths are *verified*, not parallel code paths: every override of
+:meth:`PlacementScheme.conflict_graph` must agree with the
+ground-truth :func:`~repro.core.conflict.conflict_graph` of the
+constructed placement (property-tested in ``tests/test_scheme.py`` and
+re-checked by ``benchmarks/bench_placement.py``).
+"""
+
+from __future__ import annotations
+
+import difflib
+import inspect
+from abc import ABC, abstractmethod
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from ..exceptions import ConfigurationError
+from ..graphs.graph import Graph
+from .bounds import hr_alpha_bounds, recovered_partitions_bounds
+from .conflict import (
+    conflict_graph,
+    cr_conflict_graph,
+    fr_conflict_graph,
+    hr_conflict_graph,
+)
+from .cyclic import CyclicRepetition
+from .explicit import ExplicitPlacement
+from .fractional import FractionalRepetition
+from .hybrid import HybridRepetition
+from .placement import Placement
+
+#: placement family name → scheme class (the third registry, alongside
+#: SCHEME_REGISTRY and BACKEND_REGISTRY in :mod:`repro.engine.spec`).
+PLACEMENT_REGISTRY: Dict[str, Type["PlacementScheme"]] = {}
+
+#: accepted alternate spellings → canonical family name.
+_ALIASES: Dict[str, str] = {}
+
+
+def register_placement(
+    name: str, *, aliases: Sequence[str] = ()
+) -> Callable[[Type["PlacementScheme"]], Type["PlacementScheme"]]:
+    """Class decorator registering a placement family under ``name``.
+
+    ``aliases`` are accepted alternate spellings (``"fractional"`` for
+    ``"fr"`` and so on); they resolve to the same class but are not
+    listed as separate families.
+    """
+
+    def wrap(cls: Type["PlacementScheme"]) -> Type["PlacementScheme"]:
+        if name in PLACEMENT_REGISTRY:
+            raise ConfigurationError(
+                f"placement family {name!r} already registered "
+                f"({PLACEMENT_REGISTRY[name].__name__})"
+            )
+        PLACEMENT_REGISTRY[name] = cls
+        cls.family = name
+        cls.aliases = tuple(aliases)
+        for alias in aliases:
+            _ALIASES[alias] = name
+        return cls
+
+    return wrap
+
+
+def registered_placements() -> List[str]:
+    """Sorted canonical family names (aliases excluded)."""
+    return sorted(PLACEMENT_REGISTRY)
+
+
+def unknown_placement_message(name: Any) -> str:
+    """The did-you-mean error text for an unregistered family name.
+
+    Shared by :func:`resolve_placement` (runtime) and the SPEC001/002
+    static rules, so ``repro check`` and ``repro run`` report typos
+    identically.
+    """
+    known = sorted(set(PLACEMENT_REGISTRY) | set(_ALIASES))
+    close = difflib.get_close_matches(str(name), known, n=3, cutoff=0.5)
+    hint = (
+        " — did you mean " + " or ".join(repr(m) for m in close) + "?"
+        if close
+        else ""
+    )
+    return (
+        f"unknown placement family {name!r}{hint} "
+        f"(registered families: {', '.join(registered_placements())})"
+    )
+
+
+def resolve_placement(name: str) -> Type["PlacementScheme"]:
+    """The scheme class for ``name`` (canonical or alias)."""
+    if not isinstance(name, str):
+        raise ConfigurationError(
+            f"placement family must be a string, got {name!r}"
+        )
+    cls = PLACEMENT_REGISTRY.get(_ALIASES.get(name, name))
+    if cls is None:
+        raise ConfigurationError(unknown_placement_message(name))
+    return cls
+
+
+def placement_scheme(name: str, **params: Any) -> "PlacementScheme":
+    """Instantiate the registered family ``name`` with ``params``.
+
+    Unknown parameter names are rejected with the family's accepted
+    signature (a raw ``TypeError`` would not say which family or which
+    parameters exist).
+    """
+    cls = resolve_placement(name)
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        accepted = [
+            p
+            for p in inspect.signature(cls.__init__).parameters
+            if p not in ("self", "kwargs")
+        ]
+        raise ConfigurationError(
+            f"invalid parameters for placement family {cls.family!r}: "
+            f"{exc}; accepted: {', '.join(accepted)}"
+        ) from exc
+
+
+def make_placement(name: str, **params: Any) -> Placement:
+    """Construct the placement of registered family ``name``.
+
+    The single construction entry point for library code, the CLI and
+    the spec engine (REG004 flags direct ``*Repetition``/``*Placement``
+    constructor calls outside this layer).  Parameter-constraint
+    violations raise :class:`~repro.exceptions.PlacementError` exactly
+    as the direct constructors do — same type, same message — so
+    callers' error handling is unchanged by going through the registry.
+    """
+    return placement_scheme(name, **params).construct()
+
+
+def spec_placement_scheme(
+    name: str,
+    *,
+    num_workers: int,
+    partitions_per_worker: Optional[int] = None,
+    **params: Any,
+) -> "PlacementScheme":
+    """Registry lookup under ``make_strategy``'s calling convention.
+
+    Spec-driven callers always carry a uniform ``partitions_per_worker``
+    (the :class:`~repro.engine.spec.ExperimentSpec` field, default 1);
+    families that derive ``c`` from their own parameters
+    (``uses_uniform_c = False``, e.g. HR's ``c1 + c2``) must not
+    receive it, so this helper forwards it only where it is meaningful.
+    """
+    cls = resolve_placement(name)
+    kwargs = dict(params)
+    if cls.uses_uniform_c and partitions_per_worker is not None:
+        kwargs.setdefault("partitions_per_worker", partitions_per_worker)
+    return placement_scheme(name, num_workers=num_workers, **kwargs)
+
+
+def placement_spec_problems(
+    family: Any,
+    *,
+    num_workers: int,
+    partitions_per_worker: Optional[int] = None,
+    declared: bool = False,
+    params: Optional[Mapping[str, Any]] = None,
+) -> List[str]:
+    """Static feasibility problems of ``family`` at these parameters.
+
+    The arithmetic-only hook behind the SPEC001/SPEC002 rules: nothing
+    is constructed, so the checks are safe on untrusted spec documents.
+    Unknown families return the same did-you-mean message
+    ``repro run`` would raise.  ``declared`` says whether
+    ``partitions_per_worker`` was explicitly present in the spec
+    document (families deriving ``c`` themselves only cross-check an
+    explicitly declared value).
+    """
+    if not isinstance(family, str):
+        return [f"placement family must be a string, got {family!r}"]
+    cls = PLACEMENT_REGISTRY.get(_ALIASES.get(family, family))
+    if cls is None:
+        return [unknown_placement_message(family)]
+    return cls.spec_problems(
+        num_workers=num_workers,
+        partitions_per_worker=partitions_per_worker,
+        declared=declared,
+        params=dict(params or {}),
+    )
+
+
+def as_placement(obj: "Placement | PlacementScheme") -> Placement:
+    """Coerce a scheme or placement to the :class:`Placement` it denotes.
+
+    Lets every placement consumer (decoders, coders, simulators,
+    migration planning) accept either level of the protocol.
+    """
+    if isinstance(obj, Placement):
+        return obj
+    if isinstance(obj, PlacementScheme):
+        return obj.construct()
+    raise ConfigurationError(
+        f"expected a Placement or PlacementScheme, got {type(obj).__name__}"
+    )
+
+
+def scheme_for(placement: Placement) -> "PlacementScheme":
+    """Wrap an already-constructed placement in its family's scheme view.
+
+    Recovers the protocol object (fast conflict paths, family-specific
+    bounds) for placements built elsewhere; unknown concrete types fall
+    back to the generic ``explicit`` family, which is correct for any
+    placement.  The wrapper reuses ``placement`` itself, so
+    ``fingerprint()`` (hence every cache key) is unchanged.
+    """
+    for cls in dict.fromkeys(PLACEMENT_REGISTRY.values()):
+        scheme = cls.from_placement(placement)
+        if scheme is not None:
+            return scheme
+    return ExplicitScheme._wrap(placement)
+
+
+# ----------------------------------------------------------------------
+# The protocol.
+
+
+class PlacementScheme(ABC):
+    """One placement family: parameters in, paper machinery out.
+
+    Subclasses register with :func:`register_placement`, implement
+    :meth:`_construct`, and optionally override :meth:`conflict_graph`
+    with a *verified* closed-form fast path and
+    :meth:`recovery_bounds` with family-specific theorems.  The default
+    implementations — partition-intersection ground truth and the
+    single-selected-worker bracket — are correct for **any** placement,
+    so a minimal new family is just a constructor.
+    """
+
+    #: canonical registry name, set by :func:`register_placement`.
+    family: ClassVar[str] = "abstract"
+    #: accepted alternate spellings, set by :func:`register_placement`.
+    aliases: ClassVar[Tuple[str, ...]] = ()
+    #: one-line human description for listings.
+    summary: ClassVar[str] = ""
+    #: pointer into the paper (section / theorem / algorithm).
+    paper: ClassVar[str] = ""
+    #: whether spec-driven construction should forward the uniform
+    #: ``partitions_per_worker`` count; families deriving ``c`` from
+    #: their own parameters (HR's ``c1 + c2``, explicit tables) set
+    #: this ``False`` (see :func:`spec_placement_scheme`).
+    uses_uniform_c: ClassVar[bool] = True
+
+    def __init__(self) -> None:
+        self._placement: Optional[Placement] = None
+
+    # -- construction ---------------------------------------------------
+    @abstractmethod
+    def _construct(self) -> Placement:
+        """Build the placement (called once; result is cached)."""
+
+    def construct(self) -> Placement:
+        """The placement this scheme denotes (constructed lazily once).
+
+        Parameter-constraint violations surface here as
+        :class:`~repro.exceptions.PlacementError`, identical to the
+        direct constructors.
+        """
+        if self._placement is None:
+            self._placement = self._construct()
+        return self._placement
+
+    # -- the protocol ---------------------------------------------------
+    def conflict_graph(self) -> Graph:
+        """The conflict graph ``G`` of the constructed placement.
+
+        Default: partition-intersection ground truth
+        (:func:`repro.core.conflict.conflict_graph`), correct for any
+        placement.  Families with closed-form constructions (Theorem 1
+        for CR, clique unions for FR, Alg. 4 for HR) override this
+        with the fast path — which must agree with the ground truth
+        (property-tested per family).
+        """
+        return conflict_graph(self.construct())
+
+    def recovery_bounds(self, wait_for: int) -> Tuple[int, int]:
+        """Bracket on recovered partitions ``|I|`` at ``w = wait_for``.
+
+        Default bracket, valid for **any** placement: at least one
+        available worker is always selected (``c`` partitions), and at
+        most ``min(w, ⌊n/c⌋)`` pairwise-disjoint ``c``-sets fit
+        (Theorem 11's counting argument needs nothing about the
+        placement's structure).  Theorem 10's stronger lower bound
+        ``⌈w/c⌉`` does *not* hold for arbitrary placements — e.g. a
+        star-shaped table where every worker shares partition 0 pins
+        ``α = 1`` — so it lives in the FR/CR overrides where the paper
+        proves it.
+        """
+        placement = self.construct()
+        n = placement.num_workers
+        c = placement.partitions_per_worker
+        if not 0 <= wait_for <= n:
+            raise ValueError(
+                f"need 0 <= w <= n, got w={wait_for}, n={n}"
+            )
+        if wait_for == 0:
+            return 0, 0
+        return c, min(min(wait_for, n // c) * c, n)
+
+    def fingerprint(self) -> str:
+        """The placement's content digest — the decode-cache key
+        component (:class:`~repro.parallel.DecodeCache`); identical to
+        ``construct().fingerprint`` by construction."""
+        return self.construct().fingerprint
+
+    def describe(self) -> str:
+        """Human-readable family + placement description."""
+        lines = [f"[{self.family}] {self.summary}".rstrip()]
+        if self.paper:
+            lines.append(f"paper: {self.paper}")
+        lines.append(self.construct().describe())
+        return "\n".join(lines)
+
+    # -- static hooks ---------------------------------------------------
+    @classmethod
+    def spec_problems(
+        cls,
+        *,
+        num_workers: int,
+        partitions_per_worker: Optional[int] = None,
+        declared: bool = False,
+        params: Optional[Mapping[str, Any]] = None,
+    ) -> List[str]:
+        """Arithmetic-only feasibility problems (for SPEC001/SPEC002).
+
+        Must not construct anything; return constraint-citing messages.
+        The default accepts everything (constraints then surface at
+        :meth:`construct` time only).
+        """
+        return []
+
+    @classmethod
+    def from_placement(
+        cls, placement: Placement
+    ) -> Optional["PlacementScheme"]:
+        """A scheme wrapping ``placement`` if it is this family's
+        concrete type, else ``None`` (used by :func:`scheme_for`)."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(family={self.family!r})"
+
+
+# ----------------------------------------------------------------------
+# Registered families.  This module is the sanctioned construction
+# layer, mirroring engine/spec.py for strategies/backends — the direct
+# ``*Repetition(...)`` / ``*Placement(...)`` calls below are exactly
+# what REG004 steers the rest of the library through here for.
+
+
+@register_placement("fr", aliases=("fractional",))
+class FRScheme(PlacementScheme):
+    """Fractional repetition: ``n/c`` disjoint groups of ``c`` clones."""
+
+    summary = (
+        "fractional repetition — n/c disjoint groups of c identical "
+        "replicas (requires c | n); best recovery, least flexible"
+    )
+    paper = "Sec. III; decoder Alg. 2; bounds Thms. 10-11; Fig. 4(a)"
+
+    def __init__(self, *, num_workers: int, partitions_per_worker: int = 1):
+        super().__init__()
+        self._n = int(num_workers)
+        self._c = int(partitions_per_worker)
+
+    def _construct(self) -> Placement:
+        return FractionalRepetition(self._n, self._c)
+
+    def conflict_graph(self) -> Graph:
+        # Clique union (Fig. 4a) — verified against ground truth.
+        return fr_conflict_graph(self._n, self._c)
+
+    def recovery_bounds(self, wait_for: int) -> Tuple[int, int]:
+        return recovered_partitions_bounds(self._n, self._c, wait_for)
+
+    @classmethod
+    def spec_problems(
+        cls, *, num_workers, partitions_per_worker=None, declared=False,
+        params=None,
+    ) -> List[str]:
+        n, c = num_workers, partitions_per_worker
+        if c is not None and n % c != 0:
+            return [
+                f"FR placement requires c | n (Sec. III: workers form "
+                f"n/c groups of c replicas); got n={n}, c={c}"
+            ]
+        return []
+
+    @classmethod
+    def from_placement(cls, placement):
+        if type(placement) is FractionalRepetition:
+            scheme = cls(
+                num_workers=placement.num_workers,
+                partitions_per_worker=placement.partitions_per_worker,
+            )
+            scheme._placement = placement
+            return scheme
+        return None
+
+
+@register_placement("cr", aliases=("cyclic",))
+class CRScheme(PlacementScheme):
+    """Cyclic repetition: worker ``i`` stores ``(i .. i+c-1) mod n``."""
+
+    summary = (
+        "cyclic repetition — worker i stores partitions (i..i+c-1) mod n; "
+        "always valid, most flexible wait choices"
+    )
+    paper = "Sec. III; conflict graph Thm. 1 (circulant C_n^{1..c-1}); decoder Alg. 1"
+
+    def __init__(self, *, num_workers: int, partitions_per_worker: int = 1):
+        super().__init__()
+        self._n = int(num_workers)
+        self._c = int(partitions_per_worker)
+
+    def _construct(self) -> Placement:
+        return CyclicRepetition(self._n, self._c)
+
+    def conflict_graph(self) -> Graph:
+        # Theorem 1's circulant construction — verified against ground
+        # truth (property-tested across the (n, c) grid).
+        return cr_conflict_graph(self._n, self._c)
+
+    def recovery_bounds(self, wait_for: int) -> Tuple[int, int]:
+        return recovered_partitions_bounds(self._n, self._c, wait_for)
+
+    @classmethod
+    def spec_problems(
+        cls, *, num_workers, partitions_per_worker=None, declared=False,
+        params=None,
+    ) -> List[str]:
+        n, c = num_workers, partitions_per_worker
+        if c is not None and c >= n:
+            return [
+                f"CR placement requires 1 <= c < n: with c = n = {n} "
+                f"every pair of workers shares a partition (Theorem 1: "
+                f"conflict iff circular distance < c), so at most one "
+                f"payload is ever decodable"
+            ]
+        return []
+
+    @classmethod
+    def from_placement(cls, placement):
+        if type(placement) is CyclicRepetition:
+            scheme = cls(
+                num_workers=placement.num_workers,
+                partitions_per_worker=placement.partitions_per_worker,
+            )
+            scheme._placement = placement
+            return scheme
+        return None
+
+
+@register_placement("hr", aliases=("hybrid",))
+class HRScheme(PlacementScheme):
+    """Hybrid repetition ``HR(n, c1, c2)`` with ``g`` groups."""
+
+    summary = (
+        "hybrid repetition — HR(n, c1, c2) with g groups interpolates "
+        "FR and CR (c = c1 + c2); Theorem 5-7 constraints apply"
+    )
+    paper = "Sec. VI; conflict test Alg. 4; decoder Alg. 3; Thms. 5-7"
+    uses_uniform_c = False
+
+    def __init__(
+        self,
+        *,
+        num_workers: int,
+        c1: int,
+        c2: int,
+        num_groups: int,
+        partitions_per_worker: Optional[int] = None,
+    ):
+        super().__init__()
+        self._n = int(num_workers)
+        self._c1 = int(c1)
+        self._c2 = int(c2)
+        self._g = int(num_groups)
+        if (
+            partitions_per_worker is not None
+            and int(partitions_per_worker) != self._c1 + self._c2
+        ):
+            raise ConfigurationError(
+                f"HR stores c1 + c2 = {self._c1 + self._c2} partitions "
+                f"per worker but partitions_per_worker="
+                f"{partitions_per_worker} was given; make them agree "
+                f"(or drop partitions_per_worker)"
+            )
+
+    def _construct(self) -> Placement:
+        return HybridRepetition(self._n, self._c1, self._c2, self._g)
+
+    def conflict_graph(self) -> Graph:
+        # Alg. 4's closed-form predicate — verified against ground truth.
+        return hr_conflict_graph(self._n, self._c1, self._c2, self._g)
+
+    def recovery_bounds(self, wait_for: int) -> Tuple[int, int]:
+        # Corrected group-wise α bounds (see bounds.hr_alpha_bounds for
+        # why the printed Theorem 10 fails when n0 > c), scaled to
+        # partitions.
+        lo, hi = hr_alpha_bounds(
+            self._n, self._c1, self._c2, self._g, wait_for
+        )
+        c = self._c1 + self._c2
+        return min(lo * c, self._n), min(hi * c, self._n)
+
+    @classmethod
+    def spec_problems(
+        cls, *, num_workers, partitions_per_worker=None, declared=False,
+        params=None,
+    ) -> List[str]:
+        n = num_workers
+        params = params or {}
+        c1 = _spec_int(params.get("c1"))
+        c2 = _spec_int(params.get("c2"))
+        g = _spec_int(params.get("num_groups"))
+        if c1 is None or c2 is None or g is None:
+            return [
+                "HR placement needs integer params c1, c2 and "
+                "num_groups (HR(n, c1, c2) with g groups, Sec. VI)"
+            ]
+        problems = _hr_constraint_problems(n, c1, c2, g)
+        if (
+            declared
+            and partitions_per_worker is not None
+            and partitions_per_worker != c1 + c2
+        ):
+            problems.append(
+                f"HR spec declares partitions_per_worker="
+                f"{partitions_per_worker} but the placement stores "
+                f"c1 + c2 = {c1 + c2} partitions per worker; make "
+                f"them agree"
+            )
+        return problems
+
+    @classmethod
+    def from_placement(cls, placement):
+        if type(placement) is HybridRepetition:
+            scheme = cls(
+                num_workers=placement.num_workers,
+                c1=placement.c1,
+                c2=placement.c2,
+                num_groups=placement.num_groups,
+            )
+            scheme._placement = placement
+            return scheme
+        return None
+
+
+@register_placement("explicit", aliases=("table",))
+class ExplicitScheme(PlacementScheme):
+    """A user-supplied worker → partitions table."""
+
+    summary = (
+        "explicit table — any worker->partitions assignment; decoded "
+        "by the exact-MIS decoder, bounds are the generic bracket"
+    )
+    paper = "Sec. V-A (conflict graphs) + exact-MIS decoding"
+    uses_uniform_c = False
+
+    def __init__(
+        self,
+        *,
+        rows: Optional[Sequence[Sequence[int]]] = None,
+        assignments: Optional[Mapping[int, Sequence[int]]] = None,
+        num_workers: Optional[int] = None,
+    ):
+        super().__init__()
+        if (rows is None) == (assignments is None):
+            raise ConfigurationError(
+                "explicit placement needs exactly one of rows= "
+                "(row-per-worker list) or assignments= (worker -> "
+                "partitions mapping)"
+            )
+        # A shallow copy is enough here: ExplicitPlacement.from_rows
+        # tuple-normalizes every row at construction time anyway.
+        self._rows = list(rows) if rows is not None else None
+        self._assignments = (
+            {int(w): tuple(p) for w, p in assignments.items()}
+            if assignments is not None
+            else None
+        )
+        expected = num_workers
+        actual = (
+            len(self._rows) if self._rows is not None
+            else len(self._assignments)
+        )
+        if expected is not None and int(expected) != actual:
+            raise ConfigurationError(
+                f"explicit table has {actual} workers but "
+                f"num_workers={expected} was given; make them agree"
+            )
+
+    def _construct(self) -> Placement:
+        if self._rows is not None:
+            return ExplicitPlacement.from_rows(self._rows)
+        return ExplicitPlacement(self._assignments)
+
+    @classmethod
+    def _wrap(cls, placement: Placement) -> "ExplicitScheme":
+        """Generic :func:`scheme_for` fallback: view any placement
+        through the explicit family without re-deriving its table."""
+        scheme = cls(assignments=placement.assignment_table())
+        scheme._placement = placement
+        return scheme
+
+    @classmethod
+    def from_placement(cls, placement):
+        if type(placement) is ExplicitPlacement:
+            return cls._wrap(placement)
+        return None
+
+
+@register_placement("hetero", aliases=("heterogeneous",))
+class HeteroScheme(PlacementScheme):
+    """A base family with a machine → worker-index re-assignment.
+
+    Heterogeneity-aware operation (:mod:`repro.core.hetero_placement`)
+    picks which physical machine plays which worker index; the placed
+    table is the base family's, rows permuted so machine ``m`` stores
+    what worker ``assignment[m]`` would.  Conflict structure and
+    bounds are the base family's up to vertex relabelling.
+    """
+
+    summary = (
+        "heterogeneity-aware — a base family's table with machines "
+        "permuted onto worker indices (assignment from "
+        "optimize_assignment)"
+    )
+    paper = "Sec. VIII discussion; related work [21]"
+
+    def __init__(
+        self,
+        *,
+        num_workers: int,
+        assignment: Sequence[int],
+        base: str = "cr",
+        partitions_per_worker: Optional[int] = None,
+        **base_params: Any,
+    ):
+        super().__init__()
+        self._n = int(num_workers)
+        self._assignment = [int(a) for a in assignment]
+        if sorted(self._assignment) != list(range(self._n)):
+            raise ConfigurationError(
+                f"assignment must be a permutation of worker indices "
+                f"0..{self._n - 1}, got {assignment!r}"
+            )
+        self._base = spec_placement_scheme(
+            base,
+            num_workers=num_workers,
+            partitions_per_worker=partitions_per_worker,
+            **base_params,
+        )
+
+    @property
+    def base(self) -> PlacementScheme:
+        """The underlying family whose table is being permuted."""
+        return self._base
+
+    @property
+    def assignment(self) -> List[int]:
+        """machine ``m`` → base worker index it plays."""
+        return list(self._assignment)
+
+    def _construct(self) -> Placement:
+        base = self._base.construct()
+        return ExplicitPlacement(
+            {
+                m: base.partitions_of(w)
+                for m, w in enumerate(self._assignment)
+            }
+        )
+
+    def conflict_graph(self) -> Graph:
+        # Relabel the base family's (fast-path) graph: machine m plays
+        # base worker assignment[m], so edges map through the inverse.
+        base_graph = self._base.conflict_graph()
+        machine_of = {w: m for m, w in enumerate(self._assignment)}
+        graph = Graph(vertices=range(self._n))
+        for edge in base_graph.edges:
+            a, b = tuple(edge)
+            graph.add_edge(machine_of[a], machine_of[b])
+        return graph
+
+    def recovery_bounds(self, wait_for: int) -> Tuple[int, int]:
+        # α is invariant under vertex relabelling.
+        return self._base.recovery_bounds(wait_for)
+
+
+@register_placement("comm-efficient", aliases=("comm_efficient", "ye-abbe"))
+class CommEfficientScheme(PlacementScheme):
+    """FR placement + Ye-Abbe Vandermonde block coding (ICML'18).
+
+    The placement (hence conflict graph, fingerprint and IS-GC
+    decoding semantics) is plain FR; :meth:`coder` yields the
+    :class:`~repro.codes.comm_efficient.CommEfficientGC` codec with
+    ``k = blocks``, tolerating ``c - k`` stragglers per group at a
+    ``k×`` upload saving.
+    """
+
+    summary = (
+        "communication-efficient GC (Ye-Abbe) — FR placement whose "
+        "workers upload k-block Vandermonde combinations (k x smaller)"
+    )
+    paper = "related work [17] (Ye & Abbe ICML'18); IS extension in codes/comm_efficient.py"
+
+    def __init__(
+        self,
+        *,
+        num_workers: int,
+        partitions_per_worker: int = 1,
+        blocks: int = 1,
+    ):
+        super().__init__()
+        self._n = int(num_workers)
+        self._c = int(partitions_per_worker)
+        self._blocks = int(blocks)
+
+    @property
+    def blocks(self) -> int:
+        """``k``: blocks per group gradient (upload shrinks ``k×``)."""
+        return self._blocks
+
+    def _construct(self) -> Placement:
+        return FractionalRepetition(self._n, self._c)
+
+    def conflict_graph(self) -> Graph:
+        return fr_conflict_graph(self._n, self._c)
+
+    def recovery_bounds(self, wait_for: int) -> Tuple[int, int]:
+        return recovered_partitions_bounds(self._n, self._c, wait_for)
+
+    def coder(self):
+        """The Vandermonde codec over this scheme's FR placement."""
+        # Imported lazily: core must stay importable without codes.
+        from ..codes.comm_efficient import CommEfficientGC
+
+        return CommEfficientGC(self.construct(), self._blocks)
+
+    @classmethod
+    def spec_problems(
+        cls, *, num_workers, partitions_per_worker=None, declared=False,
+        params=None,
+    ) -> List[str]:
+        problems = FRScheme.spec_problems(
+            num_workers=num_workers,
+            partitions_per_worker=partitions_per_worker,
+        )
+        k = _spec_int((params or {}).get("blocks", 1))
+        if k is None or (
+            partitions_per_worker is not None
+            and not 1 <= k <= partitions_per_worker
+        ):
+            problems.append(
+                f"communication-efficient GC needs integer blocks k "
+                f"with 1 <= k <= c; got blocks="
+                f"{(params or {}).get('blocks', 1)!r}, "
+                f"c={partitions_per_worker}"
+            )
+        return problems
+
+
+@register_placement("multimessage", aliases=("multi-message",))
+class MultiMessageScheme(PlacementScheme):
+    """A base family operated with per-partition uploads.
+
+    The placement is the base family's; :meth:`round` yields the
+    :class:`~repro.partial.multimessage.MultiMessageRound` simulator
+    (each partition's gradient ships as soon as it is computed, so
+    stragglers' partial work counts).
+    """
+
+    summary = (
+        "multi-message uploads — a base family's placement where each "
+        "partition gradient ships as computed (partial straggler work "
+        "counts, up to c x the bytes)"
+    )
+    paper = "related work [19]-[21] (Ozfatura et al.); partial/multimessage.py"
+
+    def __init__(
+        self,
+        *,
+        num_workers: int,
+        partitions_per_worker: Optional[int] = None,
+        base: str = "cr",
+        **base_params: Any,
+    ):
+        super().__init__()
+        resolve_placement(base)  # fail fast on an unknown base family
+        self._base_family = base
+        self._base_kwargs = dict(
+            num_workers=num_workers,
+            partitions_per_worker=partitions_per_worker,
+            **base_params,
+        )
+        self._base: Optional[PlacementScheme] = None
+
+    @property
+    def base(self) -> PlacementScheme:
+        """The placement family whose table is uploaded per-partition."""
+        if self._base is None:
+            self._base = spec_placement_scheme(
+                self._base_family, **self._base_kwargs
+            )
+        return self._base
+
+    def _construct(self) -> Placement:
+        return self.base.construct()
+
+    def conflict_graph(self) -> Graph:
+        return self.base.conflict_graph()
+
+    def recovery_bounds(self, wait_for: int) -> Tuple[int, int]:
+        return self.base.recovery_bounds(wait_for)
+
+    def round(self, **kwargs):
+        """A :class:`MultiMessageRound` simulator over this placement."""
+        # Imported lazily: core must stay importable without partial.
+        from ..partial.multimessage import MultiMessageRound
+
+        return MultiMessageRound(self.construct(), **kwargs)
+
+    @classmethod
+    def spec_problems(
+        cls, *, num_workers, partitions_per_worker=None, declared=False,
+        params=None,
+    ) -> List[str]:
+        params = dict(params or {})
+        base = params.pop("base", "cr")
+        return placement_spec_problems(
+            base,
+            num_workers=num_workers,
+            partitions_per_worker=partitions_per_worker,
+            declared=declared,
+            params=params,
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared arithmetic helpers for the static hooks.
+
+
+def _spec_int(value: Any) -> Optional[int]:
+    """``value`` as an int for static checks (bools are not ints)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        return None
+    return value
+
+
+def _hr_constraint_problems(n: int, c1: int, c2: int, g: int) -> List[str]:
+    """Theorem 5-7 feasibility of ``HR(n, c1, c2)`` with ``g`` groups."""
+    problems: List[str] = []
+    if c1 < 0 or c2 < 0 or c1 + c2 < 1:
+        problems.append(
+            f"HR needs c1, c2 >= 0 with c = c1 + c2 >= 1; got "
+            f"c1={c1}, c2={c2}"
+        )
+        return problems
+    if g < 1 or n % g != 0:
+        problems.append(
+            f"HR requires g | n (workers split into g equal groups, "
+            f"Sec. VI); got n={n}, num_groups={g}"
+        )
+        return problems
+    n0 = n // g
+    c = c1 + c2
+    if c > n:
+        problems.append(
+            f"HR needs c = c1 + c2 <= n; got c={c}, n={n}"
+        )
+        return problems
+    if c1 > 0 and g > 1:
+        if c > n0:
+            problems.append(
+                f"HR requires c <= n0 = n/g (Theorem 5: a group must "
+                f"hold all its partitions); got c={c}, n0={n0}"
+            )
+        if c1 > n0:
+            problems.append(
+                f"HR upper part needs c1 <= n0 (at most one within-group "
+                f"wrap); got c1={c1}, n0={n0}"
+            )
+        if c2 > 0 and n0 > c + c1:
+            problems.append(
+                f"general HR needs n0 <= c + c1 (Theorem 6 within-group "
+                f"completeness: workers of one group must pairwise "
+                f"conflict); got n0={n0}, c={c}, c1={c1}"
+            )
+    return problems

@@ -24,8 +24,15 @@ registries make the system open for extension without modification:
 * :data:`BACKEND_REGISTRY` — backend name → execution-backend factory
   (:func:`register_backend`).
 
-Registering one factory is all a new scheme or backend needs; the
-engine and the CLI pick it up by name.
+A third registry lives one layer down:
+:data:`~repro.core.scheme.PLACEMENT_REGISTRY` maps placement-family
+names to :class:`~repro.core.scheme.PlacementScheme` classes, and the
+IS-GC factories here build their placements through it.  The generic
+``is-gc`` scheme exposes *every* registered family to specs:
+``scheme="is-gc"`` with ``scheme_params={"placement": "hr", ...}``.
+
+Registering one factory is all a new scheme, backend or placement
+family needs; the engine and the CLI pick it up by name.
 
 Training-layer classes are imported lazily inside the factories so
 ``repro.engine`` never circularly imports ``repro.training`` at module
@@ -106,9 +113,19 @@ def make_strategy(
     """
     factory = SCHEME_REGISTRY.get(name)
     if factory is None:
+        import difflib
+
         known = ", ".join(sorted(SCHEME_REGISTRY))
+        close = difflib.get_close_matches(
+            str(name), sorted(SCHEME_REGISTRY), n=3, cutoff=0.5
+        )
+        hint = (
+            " — did you mean " + " or ".join(repr(m) for m in close) + "?"
+            if close
+            else ""
+        )
         raise ConfigurationError(
-            f"unknown scheme {name!r}; registered schemes: {known}"
+            f"unknown scheme {name!r}{hint}; registered schemes: {known}"
         )
     if rng is None and seed is not None:
         rng = np.random.default_rng(seed)
@@ -145,10 +162,13 @@ def _is_sgd(*, num_workers, partitions_per_worker=1, wait_for=None,
 @register_scheme("gc")
 def _classic_gc(*, num_workers, partitions_per_worker=1, wait_for=None,
                 rng=None, **params):
-    from ..core.cyclic import CyclicRepetition
+    from ..core.scheme import make_placement
     from ..training.strategies import ClassicGCStrategy
 
-    placement = CyclicRepetition(num_workers, partitions_per_worker)
+    placement = make_placement(
+        "cr", num_workers=num_workers,
+        partitions_per_worker=partitions_per_worker,
+    )
     return ClassicGCStrategy(placement, rng=rng)
 
 
@@ -172,18 +192,24 @@ def _isgc(placement, wait_for, rng, policy, cache=None):
 @register_scheme("is-gc-fr")
 def _isgc_fr(*, num_workers, partitions_per_worker=1, wait_for=None,
              rng=None, policy=None, cache=None, **params):
-    from ..core.fractional import FractionalRepetition
+    from ..core.scheme import make_placement
 
-    placement = FractionalRepetition(num_workers, partitions_per_worker)
+    placement = make_placement(
+        "fr", num_workers=num_workers,
+        partitions_per_worker=partitions_per_worker,
+    )
     return _isgc(placement, wait_for, rng, policy, cache)
 
 
 @register_scheme("is-gc-cr")
 def _isgc_cr(*, num_workers, partitions_per_worker=1, wait_for=None,
              rng=None, policy=None, cache=None, **params):
-    from ..core.cyclic import CyclicRepetition
+    from ..core.scheme import make_placement
 
-    placement = CyclicRepetition(num_workers, partitions_per_worker)
+    placement = make_placement(
+        "cr", num_workers=num_workers,
+        partitions_per_worker=partitions_per_worker,
+    )
     return _isgc(placement, wait_for, rng, policy, cache)
 
 
@@ -191,14 +217,38 @@ def _isgc_cr(*, num_workers, partitions_per_worker=1, wait_for=None,
 def _isgc_hr(*, num_workers, partitions_per_worker=1, wait_for=None,
              rng=None, policy=None, c1=None, c2=None, num_groups=None,
              cache=None, **params):
-    from ..core.hybrid import HybridRepetition
+    from ..core.scheme import make_placement
 
     if c1 is None or c2 is None or num_groups is None:
         raise ConfigurationError(
             "scheme 'is-gc-hr' needs c1, c2 and num_groups params"
         )
-    placement = HybridRepetition(num_workers, c1, c2, num_groups)
+    placement = make_placement(
+        "hr", num_workers=num_workers, c1=c1, c2=c2, num_groups=num_groups,
+    )
     return _isgc(placement, wait_for, rng, policy, cache)
+
+
+@register_scheme("is-gc")
+def _isgc_any(*, num_workers, partitions_per_worker=1, wait_for=None,
+              rng=None, policy=None, cache=None, placement="cr", **params):
+    """Generic IS-GC over *any* registered placement family.
+
+    ``scheme_params={"placement": "<family>", ...}`` routes the
+    remaining params to the family's :func:`register_placement` class,
+    so new families become spec-constructible without touching this
+    module (e.g. ``placement="hr"`` with ``c1``/``c2``/``num_groups``,
+    or ``placement="explicit"`` with ``rows``).
+    """
+    from ..core.scheme import spec_placement_scheme
+
+    scheme = spec_placement_scheme(
+        placement,
+        num_workers=num_workers,
+        partitions_per_worker=partitions_per_worker,
+        **params,
+    )
+    return _isgc(scheme.construct(), wait_for, rng, policy, cache)
 
 
 # ----------------------------------------------------------------------

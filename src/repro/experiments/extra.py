@@ -23,9 +23,8 @@ import numpy as np
 
 from ..analysis.recovery import monte_carlo_recovery
 from ..analysis.reporting import Table
-from ..core.cyclic import CyclicRepetition
 from ..core.decoders import decoder_for
-from ..core.fractional import FractionalRepetition
+from ..core.scheme import make_placement
 from ..engine.spec import make_strategy
 from ..simulation.cluster import ClusterSimulator, ComputeModel
 from ..simulation.network import NetworkModel
@@ -75,8 +74,8 @@ def enduring_straggler_study(
 
     points: List[EnduringPoint] = []
     for name, placement in (
-        ("fr", FractionalRepetition(n, c)),
-        ("cr", CyclicRepetition(n, c)),
+        ("fr", make_placement("fr", num_workers=n, partitions_per_worker=c)),
+        ("cr", make_placement("cr", num_workers=n, partitions_per_worker=c)),
     ):
         for w in wait_values:
             iid = monte_carlo_recovery(placement, w, trials=trials, seed=seed)

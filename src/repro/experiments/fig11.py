@@ -28,7 +28,7 @@ from typing import TYPE_CHECKING, Dict, List, Tuple
 import numpy as np
 
 from ..analysis.reporting import Table
-from ..core.cyclic import CyclicRepetition
+from ..core.scheme import make_placement
 from ..core.decoders import Decoder, decoder_for
 from ..parallel import PointTask, SweepExecutor
 from ..simulation.cluster import ClusterSimulator, ComputeModel
@@ -117,7 +117,8 @@ def run_condition(
         if tracer is None:
             return None
         return decoder_for(
-            CyclicRepetition(n, c), rng=np.random.default_rng(cfg.seed)
+            make_placement("cr", num_workers=n, partitions_per_worker=c),
+            rng=np.random.default_rng(cfg.seed),
         )
 
     # Declarative cells: (label, wait count, partitions/worker, decoder).

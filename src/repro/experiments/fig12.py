@@ -28,8 +28,7 @@ import numpy as np
 from ..analysis.recovery import monte_carlo_recovery
 from ..analysis.reporting import Table
 from ..analysis.stats import summarize_trials
-from ..core.cyclic import CyclicRepetition
-from ..core.fractional import FractionalRepetition
+from ..core.scheme import make_placement
 from ..engine.spec import make_strategy
 from ..parallel import PointTask, SweepExecutor
 from ..simulation.cluster import ClusterSimulator
@@ -187,8 +186,8 @@ def recovery_table(cfg: Fig12Config | None = None) -> Table:
     """Panel (a): Monte-Carlo recovered-gradient percentage vs w."""
     cfg = cfg or Fig12Config()
     n, c = cfg.num_workers, cfg.partitions_per_worker
-    fr = FractionalRepetition(n, c)
-    cr = CyclicRepetition(n, c)
+    fr = make_placement("fr", num_workers=n, partitions_per_worker=c)
+    cr = make_placement("cr", num_workers=n, partitions_per_worker=c)
     table = Table(
         title=f"Fig 12(a) — % of gradients recovered (n={n}, c={c})",
         columns=["w", "is-sgd", "is-gc-fr", "is-gc-cr"],

@@ -48,8 +48,11 @@ class HRPoint:
 
 
 def _placement(cfg: Fig13Config, c1: int) -> HybridRepetition:
-    return HybridRepetition(
-        cfg.num_workers, c1, cfg.total_c - c1, cfg.num_groups
+    from ..core.scheme import make_placement
+
+    return make_placement(
+        "hr", num_workers=cfg.num_workers, c1=c1, c2=cfg.total_c - c1,
+        num_groups=cfg.num_groups,
     )
 
 

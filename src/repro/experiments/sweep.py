@@ -12,8 +12,7 @@ plain-function or :meth:`over_spec`-built — under any
 pool via ``executor=ProcessExecutor(jobs)``), returning a
 :class:`SweepResult`.  Parallel results are bit-for-bit identical to
 serial because points are independent and per-point seeds are spawned
-in the parent (see ``docs/parallelism.md``).  The pre-redesign
-``run_specs`` remains as a deprecated alias for one release.
+in the parent (see ``docs/parallelism.md``).
 """
 
 from __future__ import annotations
@@ -21,7 +20,6 @@ from __future__ import annotations
 import functools
 import itertools
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence
 
@@ -275,24 +273,6 @@ class Sweep:
         sweep = cls(name=name, axes=axes)
         sweep._spec_base = base
         return sweep
-
-    def run_specs(
-        self,
-        strict: bool = False,
-        *,
-        executor: "SweepExecutor | None" = None,
-        seed: "int | None" = None,
-    ) -> SweepResult:
-        """Deprecated alias for :meth:`run` on an :meth:`over_spec`
-        sweep (removal next release)."""
-        warnings.warn(
-            "Sweep.run_specs() is deprecated and will be removed next "
-            "release; call Sweep.run() (optionally with executor=...) "
-            "instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.run(strict=strict, executor=executor, seed=seed)
 
     def to_grid_table(
         self,

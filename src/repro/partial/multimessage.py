@@ -60,6 +60,10 @@ class MultiMessageRound:
         gradient_elements: int = 10_000,
         rng: np.random.Generator | None = None,
     ):
+        if not isinstance(placement, Placement):
+            from ..core.scheme import as_placement
+
+            placement = as_placement(placement)
         self._placement = placement
         self._compute = compute if compute is not None else ComputeModel()
         self._network = network if network is not None else NetworkModel()

@@ -17,6 +17,13 @@ round-tripping.  These rules keep the library honest:
 * ``REG003`` — a ``@register_scheme`` factory whose signature cannot
   round-trip spec ``scheme_params`` (missing ``**params``) or a
   ``@register_backend`` factory that does not take the build context.
+* ``REG004`` — a ``*Repetition``/``*Placement`` class constructed in
+  library code outside the placement registry
+  (:mod:`repro.core.scheme`) or the conflict-graph substrate
+  (``core/conflict.py``, which validates parameters via the
+  constructors); everything else goes through
+  ``make_placement(<family>, ...)`` so registry, spec, CLI and
+  decode-cache-key construction stay identical.
 
 Examples and tests are intentionally out of scope: demonstrating the
 low-level object API is part of their job.
@@ -33,6 +40,7 @@ from .findings import Finding
 
 _STRATEGY_RE = re.compile(r"^[A-Z]\w*Strategy$")
 _BACKEND_RE = re.compile(r"^[A-Z]\w*Backend$")
+_PLACEMENT_RE = re.compile(r"^[A-Z]\w*(Repetition|Placement)$")
 
 #: Only library code is policed (tests/examples teach the object API).
 LIBRARY_SCOPE = ("repro/",)
@@ -124,6 +132,45 @@ def check_backend_construction(
             f"{name}(...) constructed directly; register a backend "
             f"factory with @register_backend and build through the "
             f"BACKEND_REGISTRY",
+        ))
+    return findings
+
+
+@python_rule(
+    "REG004",
+    name="placement-outside-registry",
+    description=(
+        "Library code must obtain placements via make_placement / the "
+        "PLACEMENT_REGISTRY so CLI, specs, library code and decode-cache "
+        "keys agree on construction."
+    ),
+    scope=LIBRARY_SCOPE,
+    exclude=(
+        "core/scheme.py",    # the registered placement families themselves
+        "core/conflict.py",  # substrate: validates params via constructors
+        "staticcheck/",      # this checker's own pattern tables
+    ),
+)
+def check_placement_construction(
+    ctx: PythonContext, rule: Rule
+) -> List[Finding]:
+    """Flag direct ``*Repetition(...)``/``*Placement(...)`` calls in
+    library code."""
+    findings = []
+    local_classes = _defined_class_names(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = terminal_name(node.func)
+        if name is None or not _PLACEMENT_RE.match(name):
+            continue
+        if name in local_classes:
+            continue  # a module may build instances of its own classes
+        findings.append(ctx.finding(
+            rule, node,
+            f"{name}(...) constructed directly; library code should go "
+            f"through make_placement(<family>, ...) so registry, spec, "
+            f"CLI and decode-cache-key construction stay identical",
         ))
     return findings
 

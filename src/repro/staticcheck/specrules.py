@@ -17,7 +17,14 @@ executing anything:
 
 :func:`spec_feasibility_problems` is the shared validator; every
 message cites the violated constraint so the fix is obvious from the
-report alone.
+report alone.  Placement feasibility itself is delegated to the
+placement registry's static hooks
+(:func:`repro.core.scheme.placement_spec_problems` →
+``PlacementScheme.spec_problems``), so a newly registered family's
+constraints are checked here without touching this module — including
+the generic ``is-gc`` scheme, whose ``scheme_params["placement"]``
+selects the family (typos get the same did-you-mean message
+``repro run`` raises).
 """
 
 from __future__ import annotations
@@ -33,12 +40,22 @@ from .findings import Finding
 #: in their own factories).
 KNOWN_SCHEMES = frozenset({
     "sync-sgd", "is-sgd", "gc", "is-gc-fr", "is-gc-cr", "is-gc-hr",
+    "is-gc",
 })
 
 #: Schemes that wait for ``w`` workers and therefore need ``wait_for``.
 WAITING_SCHEMES = frozenset({
-    "is-sgd", "is-gc-fr", "is-gc-cr", "is-gc-hr",
+    "is-sgd", "is-gc-fr", "is-gc-cr", "is-gc-hr", "is-gc",
 })
+
+#: Fixed scheme → placement-family bindings; the generic ``is-gc``
+#: scheme resolves its family from ``scheme_params["placement"]``.
+_SCHEME_FAMILIES = {
+    "gc": "cr",
+    "is-gc-cr": "cr",
+    "is-gc-fr": "fr",
+    "is-gc-hr": "hr",
+}
 
 
 def _as_int(value: Any) -> "int | None":
@@ -80,47 +97,34 @@ def spec_feasibility_problems(
         c_known = False
 
     # ------------------------------------------------------------------
-    # Placement feasibility per scheme.
-    if scheme in ("gc", "is-gc-cr") and c_known and c >= n:
-        problems.append(
-            f"CR placement requires 1 <= c < n: with c = n = {n} every "
-            f"pair of workers shares a partition (Theorem 1: conflict "
-            f"iff circular distance < c), so at most one payload is "
-            f"ever decodable"
-        )
-    if scheme == "is-gc-fr" and c_known and n % c != 0:
-        problems.append(
-            f"FR placement requires c | n (Sec. III: workers form n/c "
-            f"groups of c replicas); got n={n}, c={c}"
-        )
-    if scheme == "is-gc-hr" and "scheme_params" not in unresolved:
-        params = data.get("scheme_params") or {}
-        if not isinstance(params, Mapping):
+    # Placement feasibility per scheme — dispatched through the
+    # placement registry's arithmetic-only static hooks, so every
+    # registered family (and any future one) is checked uniformly.
+    params_known = "scheme_params" not in unresolved
+    family_params = data.get("scheme_params") or {}
+    if params_known and not isinstance(family_params, Mapping):
+        if scheme in ("is-gc", "is-gc-hr"):
             problems.append(
-                f"scheme_params must be a mapping, got {params!r}"
+                f"scheme_params must be a mapping, got {family_params!r}"
             )
-            params = {}
-        c1 = _as_int(params.get("c1"))
-        c2 = _as_int(params.get("c2"))
-        g = _as_int(params.get("num_groups"))
-        if c1 is None or c2 is None or g is None:
-            problems.append(
-                "scheme 'is-gc-hr' needs integer scheme_params c1, c2 "
-                "and num_groups (HR(n, c1, c2) with g groups, Sec. VI)"
-            )
-        else:
-            problems.extend(_hr_problems(n, c1, c2, g))
-            declared = _as_int(data.get("partitions_per_worker"))
-            if (
-                "partitions_per_worker" in data
-                and c_known
-                and declared != c1 + c2
-            ):
-                problems.append(
-                    f"HR spec declares partitions_per_worker={declared} "
-                    f"but the placement stores c1 + c2 = {c1 + c2} "
-                    f"partitions per worker; make them agree"
-                )
+        family_params = {}
+    family_params = dict(family_params) if params_known else {}
+
+    family = _SCHEME_FAMILIES.get(scheme)
+    if scheme in ("is-gc-hr", "is-gc") and not params_known:
+        family = None  # family/params not statically known: skip
+    elif scheme == "is-gc":
+        family = family_params.pop("placement", "cr")
+    if family is not None:
+        from ..core.scheme import placement_spec_problems
+
+        problems.extend(placement_spec_problems(
+            family,
+            num_workers=n,
+            partitions_per_worker=c if c_known else None,
+            declared="partitions_per_worker" in data and c_known,
+            params=family_params,
+        ))
 
     # ------------------------------------------------------------------
     # wait_for sanity (Theorems 10/11 bound α(G[W']) for 1 <= w <= n).
@@ -146,48 +150,6 @@ def spec_feasibility_problems(
                     f"there, and more than n workers can never arrive); "
                     f"got {data.get('wait_for')!r}"
                 )
-    return problems
-
-
-def _hr_problems(n: int, c1: int, c2: int, g: int) -> List[str]:
-    """Theorem 5–7 feasibility of ``HR(n, c1, c2)`` with ``g`` groups."""
-    problems: List[str] = []
-    if c1 < 0 or c2 < 0 or c1 + c2 < 1:
-        problems.append(
-            f"HR needs c1, c2 >= 0 with c = c1 + c2 >= 1; got "
-            f"c1={c1}, c2={c2}"
-        )
-        return problems
-    if g < 1 or n % g != 0:
-        problems.append(
-            f"HR requires g | n (workers split into g equal groups, "
-            f"Sec. VI); got n={n}, num_groups={g}"
-        )
-        return problems
-    n0 = n // g
-    c = c1 + c2
-    if c > n:
-        problems.append(
-            f"HR needs c = c1 + c2 <= n; got c={c}, n={n}"
-        )
-        return problems
-    if c1 > 0 and g > 1:
-        if c > n0:
-            problems.append(
-                f"HR requires c <= n0 = n/g (Theorem 5: a group must "
-                f"hold all its partitions); got c={c}, n0={n0}"
-            )
-        if c1 > n0:
-            problems.append(
-                f"HR upper part needs c1 <= n0 (at most one within-group "
-                f"wrap); got c1={c1}, n0={n0}"
-            )
-        if c2 > 0 and n0 > c + c1:
-            problems.append(
-                f"general HR needs n0 <= c + c1 (Theorem 6 within-group "
-                f"completeness: workers of one group must pairwise "
-                f"conflict); got n0={n0}, c={c}, c1={c1}"
-            )
     return problems
 
 

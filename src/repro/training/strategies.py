@@ -27,7 +27,7 @@ import numpy as np
 
 from ..codes.gc_scheme import ClassicGradientCode
 from ..core.coding import SummationCode
-from ..core.cyclic import CyclicRepetition
+from ..core.scheme import make_placement
 from ..core.decoders import Decoder, decoder_for
 from ..core.placement import Placement
 from ..exceptions import ConfigurationError
@@ -92,7 +92,9 @@ class SyncSGDStrategy(TrainingStrategy):
     name = "sync-sgd"
 
     def __init__(self, num_workers: int):
-        placement = CyclicRepetition(num_workers, 1)
+        placement = make_placement(
+            "cr", num_workers=num_workers, partitions_per_worker=1
+        )
         super().__init__(placement, WaitForAll(num_workers))
 
     def encode(self, partition_gradients: GradientMap) -> Dict[int, np.ndarray]:
@@ -126,7 +128,9 @@ class ISSGDStrategy(TrainingStrategy):
             raise ConfigurationError(
                 f"need 1 <= w <= n, got w={wait_for}, n={num_workers}"
             )
-        placement = CyclicRepetition(num_workers, 1)
+        placement = make_placement(
+            "cr", num_workers=num_workers, partitions_per_worker=1
+        )
         super().__init__(placement, policy or WaitForK(wait_for))
         self._w = wait_for
 

@@ -263,7 +263,9 @@ class TestSweepAPI:
         table = sweep.to_table(result=result)
         assert "4" in table.render()
 
-    def test_run_specs_is_deprecated_alias(self):
+    def test_run_specs_alias_removed(self):
+        # The one-release deprecated alias is gone; over_spec sweeps go
+        # through the unified Sweep.run.
         from repro.engine.spec import ExperimentSpec
 
         spec = ExperimentSpec(
@@ -271,8 +273,8 @@ class TestSweepAPI:
             max_steps=5,
         )
         sweep = Sweep.over_spec("t", spec, {"wait_for": [2, 3]})
-        with pytest.deprecated_call():
-            result = sweep.run_specs()
+        assert not hasattr(sweep, "run_specs")
+        result = sweep.run()
         assert len(result) == 2 and result.ok
 
     def test_run_without_fn_needs_over_spec(self):
@@ -404,33 +406,34 @@ class TestCachedDecodingTransparency:
 
 
 # ----------------------------------------------------------------------
-# Decoder API deprecation shims
+# Decoder API: the PR-4 deprecation shims are gone
 
 
-class TestDecoderDeprecations:
-    def test_positional_rng_warns_but_works(self):
-        placement = CyclicRepetition(6, 2)
-        with pytest.deprecated_call():
-            decoder = decoder_for(placement, np.random.default_rng(0))
-        assert decoder.decode(frozenset(range(6))).selected_workers
+class TestDecoderKeywordOnly:
+    def test_positional_rng_rejected(self):
+        # The one-release positional shim is removed: rng/metrics/cache
+        # are strictly keyword-only now.
+        with pytest.raises(TypeError):
+            decoder_for(CyclicRepetition(6, 2), np.random.default_rng(0))
 
-    def test_constructor_positional_rng_warns(self):
+    def test_constructor_positional_rng_rejected(self):
         from repro.core.cr_decoder import CRDecoder
 
-        with pytest.deprecated_call():
+        with pytest.raises(TypeError):
             CRDecoder(CyclicRepetition(6, 2), np.random.default_rng(0))
 
-    def test_legacy_select_subclass_still_decodes(self):
+    def test_legacy_select_hook_no_longer_dispatched(self):
+        # Overriding the removed _select hook does nothing; the subclass
+        # must implement _decode.
         class LegacyDecoder(Decoder):
-            def _select(self, available):
+            def _select(self, available):  # pragma: no cover - never called
                 return frozenset([min(available)]), 1
 
         decoder = LegacyDecoder(
             CyclicRepetition(4, 1), rng=np.random.default_rng(0)
         )
-        with pytest.deprecated_call():
-            result = decoder.decode({1, 3})
-        assert result.selected_workers == frozenset({1})
+        with pytest.raises(NotImplementedError, match="_decode"):
+            decoder.decode({1, 3})
 
     def test_new_subclass_without_hooks_raises(self):
         class EmptyDecoder(Decoder):
@@ -447,7 +450,7 @@ class TestDecoderDeprecations:
         workers, searches = selection
         assert workers == frozenset({1}) and searches == 2
 
-    def test_rng_metrics_cache_are_keyword_only_beyond_shim(self):
+    def test_rng_metrics_cache_are_keyword_only(self):
         with pytest.raises(TypeError):
             decoder_for(
                 CyclicRepetition(6, 2),

@@ -295,6 +295,38 @@ class TestRegistryRules:
             scope_path="src/repro/training/trainer.py",
         ) == []
 
+    def test_reg004_direct_placement_construction(self):
+        findings = check(
+            "p = CyclicRepetition(8, 2)\n",
+            scope_path="src/repro/experiments/foo.py",
+        )
+        assert rules_of(findings) == ["REG004"]
+        assert "make_placement" in findings[0].message
+
+    def test_reg004_explicit_table_construction(self):
+        findings = check(
+            "p = ExplicitPlacement({0: (0,), 1: (1,)})\n",
+            scope_path="src/repro/analysis/foo.py",
+        )
+        assert rules_of(findings) == ["REG004"]
+
+    def test_reg004_registry_layer_and_substrate_exempt(self):
+        src = "p = FractionalRepetition(8, 2)\n"
+        assert check(src, scope_path="src/repro/core/scheme.py") == []
+        assert check(src, scope_path="src/repro/core/conflict.py") == []
+        assert check(src, scope_path="tests/test_foo.py") == []
+
+    def test_reg004_own_class_exempt(self):
+        assert check(
+            """
+            class MyPlacement:
+                pass
+
+            p = MyPlacement()
+            """,
+            scope_path="src/repro/experiments/foo.py",
+        ) == []
+
     def test_reg003_scheme_factory_missing_kwargs(self):
         findings = check(
             """
@@ -371,6 +403,39 @@ class TestSpecFeasibility:
     def test_hr_missing_params(self):
         problems = spec_feasibility_problems(base_spec(scheme="is-gc-hr"))
         assert any("num_groups" in p for p in problems)
+
+    def test_generic_isgc_defaults_to_cr(self):
+        assert spec_feasibility_problems(base_spec(scheme="is-gc")) == []
+        problems = spec_feasibility_problems(
+            base_spec(scheme="is-gc", partitions_per_worker=8)
+        )
+        assert any("Theorem 1" in p for p in problems)
+
+    def test_generic_isgc_routes_family_checks(self):
+        problems = spec_feasibility_problems(base_spec(
+            scheme="is-gc",
+            scheme_params={"placement": "fr"},
+            partitions_per_worker=3,
+        ))
+        assert any("c | n" in p for p in problems)
+
+    def test_generic_isgc_hr_family_feasible(self):
+        assert spec_feasibility_problems(base_spec(
+            scheme="is-gc",
+            scheme_params={
+                "placement": "hr", "c1": 2, "c2": 1, "num_groups": 3,
+            },
+            num_workers=12,
+            partitions_per_worker=3,
+        )) == []
+
+    def test_generic_isgc_unknown_family_did_you_mean(self):
+        problems = spec_feasibility_problems(base_spec(
+            scheme="is-gc", scheme_params={"placement": "cyclc"},
+        ))
+        assert len(problems) == 1
+        assert "did you mean 'cyclic'" in problems[0]
+        assert "registered families" in problems[0]
 
     def test_hr_group_divisibility(self):
         problems = spec_feasibility_problems(base_spec(
