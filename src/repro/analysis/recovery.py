@@ -9,10 +9,11 @@ relies on (every partition equally likely to appear in ``ĝ``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 
+from ..core.batch import BatchDecodeResult
 from ..core.decoders import Decoder, decoder_for
 from ..core.placement import Placement
 from ..exceptions import ConfigurationError
@@ -41,6 +42,24 @@ class RecoveryStats:
         )
 
 
+def _stack_results(masks, results, num_partitions) -> BatchDecodeResult:
+    """Looped decode results as the batch's column-oriented arrays."""
+    trials = masks.shape[0]
+    selected = np.zeros_like(masks)
+    recovered = np.zeros((trials, num_partitions), dtype=bool)
+    searches = np.empty(trials, dtype=np.intp)
+    for t, res in enumerate(results):
+        selected[t, list(res.selected_workers)] = True
+        recovered[t, list(res.recovered_partitions)] = True
+        searches[t] = res.num_searches
+    return BatchDecodeResult(
+        available=masks,
+        selected=selected,
+        recovered=recovered,
+        num_searches=searches,
+    )
+
+
 def monte_carlo_recovery(
     placement: Placement,
     wait_for: int,
@@ -59,17 +78,29 @@ def monte_carlo_recovery(
     if trials <= 0:
         raise ConfigurationError(f"trials must be positive, got {trials}")
     rng = np.random.default_rng(seed)
-    dec = decoder if decoder is not None else decoder_for(placement, rng=rng)
-
-    counts: List[int] = []
-    freq = np.zeros(n)
-    for _ in range(trials):
-        available = rng.choice(n, size=wait_for, replace=False)
-        result = dec.decode(available.tolist())
-        counts.append(result.num_recovered)
-        for p in result.recovered_partitions:
-            freq[p] += 1
-    arr = np.asarray(counts)
+    masks = np.zeros((trials, n), dtype=bool)
+    if decoder is not None:
+        # The decoder owns its generator, so every mask can be drawn up
+        # front (identical ``choice`` stream) and the whole batch
+        # decoded through the vectorized kernels — the decoder's
+        # fairness draws land in trial order either way.
+        for t in range(trials):
+            masks[t, rng.choice(n, size=wait_for, replace=False)] = True
+        batch = decoder.decode_batch(masks)
+    else:
+        # Default decoder shares ``rng`` with the mask draws; the
+        # historical stream interleaves choice/decode per trial, so
+        # batching the masks would reorder it and change recorded
+        # results (golden-pinned).  Keep the interleaved loop here.
+        dec = decoder_for(placement, rng=rng)
+        results = []
+        for t in range(trials):
+            available = rng.choice(n, size=wait_for, replace=False)
+            masks[t, available] = True
+            results.append(dec.decode(available.tolist()))
+        batch = _stack_results(masks, results, placement.num_partitions)
+    arr = batch.num_recovered
+    freq = batch.recovered.sum(axis=0).astype(float)
     return RecoveryStats(
         num_workers=n,
         wait_for=wait_for,

@@ -18,12 +18,12 @@ IS-SGD.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
 from math import comb
-from typing import Mapping
+from typing import List, Mapping
 
 import numpy as np
 
+from ..core.batch import enumerate_masks, partition_matrix
 from ..core.conflict import conflict_graph
 from ..core.decoders import decoder_for
 from ..core.placement import Placement
@@ -69,37 +69,48 @@ def estimator_moments(
     if missing:
         raise ConfigurationError(f"missing gradients for partitions {missing}")
     grads = {p: np.asarray(g, dtype=float) for p, g in partition_gradients.items()}
-    full = sum(grads.values())
+    # (num_partitions, d) stack so recovery indicators turn gradient
+    # sums into one matrix product.
+    grad_mat = np.stack([grads[p] for p in range(n)])
+    full = grad_mat.sum(axis=0)
     rng = np.random.default_rng(seed)
+    pmat = partition_matrix(placement)
 
-    def estimate_from_selection(selection) -> np.ndarray:
-        recovered = set()
-        for worker in selection:
-            recovered.update(placement.partitions_of(worker))
-        partial = sum(grads[p] for p in recovered)
-        return (n / len(recovered)) * partial
-
-    samples: list[np.ndarray] = []
-    weights: list[float] = []
     if comb(n, wait_for) <= exact_limit:
+        # Exact path, in the batch representation: every size-w mask as
+        # one row of a boolean array (combinations order — the same
+        # enumeration the closed-form cross-checks use), every maximum
+        # independent set of each induced subgraph as one selection
+        # row, weighted uniformly within its mask.
+        masks = enumerate_masks(n, wait_for)
         graph = conflict_graph(placement)
-        num_subsets = comb(n, wait_for)
-        for subset in combinations(range(n), wait_for):
+        num_subsets = masks.shape[0]
+        sel_rows: List[np.ndarray] = []
+        weights_list: List[float] = []
+        for row in masks:
+            subset = frozenset(np.flatnonzero(row).tolist())
             optima = all_maximum_independent_sets(graph.subgraph(subset))
             for mis in optima:
-                samples.append(estimate_from_selection(mis))
-                weights.append(1.0 / (num_subsets * len(optima)))
+                indicator = np.zeros(n, dtype=bool)
+                indicator[[int(v) for v in mis]] = True
+                sel_rows.append(indicator)
+                weights_list.append(1.0 / (num_subsets * len(optima)))
+        selected = np.stack(sel_rows)
+        recovered = (selected.astype(np.intp) @ pmat.astype(np.intp)) > 0
+        w_arr = np.asarray(weights_list)
     else:
+        # Monte-Carlo path: draw every mask, then decode the whole
+        # batch through the vectorized kernel at once.
         decoder = decoder_for(placement, rng=rng)
-        for _ in range(trials):
-            subset = rng.choice(n, size=wait_for, replace=False).tolist()
-            decision = decoder.decode(subset)
-            partial = sum(grads[p] for p in decision.recovered_partitions)
-            samples.append((n / decision.num_recovered) * partial)
-            weights.append(1.0 / trials)
+        masks = np.zeros((trials, n), dtype=bool)
+        for t in range(trials):
+            masks[t, rng.choice(n, size=wait_for, replace=False)] = True
+        batch = decoder.decode_batch(masks)
+        recovered = batch.recovered
+        w_arr = np.full(recovered.shape[0], 1.0 / trials)
 
-    stacked = np.stack(samples)
-    w_arr = np.asarray(weights)
+    num_recovered = recovered.sum(axis=1)
+    stacked = (n / num_recovered)[:, None] * (recovered @ grad_mat)
     mean = (stacked * w_arr[:, None]).sum(axis=0)
     centered = stacked - mean
     total_var = float(

@@ -30,6 +30,16 @@ from .scheme import (
     registered_placements,
     scheme_for,
 )
+from .batch import (
+    BatchDecodeResult,
+    batched_greedy_chains,
+    circulant_adjacency,
+    conflict_adjacency,
+    enumerate_masks,
+    masks_to_array,
+    partition_matrix,
+    validate_mask,
+)
 from .decoders import Decoder, decoder_for, register_decoder
 from .fr_decoder import FRDecoder
 from .cr_decoder import CRDecoder
@@ -91,6 +101,14 @@ __all__ = [
     "Decoder",
     "decoder_for",
     "register_decoder",
+    "BatchDecodeResult",
+    "batched_greedy_chains",
+    "circulant_adjacency",
+    "conflict_adjacency",
+    "enumerate_masks",
+    "masks_to_array",
+    "partition_matrix",
+    "validate_mask",
     "FRDecoder",
     "CRDecoder",
     "HRDecoder",

@@ -26,8 +26,18 @@ from __future__ import annotations
 
 from typing import FrozenSet, List
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
 from ..graphs.circulant import circular_distance
+from .batch import (
+    BatchDecodeResult,
+    MaskBatch,
+    batched_greedy_chains,
+    circulant_adjacency,
+    masks_to_array,
+    segment_argmax,
+)
 from .cyclic import CyclicRepetition
 from .decoders import Decoder, Selection, register_decoder
 
@@ -88,6 +98,130 @@ class CRDecoder(Decoder):
             if len(chain) > len(best):
                 best = chain
         return Selection(best, searches)
+
+    def decode_batch(self, masks: MaskBatch) -> BatchDecodeResult:
+        """Vectorized Alg. 2 across a whole mask batch.
+
+        Phase 1 draws the fairness RNG per mask in batch order — the
+        window seed ``u`` and the start-order shuffle, with identical
+        generator consumption to the looped path.  Phase 2 runs every
+        (mask, start) greedy chain at once through the circulant
+        adjacency kernel (no RNG).  Phase 3 keeps, per mask, the first
+        strictly-largest chain in shuffled start order — the looped
+        tie-break, vectorized.
+        """
+        placement = self._placement
+        n = placement.num_workers
+        c = placement.partitions_per_worker
+        avail, _ = masks_to_array(masks, n)
+        num_masks = avail.shape[0]
+        rng = self._rng
+        cache = self._cache
+
+        # Phase 1 — per-mask fairness draws, in batch order.
+        # ``Generator.choice(seq)`` with no weights consumes exactly one
+        # ``integers(0, len(seq))`` draw, so drawing the index and
+        # subscripting keeps the stream identical to the looped
+        # ``choice`` while skipping its per-call array conversion.  One
+        # nonzero pass covers the whole batch up front; the loop body
+        # then works on plain python ints, so the generator calls are
+        # the only per-mask numpy work left.
+        members_flat = np.nonzero(avail)[1].tolist()
+        bounds = np.concatenate(
+            ([0], np.cumsum(avail.sum(axis=1)))
+        ).tolist()
+        draw_index = rng.integers
+        shuffle = rng.shuffle
+        all_starts: List[int] = []
+        searches: List[int] = []
+        row_fsets: List[FrozenSet[int]] = []
+        for i in range(num_masks):
+            members = members_flat[bounds[i]:bounds[i + 1]]
+            if self._starts == "all":
+                starts = members
+            else:
+                m = len(members)
+                j = draw_index(m)
+                u = members[j]
+                top = u + c
+                # Available window members in ascending order, read
+                # straight off the sorted ``members`` slice: the run
+                # from the drawn index up while < u+c, preceded (when
+                # the window wraps past n) by the prefix below u+c-n.
+                if top <= n:
+                    starts = [u]
+                    k = j + 1
+                    while k < m and members[k] < top:
+                        starts.append(members[k])
+                        k += 1
+                else:
+                    limit = top - n
+                    starts = []
+                    k = 0
+                    while k < m and members[k] < limit:
+                        starts.append(members[k])
+                        k += 1
+                    starts.extend(members[j:])
+            shuffle(starts)
+            searches.append(len(starts))
+            all_starts.extend(starts)
+            if cache is not None:
+                row_fsets.append(frozenset(members))
+
+        # Phase 2 — every greedy chain at once (deterministic kernel).
+        rows_arr = np.repeat(np.arange(num_masks, dtype=np.intp), searches)
+        starts_arr = np.asarray(all_starts, dtype=np.intp)
+        adj = self._adjacency()
+        selected = np.zeros_like(avail)
+        if cache is None:
+            chains = batched_greedy_chains(adj, avail[rows_arr], starts_arr)
+            winners = segment_argmax(chains.sum(axis=1), searches)
+            selected = chains[winners]
+        else:
+            # Same (mask, start) keys as the looped path, resolved by
+            # the cache's one-pass hit/miss partition; only the misses
+            # go through the kernel, and they are stored as frozensets
+            # so looped and batched decoding share entries.
+            keys = [
+                (row_fsets[i], start)
+                for i, start in zip(rows_arr.tolist(), all_starts)
+            ]
+            fset_row = {}
+            for i, fs in enumerate(row_fsets):
+                fset_row.setdefault(fs, i)
+
+            def compute_missing(missing):
+                miss_rows = np.asarray(
+                    [fset_row[fs] for fs, _ in missing], dtype=np.intp
+                )
+                miss_starts = np.asarray(
+                    [start for _, start in missing], dtype=np.intp
+                )
+                miss_chains = batched_greedy_chains(
+                    adj, avail[miss_rows], miss_starts
+                )
+                return [
+                    frozenset(np.flatnonzero(row).tolist())
+                    for row in miss_chains
+                ]
+
+            chain_sets = self._memo_batch("cr-chain", keys, compute_missing)
+            sizes = [len(s) for s in chain_sets]
+            winners = segment_argmax(sizes, searches)
+            for i, w in enumerate(winners):
+                selected[i, list(chain_sets[w])] = True
+        return self._finalize_batch(avail, selected, searches)
+
+    def _adjacency(self) -> np.ndarray:
+        """The circulant adjacency matrix, built once per decoder."""
+        adj = getattr(self, "_adj", None)
+        if adj is None:
+            adj = circulant_adjacency(
+                self._placement.num_workers,
+                self._placement.partitions_per_worker,
+            )
+            self._adj = adj
+        return adj
 
     @staticmethod
     def _greedy_chain(

@@ -15,11 +15,16 @@ All decoders share two contracts the paper relies on:
 
 Public API
 ----------
-:meth:`Decoder.decode` is the **single public entry point**: it
-validates the availability mask, runs the scheme's search, checks the
-disjointness invariant and returns a
-:class:`~repro.types.DecodeResult`.  Subclasses implement the
-:meth:`Decoder._decode` hook returning a typed :class:`Selection`.
+:meth:`Decoder.decode` is the per-mask entry point: it validates the
+availability mask, runs the scheme's search, checks the disjointness
+invariant and returns a :class:`~repro.types.DecodeResult`.
+:meth:`Decoder.decode_batch` decodes a whole ``(num_masks, n)``
+boolean array (or list of masks) at once, bit-for-bit equivalent to
+looping ``decode`` — same selections, same generator stream — with the
+deterministic kernels vectorized through :mod:`repro.core.batch`.
+Subclasses implement the :meth:`Decoder._decode` hook returning a
+typed :class:`Selection`, and may override ``decode_batch`` with a
+vectorized path.
 
 ``rng``, ``metrics`` and ``cache`` are keyword-only in
 :func:`decoder_for` and every decoder constructor.
@@ -37,6 +42,7 @@ uncached — same results, same generator stream.
 from __future__ import annotations
 
 import abc
+import warnings
 from typing import (
     Any,
     Callable,
@@ -44,7 +50,9 @@ from typing import (
     FrozenSet,
     Hashable,
     Iterable,
+    List,
     NamedTuple,
+    Sequence,
     Type,
     TypeVar,
 )
@@ -54,9 +62,20 @@ import numpy as np
 from ..exceptions import DecodeError
 from ..obs.registry import MetricsRegistry, NULL_REGISTRY
 from ..types import DecodeResult
+from .batch import (
+    BatchDecodeResult,
+    MaskBatch,
+    masks_to_array,
+    partition_matrix,
+    validate_mask,
+)
 from .placement import Placement
 
 _REGISTRY: Dict[str, Type["Decoder"]] = {}
+
+#: schemes for which exact-MIS decoding is the *documented* decoder,
+#: not a silent downgrade — no fallback warning for these.
+_EXACT_BY_DESIGN = frozenset({"exact", "explicit"})
 
 _T = TypeVar("_T")
 
@@ -99,12 +118,19 @@ def decoder_for(
     been imported; if registration is somehow impossible a descriptive
     :class:`~repro.exceptions.DecodeError` is raised instead of a bare
     ``KeyError``.
+
+    Explicit tables are exact-decoded *by design* (there is no
+    closed-form structure to exploit); any other unregistered scheme
+    taking the fallback emits a :class:`RuntimeWarning` and a
+    ``decode.fallback`` metric, so an O(2^n) decoder can never
+    silently masquerade as a linear-time one in a benchmark run.
     """
     if not isinstance(placement, Placement):
         from .scheme import as_placement
 
         placement = as_placement(placement)
     cls = _REGISTRY.get(placement.scheme)
+    is_fallback = cls is None
     if cls is None:
         if "exact" not in _REGISTRY:
             # Importing the module runs its @register_decoder("exact").
@@ -119,6 +145,15 @@ def decoder_for(
     decoder = cls(placement, rng=rng, cache=cache)
     if metrics is not None:
         decoder.attach_metrics(metrics)
+    if is_fallback and placement.scheme not in _EXACT_BY_DESIGN:
+        warnings.warn(
+            f"no linear-time decoder registered for scheme "
+            f"{placement.scheme!r}; falling back to the exact-MIS "
+            f"decoder (exponential worst case)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        decoder.metrics.counter("decode.fallback").inc()
     return decoder
 
 
@@ -170,15 +205,15 @@ class Decoder(abc.ABC):
         ----------
         available_workers:
             The workers ``W'`` whose coded gradients the master received
-            this step.  Must be non-empty and within ``[0, n)``.
+            this step.  Must be non-empty, duplicate-free and within
+            ``[0, n)`` — validated by the shared
+            :func:`~repro.core.batch.validate_mask`, so malformed
+            masks raise the same :class:`DecodeError` here as on the
+            batched path, for every decoder family.
         """
-        available = frozenset(available_workers)
-        n = self._placement.num_workers
-        if not available:
-            raise DecodeError("cannot decode with zero available workers")
-        bad = [w for w in available if not 0 <= w < n]
-        if bad:
-            raise DecodeError(f"available workers out of range [0, {n}): {bad}")
+        available = validate_mask(
+            available_workers, self._placement.num_workers
+        )
         selection = self._decode(available)
         selected, searches = selection
         if not selected:
@@ -203,12 +238,115 @@ class Decoder(abc.ABC):
             num_searches=searches,
         )
 
+    def decode_batch(self, masks: MaskBatch) -> BatchDecodeResult:
+        """Decode a whole batch of availability masks at once.
+
+        ``masks`` is either a ``(num_masks, n)`` boolean indicator
+        array or a sequence of worker-id iterables.  The contract is
+        **bit-for-bit equivalence** with the looped path: the returned
+        :meth:`BatchDecodeResult.results` equal
+        ``[self.decode(m) for m in masks]`` element by element, *and*
+        the injected generator ends in the identical stream position —
+        fairness draws happen per mask in batch order, outside the
+        vectorized kernels (see :mod:`repro.core.batch`).
+
+        The one deliberate difference: malformed rows fail fast.  All
+        rows are validated up front (lowest bad row raises, same
+        :class:`DecodeError` as the looped path) before any RNG is
+        consumed, whereas a loop would decode rows 0..k-1 before
+        raising on row k.
+
+        This base implementation validates then loops ``decode`` — the
+        correct-by-construction fallback for decoders without a
+        vectorized kernel.  CR/HR override it with the batched chain
+        kernel; FR and the exact decoder override it to batch their
+        cache lookups and result assembly (their per-mask work is
+        RNG- or search-bound, so there is no deterministic inner loop
+        to vectorize).
+        """
+        avail, originals = masks_to_array(
+            masks, self._placement.num_workers
+        )
+        if originals is None:
+            originals = [np.flatnonzero(row) for row in avail]
+        results = [self.decode(mask) for mask in originals]
+        num_masks = avail.shape[0]
+        selected = np.zeros_like(avail)
+        recovered = np.zeros(
+            (num_masks, self._placement.num_partitions), dtype=bool
+        )
+        searches = np.empty(num_masks, dtype=np.intp)
+        for i, res in enumerate(results):
+            selected[i, list(res.selected_workers)] = True
+            recovered[i, list(res.recovered_partitions)] = True
+            searches[i] = res.num_searches
+        return BatchDecodeResult(
+            available=avail,
+            selected=selected,
+            recovered=recovered,
+            num_searches=searches,
+        )
+
     # ------------------------------------------------------------------
     def _decode(self, available: FrozenSet[int]) -> Selection:
         """Search hook: the :class:`Selection` for ``available``."""
         raise NotImplementedError(
             f"{type(self).__name__} must implement _decode()"
         )
+
+    # ------------------------------------------------------------------
+    def _finalize_batch(
+        self,
+        avail: np.ndarray,
+        selected: np.ndarray,
+        searches: np.ndarray,
+    ) -> BatchDecodeResult:
+        """Shared tail of every vectorized ``decode_batch`` override:
+        invariant checks, recovery via the partition matrix, and the
+        same per-decode metrics the looped path records."""
+        empty = ~selected.any(axis=1)
+        if empty.any():
+            row = int(np.flatnonzero(empty)[0])
+            raise DecodeError(
+                "decoder selected no workers despite availability "
+                f"{np.flatnonzero(avail[row]).tolist()}"
+            )
+        # float64 matmul takes the BLAS path (integer matmul does not);
+        # counts are small exact integers either way.
+        counts = selected.astype(np.float64) @ self._partition_matrix_f64()
+        if (counts > 1.5).any():
+            row, part = (int(v) for v in np.argwhere(counts > 1.5)[0])
+            raise DecodeError(
+                f"decoder bug: batch row {row} re-covers partition {part}"
+            )
+        recovered = counts > 0.5
+        searches = np.asarray(searches, dtype=np.intp)
+        metrics = self._metrics
+        if metrics is not NULL_REGISTRY:
+            metrics.counter("decode.calls").inc(len(searches))
+            searches_hist = metrics.histogram("decode.num_searches")
+            recovered_hist = metrics.histogram("decode.num_recovered")
+            for s, r in zip(
+                searches.tolist(), recovered.sum(axis=1).tolist()
+            ):
+                searches_hist.observe(s)
+                recovered_hist.observe(r)
+        return BatchDecodeResult(
+            available=avail,
+            selected=selected,
+            recovered=recovered,
+            num_searches=searches,
+        )
+
+    def _partition_matrix_f64(self) -> np.ndarray:
+        """The placement's worker→partition indicator as a float matrix
+        (computed once per decoder; used to batch recovery + the
+        disjointness check via one matrix product)."""
+        mat = getattr(self, "_pmat_f64", None)
+        if mat is None:
+            mat = partition_matrix(self._placement).astype(np.float64)
+            self._pmat_f64 = mat
+        return mat
 
     # ------------------------------------------------------------------
     def _memo(
@@ -229,6 +367,27 @@ class Decoder(abc.ABC):
             return compute()
         return cache.get_or_compute(
             self._placement.fingerprint, kind, (available, extra), compute
+        )
+
+    def _memo_batch(
+        self,
+        kind: str,
+        keys: Sequence[Hashable],
+        compute_missing: Callable[[List[Hashable]], List[Any]],
+    ) -> List[Any]:
+        """Batch variant of :meth:`_memo`: resolve every key through the
+        attached cache's one-pass hit/miss partition
+        (:meth:`~repro.parallel.DecodeCache.get_or_compute_batch`);
+        ``compute_missing`` receives the unique missing keys and must
+        return their values, aligned.  Keys use the same
+        ``(available, extra)`` shape as :meth:`_memo`, so looped and
+        batched decoding share cache entries.
+        """
+        cache = self._cache
+        if cache is None:
+            return compute_missing(list(keys))
+        return cache.get_or_compute_batch(
+            self._placement.fingerprint, kind, keys, compute_missing
         )
 
     def _check_disjoint(self, selected: Iterable[int]) -> None:

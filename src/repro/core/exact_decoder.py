@@ -11,13 +11,16 @@ independent sets exist one is chosen uniformly at random.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Tuple
+from typing import FrozenSet, List, Tuple
+
+import numpy as np
 
 from ..graphs.graph import Graph
 from ..graphs.independent_set import (
     all_maximum_independent_sets,
     maximum_independent_set,
 )
+from .batch import BatchDecodeResult, MaskBatch, masks_to_array
 from .conflict import conflict_graph
 from .decoders import Decoder, Selection, register_decoder
 from .placement import Placement
@@ -74,3 +77,53 @@ class ExactDecoder(Decoder):
                 ),
             )
         return Selection(frozenset(int(v) for v in chosen), 1)
+
+    def decode_batch(self, masks: MaskBatch) -> BatchDecodeResult:
+        """Batched exact decoding: one cache pass, then fairness draws.
+
+        The branch-and-bound kernel is pure in the induced subgraph, so
+        the whole batch resolves through one
+        :meth:`~Decoder._memo_batch` hit/miss partition; only the
+        misses are solved.  The uniform index draws (fair mode) then
+        run per mask in batch order — after the kernels but in the
+        identical stream positions as the looped path, which also
+        never draws *during* a search.
+        """
+        placement: Placement = self._placement
+        avail, originals = masks_to_array(masks, placement.num_workers)
+        num_masks = avail.shape[0]
+        if originals is not None:
+            fsets = [frozenset(m) for m in originals]
+        else:
+            fsets = [
+                frozenset(np.flatnonzero(row).tolist()) for row in avail
+            ]
+        extra = "fair" if self._fair else "first"
+        keys = [(fs, extra) for fs in fsets]
+
+        def compute_missing(missing: List) -> List:
+            if self._fair:
+                return [
+                    tuple(
+                        all_maximum_independent_sets(
+                            self._graph.subgraph(fs)
+                        )
+                    )
+                    for fs, _ in missing
+                ]
+            return [
+                maximum_independent_set(self._graph.subgraph(fs))
+                for fs, _ in missing
+            ]
+
+        values = self._memo_batch("exact-optima", keys, compute_missing)
+        selected = np.zeros_like(avail)
+        for i, value in enumerate(values):
+            if self._fair:
+                chosen = value[int(self._rng.integers(len(value)))]
+            else:
+                chosen = value
+            selected[i, [int(v) for v in chosen]] = True
+        return self._finalize_batch(
+            avail, selected, np.ones(num_masks, dtype=np.intp)
+        )

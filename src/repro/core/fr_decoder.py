@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List
 
+import numpy as np
+
+from .batch import BatchDecodeResult, MaskBatch, masks_to_array
 from .decoders import Decoder, Selection, register_decoder
 from .fractional import FractionalRepetition
 
@@ -48,3 +51,30 @@ class FRDecoder(Decoder):
             for members in by_group.values()
         )
         return Selection(selected, 1)
+
+    def decode_batch(self, masks: MaskBatch) -> BatchDecodeResult:
+        """Batched Alg. 1: validate up front, then run the per-group
+        draws mask by mask in batch order.
+
+        FR decoding is one RNG draw per non-empty group — there is no
+        deterministic search kernel to vectorize, so the per-mask loop
+        stays.  The loop iterates each mask as a *frozenset built from
+        the original mask object* (array rows fall back to ascending
+        ids): ``_decode`` groups workers in frozenset iteration order,
+        and reproducing that order is what keeps batched selections and
+        the generator stream bit-for-bit identical to the looped path.
+        """
+        placement: FractionalRepetition = self._placement  # type: ignore[assignment]
+        avail, originals = masks_to_array(masks, placement.num_workers)
+        num_masks = avail.shape[0]
+        selected = np.zeros_like(avail)
+        for i in range(num_masks):
+            if originals is not None:
+                available = frozenset(originals[i])
+            else:
+                available = frozenset(np.flatnonzero(avail[i]).tolist())
+            picks = self._decode(available).workers
+            selected[i, list(picks)] = True
+        return self._finalize_batch(
+            avail, selected, np.ones(num_masks, dtype=np.intp)
+        )

@@ -24,9 +24,20 @@ Special cases route to simpler algorithms:
 
 from __future__ import annotations
 
-from typing import FrozenSet, List
+from typing import FrozenSet, List, Tuple
+
+import numpy as np
 
 from ..graphs.circulant import circular_distance
+from .batch import (
+    BatchDecodeResult,
+    MaskBatch,
+    batched_greedy_chains,
+    circulant_adjacency,
+    conflict_adjacency,
+    masks_to_array,
+    segment_argmax,
+)
 from .decoders import Decoder, Selection, register_decoder
 from .hybrid import HybridRepetition
 
@@ -53,6 +64,218 @@ class HRDecoder(Decoder):
         if placement.c2 == 0:
             return self._per_group(available)
         return self._general_walk(available)
+
+    def decode_batch(self, masks: MaskBatch) -> BatchDecodeResult:
+        """Vectorized Algs. 3/4 across a whole mask batch.
+
+        Mirrors :meth:`_decode`'s three cases.  In every case the
+        fairness draws (seed vertex / seed group, start-order shuffle)
+        happen per mask in batch order with identical generator
+        consumption to the looped path, and only the deterministic
+        walks run through the vectorized kernel — so the batch is
+        bit-for-bit identical to looping :meth:`decode`.
+        """
+        placement: HybridRepetition = self._placement  # type: ignore[assignment]
+        n = placement.num_workers
+        c = placement.partitions_per_worker
+        avail, _ = masks_to_array(masks, n)
+
+        if placement.c1 == 0 or placement.num_groups == 1:
+            # HR(n, 0, c) ≡ CR(n, c): window-seeded walks on the global
+            # circle (circular distance ≥ c ⟺ non-adjacent in C_n^{1..c-1}).
+            offsets = np.arange(c)
+
+            def starts_for(row: np.ndarray, members: np.ndarray) -> List[int]:
+                u = int(members[self._rng.integers(members.size)])
+                return sorted(int(v) for v in (u + offsets) % n if row[v])
+
+            selected, searches = self._batch_walks(
+                avail, "hr-cr-chain", circulant_adjacency(n, c), starts_for
+            )
+        elif placement.c2 == 0:
+            selected, searches = self._batch_per_group(avail)
+        else:
+            # General HR: seed one random non-empty group, start from
+            # each of its survivors, walk under the Alg. 4 predicate
+            # (⟺ adjacency in the conflict matrix).
+            n0 = placement.group_size
+
+            def starts_for(row: np.ndarray, members: np.ndarray) -> List[int]:
+                groups = np.unique(members // n0)
+                group = int(groups[self._rng.integers(groups.size)])
+                return members[members // n0 == group].tolist()
+
+            selected, searches = self._batch_walks(
+                avail, "hr-general-chain", self._conflict_adj(), starts_for
+            )
+        return self._finalize_batch(avail, selected, searches)
+
+    def _conflict_adj(self) -> np.ndarray:
+        """Alg. 4 conflict matrix, built once per decoder."""
+        adj = getattr(self, "_adj", None)
+        if adj is None:
+            adj = conflict_adjacency(self._placement)
+            self._adj = adj
+        return adj
+
+    # ------------------------------------------------------------------
+    def _batch_walks(
+        self,
+        avail: np.ndarray,
+        kind: str,
+        adj: np.ndarray,
+        starts_for,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Shared batched walk for the whole-circle cases: per-mask RNG
+        start lists in batch order, one kernel run for every
+        (mask, start) pair, first strictly-largest chain per mask."""
+        num_masks = avail.shape[0]
+        cache = self._cache
+        all_starts: List[int] = []
+        row_of: List[int] = []
+        searches = np.empty(num_masks, dtype=np.intp)
+        row_fsets: List[FrozenSet[int]] = []
+        for i in range(num_masks):
+            members = np.flatnonzero(avail[i])
+            starts = starts_for(avail[i], members)
+            self._rng.shuffle(starts)
+            searches[i] = len(starts)
+            all_starts.extend(starts)
+            row_of.extend([i] * len(starts))
+            if cache is not None:
+                row_fsets.append(frozenset(members.tolist()))
+
+        rows_arr = np.asarray(row_of, dtype=np.intp)
+        starts_arr = np.asarray(all_starts, dtype=np.intp)
+        selected = np.zeros_like(avail)
+        if cache is None:
+            chains = batched_greedy_chains(adj, avail[rows_arr], starts_arr)
+            winners = segment_argmax(
+                chains.sum(axis=1).tolist(), searches.tolist()
+            )
+            selected = chains[winners]
+        else:
+            keys = [
+                (row_fsets[i], start)
+                for i, start in zip(row_of, all_starts)
+            ]
+            fset_row: dict = {}
+            for i, fs in enumerate(row_fsets):
+                fset_row.setdefault(fs, i)
+
+            def compute_missing(missing):
+                miss_rows = np.asarray(
+                    [fset_row[fs] for fs, _ in missing], dtype=np.intp
+                )
+                miss_starts = np.asarray(
+                    [start for _, start in missing], dtype=np.intp
+                )
+                miss_chains = batched_greedy_chains(
+                    adj, avail[miss_rows], miss_starts
+                )
+                return [
+                    frozenset(np.flatnonzero(row).tolist())
+                    for row in miss_chains
+                ]
+
+            chain_sets = self._memo_batch(kind, keys, compute_missing)
+            winners = segment_argmax(
+                [len(s) for s in chain_sets], searches.tolist()
+            )
+            for i, w in enumerate(winners):
+                selected[i, list(chain_sets[w])] = True
+        return selected, searches
+
+    def _batch_per_group(
+        self, avail: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched grouped-CR case (c2 = 0): every non-empty
+        (mask, group) pair is one segment of walks on its local
+        n0-circle; winners union into the global selection."""
+        placement: HybridRepetition = self._placement  # type: ignore[assignment]
+        n0 = placement.group_size
+        num_groups = placement.num_groups
+        c = placement.partitions_per_worker
+        num_masks = avail.shape[0]
+        cache = self._cache
+        local = avail.reshape(num_masks, num_groups, n0)
+        offsets = np.arange(c)
+
+        seg_mask: List[int] = []
+        seg_group: List[int] = []
+        seg_len: List[int] = []
+        walk_mask: List[int] = []
+        walk_group: List[int] = []
+        all_starts: List[int] = []
+        searches = np.zeros(num_masks, dtype=np.intp)
+        row_fsets: List[FrozenSet[int]] = []
+        for i in range(num_masks):
+            if cache is not None:
+                row_fsets.append(
+                    frozenset(np.flatnonzero(avail[i]).tolist())
+                )
+            for group in range(num_groups):
+                lrow = local[i, group]
+                members = np.flatnonzero(lrow)
+                if not members.size:
+                    continue
+                u = int(members[self._rng.integers(members.size)])
+                starts = sorted(
+                    int(v) for v in (u + offsets) % n0 if lrow[v]
+                )
+                self._rng.shuffle(starts)
+                searches[i] += len(starts)
+                seg_mask.append(i)
+                seg_group.append(group)
+                seg_len.append(len(starts))
+                for start in starts:
+                    walk_mask.append(i)
+                    walk_group.append(group)
+                    all_starts.append(start)
+
+        walk_mask_arr = np.asarray(walk_mask, dtype=np.intp)
+        walk_group_arr = np.asarray(walk_group, dtype=np.intp)
+        starts_arr = np.asarray(all_starts, dtype=np.intp)
+        adj0 = circulant_adjacency(n0, c)
+        selected = np.zeros_like(avail)
+        selected_local = selected.reshape(num_masks, num_groups, n0)
+        seg_mask_arr = np.asarray(seg_mask, dtype=np.intp)
+        seg_group_arr = np.asarray(seg_group, dtype=np.intp)
+        if cache is None:
+            chains = batched_greedy_chains(
+                adj0, local[walk_mask_arr, walk_group_arr], starts_arr
+            )
+            winners = segment_argmax(chains.sum(axis=1).tolist(), seg_len)
+            selected_local[seg_mask_arr, seg_group_arr] = chains[winners]
+        else:
+            keys = [
+                (row_fsets[m], (g, s))
+                for m, g, s in zip(walk_mask, walk_group, all_starts)
+            ]
+            key_walk: dict = {}
+            for w, key in enumerate(keys):
+                key_walk.setdefault(key, w)
+
+            def compute_missing(missing):
+                walks = [key_walk[(fs, extra)] for fs, extra in missing]
+                idx = np.asarray(walks, dtype=np.intp)
+                miss_chains = batched_greedy_chains(
+                    adj0,
+                    local[walk_mask_arr[idx], walk_group_arr[idx]],
+                    starts_arr[idx],
+                )
+                return [
+                    frozenset(np.flatnonzero(row).tolist())
+                    for row in miss_chains
+                ]
+
+            chain_sets = self._memo_batch(
+                "hr-group-chain", keys, compute_missing
+            )
+            winners = segment_argmax([len(s) for s in chain_sets], seg_len)
+            for j, w in enumerate(winners):
+                selected_local[seg_mask[j], seg_group[j], list(chain_sets[w])] = True
+        return selected, np.maximum(searches, 1)
 
     # ------------------------------------------------------------------
     # Pure-CR degenerate case

@@ -349,6 +349,44 @@ class PlacementScheme(ABC):
         ``construct().fingerprint`` by construction."""
         return self.construct().fingerprint
 
+    def decoder(
+        self,
+        *,
+        rng: Any = None,
+        metrics: Any = None,
+        cache: Any = None,
+    ):
+        """This family's :class:`~repro.core.decoders.Decoder` over the
+        constructed placement (the registry's linear-time decoder, or
+        the exact-MIS decoder where that *is* the documented decoder —
+        explicit tables)."""
+        # Imported lazily: scheme.py must stay importable from the
+        # decoder modules without a cycle.
+        from .decoders import decoder_for
+
+        return decoder_for(
+            self.construct(), rng=rng, metrics=metrics, cache=cache
+        )
+
+    def decode_batch(
+        self,
+        masks: Any,
+        *,
+        rng: Any = None,
+        metrics: Any = None,
+        cache: Any = None,
+    ):
+        """Decode a whole batch of availability masks through this
+        family's decoder — ``self.decoder(...).decode_batch(masks)``.
+
+        One-shot convenience for analysis code; callers decoding many
+        batches should hold on to :meth:`decoder` (its adjacency /
+        partition matrices are built once per decoder instance).
+        """
+        return self.decoder(
+            rng=rng, metrics=metrics, cache=cache
+        ).decode_batch(masks)
+
     def describe(self) -> str:
         """Human-readable family + placement description."""
         lines = [f"[{self.family}] {self.summary}".rstrip()]

@@ -77,17 +77,27 @@ def _avg_step_time(
         tracer=tracer,
     )
     times: List[float] = []
+    accepted: List[frozenset] = []
+    trace_decodes = tracer is not None and decoder is not None
     for step in range(cfg.num_steps):
         result = sim.run_round(step, policy)
         times.append(result.step_time)
-        if tracer is not None and decoder is not None:
-            decision = decoder.decode(result.outcome.accepted_workers)
+        if trace_decodes:
+            accepted.append(result.outcome.accepted_workers)
+    if trace_decodes:
+        # One vectorized decode over the whole run.  Safe to defer:
+        # record_decode enriches each already-recorded round in place
+        # (keyed on step), and batched decoding consumes the decoder's
+        # generator in step order exactly as the per-step loop did.
+        batch = decoder.decode_batch(accepted)
+        num_partitions = decoder.placement.num_partitions
+        for step in range(cfg.num_steps):
             tracer.record_decode(
                 step,
                 decoder_scheme=decoder.scheme,
-                num_searches=decision.num_searches,
-                num_recovered=decision.num_recovered,
-                num_partitions=decoder.placement.num_partitions,
+                num_searches=int(batch.num_searches[step]),
+                num_recovered=int(batch.num_recovered[step]),
+                num_partitions=num_partitions,
             )
     return float(np.mean(times))
 

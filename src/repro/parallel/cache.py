@@ -27,12 +27,15 @@ results never cross process boundaries.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Hashable, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
 from ..obs.registry import MetricsRegistry, NULL_REGISTRY
 
 CacheKey = Tuple[str, str, Hashable, Hashable]
+
+#: sentinel distinguishing "absent" from a cached ``None``.
+_MISSING = object()
 
 
 class DecodeCache:
@@ -119,6 +122,75 @@ class DecodeCache:
         self._hits += 1
         metrics.counter("decode.cache.hits").inc()
         return value
+
+    def get_or_compute_batch(
+        self,
+        fingerprint: str,
+        kind: str,
+        keys: Sequence[Hashable],
+        compute_missing: Callable[[List[Hashable]], List[Any]],
+    ) -> List[Any]:
+        """Batch lookup: partition ``keys`` into hits and misses in one
+        pass, compute only the unique misses, return values aligned
+        with ``keys``.
+
+        ``compute_missing`` receives the missing keys (first-occurrence
+        order, duplicates collapsed) and must return their values,
+        aligned.  A key that repeats within the batch is computed once;
+        repeats count as hits — exactly what a sequential
+        :meth:`get_or_compute` loop over the same keys would record.
+        Counter parity with the sequential loop holds whenever the
+        batch's unique misses fit the cache (no mid-batch eviction of a
+        key the same batch still needs).
+        """
+        metrics = self._metrics
+        data = self._data
+        values: List[Any] = []
+        missing_keys: List[Hashable] = []
+        missing_at: Dict[Hashable, List[int]] = {}
+        hits = 0
+        for i, key in enumerate(keys):
+            full_key: CacheKey = (fingerprint, kind, key, None)
+            value = data.get(full_key, _MISSING)
+            if value is not _MISSING:
+                data.move_to_end(full_key)
+                hits += 1
+                values.append(value)
+                continue
+            slots = missing_at.get(key)
+            if slots is None:
+                # First sighting of a missing key — one compute.
+                missing_at[key] = [i]
+                missing_keys.append(key)
+                self._misses += 1
+                metrics.counter("decode.cache.misses").inc()
+            else:
+                # A duplicate of a pending miss: a sequential loop
+                # would find it cached by now — count it as a hit.
+                slots.append(i)
+                hits += 1
+            values.append(_MISSING)
+        self._hits += hits
+        if hits:
+            metrics.counter("decode.cache.hits").inc(hits)
+        if missing_keys:
+            computed = compute_missing(missing_keys)
+            if len(computed) != len(missing_keys):
+                raise ConfigurationError(
+                    f"compute_missing returned {len(computed)} values "
+                    f"for {len(missing_keys)} missing keys"
+                )
+            for key, value in zip(missing_keys, computed):
+                full_key = (fingerprint, kind, key, None)
+                data[full_key] = value
+                if len(data) > self._maxsize:
+                    data.popitem(last=False)
+                    self._evictions += 1
+                    metrics.counter("decode.cache.evictions").inc()
+                for i in missing_at[key]:
+                    values[i] = value
+            metrics.gauge("decode.cache.size").set(len(data))
+        return values
 
     def clear(self) -> None:
         """Drop all entries (counters are left untouched)."""

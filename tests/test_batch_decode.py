@@ -1,0 +1,374 @@
+"""Batched decoding: bit-for-bit equivalence with the looped path.
+
+The ``decode_batch`` contract (see :mod:`repro.core.batch`) is that for
+every decoder family, ``decode_batch(masks).results()`` equals
+``[decode(m) for m in masks]`` element by element *and* the injected
+generator ends in the identical stream position — the fairness draws
+happen per mask, in batch order, outside the vectorized kernels.  These
+tests pin that contract for all seven registered placement families,
+with and without a :class:`~repro.parallel.DecodeCache`, plus the
+cache's one-pass hit/miss partition and the shared mask validation.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.closed_form import expected_recovered_exact
+from repro.analysis.variance import estimator_moments
+from repro.core import CyclicRepetition, decoder_for
+from repro.core.batch import enumerate_masks, masks_to_array, validate_mask
+from repro.core.scheme import make_placement
+from repro.exceptions import DecodeError
+from repro.parallel import DecodeCache
+
+
+def _family_placements():
+    """One representative placement per registered family."""
+    return [
+        ("fr", make_placement("fr", num_workers=12, partitions_per_worker=3)),
+        ("cr", make_placement("cr", num_workers=12, partitions_per_worker=3)),
+        ("hr", make_placement("hr", num_workers=12, c1=1, c2=2, num_groups=3)),
+        ("hr-c1-0", make_placement("hr", num_workers=12, c1=0, c2=2, num_groups=3)),
+        ("hr-c2-0", make_placement("hr", num_workers=12, c1=2, c2=0, num_groups=3)),
+        (
+            "explicit",
+            make_placement(
+                "explicit",
+                rows=[[0, 1], [1, 2], [2, 3], [3, 4], [4, 5], [5, 0]],
+            ),
+        ),
+        (
+            "hetero",
+            make_placement(
+                "hetero",
+                num_workers=8,
+                assignment=[3, 1, 0, 2, 7, 5, 4, 6],
+                base="cr",
+                partitions_per_worker=2,
+            ),
+        ),
+        (
+            "comm-efficient",
+            make_placement(
+                "comm-efficient",
+                num_workers=12,
+                partitions_per_worker=3,
+                blocks=2,
+            ),
+        ),
+        (
+            "multimessage",
+            make_placement(
+                "multimessage", num_workers=12, partitions_per_worker=2, base="cr"
+            ),
+        ),
+    ]
+
+
+FAMILIES = _family_placements()
+FAMILY_IDS = [name for name, _ in FAMILIES]
+
+
+def _random_masks(n: int, count: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    masks = np.zeros((count, n), dtype=bool)
+    lo, hi = 1, max(2, n - 1)
+    for i in range(count):
+        size = int(rng.integers(lo, hi + 1))
+        masks[i, rng.choice(n, size=size, replace=False)] = True
+    return masks
+
+
+def _decoder_pair(placement, seed, cache_a=None, cache_b=None):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        rng_a = np.random.default_rng(seed)
+        rng_b = np.random.default_rng(seed)
+        dec_a = decoder_for(placement, rng=rng_a, cache=cache_a)
+        dec_b = decoder_for(placement, rng=rng_b, cache=cache_b)
+    return dec_a, rng_a, dec_b, rng_b
+
+
+class TestBatchLoopEquivalence:
+    """decode_batch == [decode(m) ...]: selections AND generator stream."""
+
+    @pytest.mark.parametrize(("name", "placement"), FAMILIES, ids=FAMILY_IDS)
+    def test_bit_for_bit_uncached(self, name, placement):
+        masks = _random_masks(placement.num_workers, 80, seed=5)
+        dec_a, rng_a, dec_b, rng_b = _decoder_pair(placement, seed=23)
+        looped = [dec_a.decode(np.flatnonzero(row).tolist()) for row in masks]
+        batch = dec_b.decode_batch(masks)
+        assert batch.results() == looped
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    @pytest.mark.parametrize(("name", "placement"), FAMILIES, ids=FAMILY_IDS)
+    def test_bit_for_bit_cached(self, name, placement):
+        # Repeat each mask so the cache actually partitions hits/misses,
+        # then run a second batched pass against a warm cache.
+        base = _random_masks(placement.num_workers, 30, seed=6)
+        masks = np.concatenate([base, base[::2]])
+        dec_a, rng_a, dec_b, rng_b = _decoder_pair(
+            placement, seed=31, cache_a=DecodeCache(), cache_b=DecodeCache()
+        )
+        looped = [dec_a.decode(np.flatnonzero(row).tolist()) for row in masks]
+        looped += [dec_a.decode(np.flatnonzero(row).tolist()) for row in masks]
+        batch1 = dec_b.decode_batch(masks)
+        batch2 = dec_b.decode_batch(masks)
+        assert batch1.results() + batch2.results() == looped
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    @pytest.mark.parametrize(("name", "placement"), FAMILIES, ids=FAMILY_IDS)
+    def test_cached_equals_uncached_batched(self, name, placement):
+        masks = _random_masks(placement.num_workers, 40, seed=7)
+        dec_a, rng_a, dec_b, rng_b = _decoder_pair(
+            placement, seed=17, cache_b=DecodeCache()
+        )
+        plain = dec_a.decode_batch(masks)
+        cached = dec_b.decode_batch(masks)
+        assert plain.results() == cached.results()
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    def test_list_of_masks_input(self):
+        placement = CyclicRepetition(10, 2)
+        mask_lists = [[0, 3, 5], [1, 2, 8, 9], [4], [0, 1, 2, 3, 4, 5]]
+        dec_a, rng_a, dec_b, rng_b = _decoder_pair(placement, seed=3)
+        looped = [dec_a.decode(m) for m in mask_lists]
+        batch = dec_b.decode_batch(mask_lists)
+        assert batch.results() == looped
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=16),
+        c=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        data=st.data(),
+    )
+    def test_cr_property(self, n, c, seed, data):
+        c = min(c, n)
+        placement = CyclicRepetition(n, c)
+        num_masks = data.draw(st.integers(min_value=1, max_value=12))
+        mask_rng = np.random.default_rng(seed)
+        masks = np.zeros((num_masks, n), dtype=bool)
+        for i in range(num_masks):
+            size = int(mask_rng.integers(1, n + 1))
+            masks[i, mask_rng.choice(n, size=size, replace=False)] = True
+        dec_a, rng_a, dec_b, rng_b = _decoder_pair(placement, seed=seed)
+        looped = [dec_a.decode(np.flatnonzero(row).tolist()) for row in masks]
+        batch = dec_b.decode_batch(masks)
+        assert batch.results() == looped
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+
+class TestBatchResultShape:
+    def test_arrays_consistent(self):
+        placement = CyclicRepetition(12, 2)
+        masks = _random_masks(12, 25, seed=9)
+        batch = decoder_for(placement, rng=np.random.default_rng(1)).decode_batch(
+            masks
+        )
+        assert len(batch) == 25
+        assert batch.available.shape == (25, 12)
+        assert batch.selected.shape == (25, 12)
+        assert batch.recovered.shape == (25, placement.num_partitions)
+        assert (batch.selected <= batch.available).all()
+        assert (batch.num_selected >= 1).all()
+        np.testing.assert_array_equal(
+            batch.num_recovered, batch.recovered.sum(axis=1)
+        )
+
+    def test_empty_batch(self):
+        placement = CyclicRepetition(6, 2)
+        batch = decoder_for(placement, rng=np.random.default_rng(0)).decode_batch(
+            np.zeros((0, 6), dtype=bool)
+        )
+        assert len(batch) == 0
+        assert batch.results() == []
+
+
+class TestMaskValidation:
+    """Same DecodeError, same message, looped and batched."""
+
+    def test_empty_mask_message(self):
+        with pytest.raises(DecodeError, match="zero available workers"):
+            validate_mask([], 6)
+
+    def test_duplicate_mask_message(self):
+        with pytest.raises(DecodeError, match=r"duplicate available workers: \[2\]"):
+            validate_mask([1, 2, 2, 3], 6)
+
+    def test_out_of_range_message(self):
+        with pytest.raises(
+            DecodeError, match=r"out of range \[0, 6\): \[-1, 6\]"
+        ):
+            validate_mask([-1, 0, 6], 6)
+
+    @pytest.mark.parametrize(("name", "placement"), FAMILIES, ids=FAMILY_IDS)
+    def test_same_error_both_paths(self, name, placement):
+        bad_masks = [[], [0, 0], [0, placement.num_workers]]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            dec = decoder_for(placement, rng=np.random.default_rng(0))
+        for bad in bad_masks:
+            with pytest.raises(DecodeError) as looped_err:
+                dec.decode(bad)
+            with pytest.raises(DecodeError) as batched_err:
+                dec.decode_batch([[0], bad])
+            assert str(batched_err.value) == str(looped_err.value)
+
+    def test_batch_fails_fast_without_consuming_rng(self):
+        placement = CyclicRepetition(8, 2)
+        rng = np.random.default_rng(4)
+        dec = decoder_for(placement, rng=rng)
+        state = rng.bit_generator.state
+        with pytest.raises(DecodeError):
+            dec.decode_batch([[0, 1], [3, 3]])
+        assert rng.bit_generator.state == state
+
+    def test_array_width_mismatch(self):
+        dec = decoder_for(CyclicRepetition(8, 2), rng=np.random.default_rng(0))
+        with pytest.raises(DecodeError, match="width 6 .* 8 workers"):
+            dec.decode_batch(np.ones((2, 6), dtype=bool))
+
+    def test_all_false_row_rejected(self):
+        dec = decoder_for(CyclicRepetition(8, 2), rng=np.random.default_rng(0))
+        arr = np.ones((3, 8), dtype=bool)
+        arr[1] = False
+        with pytest.raises(DecodeError, match="zero available workers"):
+            dec.decode_batch(arr)
+
+    def test_masks_to_array_roundtrip(self):
+        avail, originals = masks_to_array([[2, 0], [1]], 4)
+        assert originals == [[2, 0], [1]]
+        np.testing.assert_array_equal(
+            avail,
+            np.array(
+                [[True, False, True, False], [False, True, False, False]]
+            ),
+        )
+
+
+class TestCacheBatchPartition:
+    """get_or_compute_batch: one pass, hits/misses counted like a loop."""
+
+    def test_partition_and_alignment(self):
+        cache = DecodeCache()
+        calls = []
+
+        def compute_missing(missing):
+            calls.append(list(missing))
+            return [f"v:{k}" for k in missing]
+
+        values = cache.get_or_compute_batch(
+            "fp", "kind", ["a", "b", "a", "c"], compute_missing
+        )
+        # One compute call with the unique misses in first-occurrence
+        # order; the duplicate "a" resolves as a hit (same as decoding
+        # the stream one mask at a time).
+        assert calls == [["a", "b", "c"]]
+        assert values == ["v:a", "v:b", "v:a", "v:c"]
+        assert cache.misses == 3
+        assert cache.hits == 1
+
+    def test_warm_cache_all_hits(self):
+        cache = DecodeCache()
+        cache.get_or_compute_batch(
+            "fp", "kind", ["a", "b"], lambda ks: [k.upper() for k in ks]
+        )
+        values = cache.get_or_compute_batch(
+            "fp", "kind", ["b", "a", "b"], lambda ks: pytest.fail("no misses")
+        )
+        assert values == ["B", "A", "B"]
+        assert cache.hits == 3
+
+    def test_counters_match_sequential(self):
+        keys = ["x", "y", "x", "z", "y", "x"]
+        batch_cache = DecodeCache()
+        batch_cache.get_or_compute_batch(
+            "fp", "k", keys, lambda ks: [k * 2 for k in ks]
+        )
+        loop_cache = DecodeCache()
+        for key in keys:
+            loop_cache.get_or_compute("fp", "k", key, lambda key=key: key * 2)
+        assert batch_cache.hits == loop_cache.hits
+        assert batch_cache.misses == loop_cache.misses
+
+    def test_wrong_compute_length_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        cache = DecodeCache()
+        with pytest.raises(ConfigurationError):
+            cache.get_or_compute_batch("fp", "k", ["a", "b"], lambda ks: ["only-one"])
+
+
+class TestFallbackWarning:
+    def test_unknown_scheme_warns_and_counts(self):
+        from repro.core.exact_decoder import ExactDecoder
+        from repro.obs.registry import MetricsRegistry
+
+        class OddPlacement(CyclicRepetition):
+            scheme = "custom-unknown"
+
+        metrics = MetricsRegistry()
+        with pytest.warns(RuntimeWarning, match="custom-unknown.*exact-MIS"):
+            dec = decoder_for(OddPlacement(4, 2), metrics=metrics)
+        assert isinstance(dec, ExactDecoder)
+        assert metrics.counter("decode.fallback").value == 1
+
+    @pytest.mark.parametrize("name", ["explicit", "hetero"])
+    def test_exact_by_design_schemes_stay_silent(self, name):
+        placement = dict(FAMILIES)[name]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            decoder_for(placement, rng=np.random.default_rng(0))
+
+    @pytest.mark.parametrize(
+        "name", ["fr", "cr", "hr", "comm-efficient", "multimessage"]
+    )
+    def test_registered_schemes_stay_silent(self, name):
+        placement = dict(FAMILIES)[name]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            decoder_for(placement, rng=np.random.default_rng(0))
+
+
+class TestVarianceBatchPath:
+    def test_enumeration_matches_closed_form(self):
+        # Decoding every C(n, w) mask in one batch must agree with the
+        # closed-form E[#recovered] over the same mask distribution
+        # (the decoders return *maximum* independent sets, so the mean
+        # recovered count is decoder-independent).
+        placement = CyclicRepetition(8, 2)
+        wait_for = 4
+        dec = decoder_for(placement, rng=np.random.default_rng(0))
+        batch = dec.decode_batch(enumerate_masks(8, wait_for))
+        expected = expected_recovered_exact(placement, wait_for)
+        assert float(batch.num_recovered.mean()) == pytest.approx(expected)
+
+    def test_exact_enumeration_unbiased(self):
+        # C(6, 3) = 20 <= exact_limit, so this exercises the exact
+        # enumeration path through the batch mask representation.
+        placement = CyclicRepetition(6, 2)
+        n = 6
+        rng = np.random.default_rng(2)
+        grads = {p: rng.normal(size=4) for p in range(n)}
+        full = sum(grads.values())
+        moments = estimator_moments(placement, 3, grads)
+        assert moments.is_unbiased
+        np.testing.assert_allclose(moments.mean, full, atol=1e-10)
+
+    def test_enumerate_masks_combinations_order(self):
+        from itertools import combinations
+
+        masks = enumerate_masks(5, 3)
+        expected_rows = list(combinations(range(5), 3))
+        assert masks.shape == (10, 5)
+        for row, combo in zip(masks, expected_rows):
+            assert np.flatnonzero(row).tolist() == list(combo)
+
+    def test_enumerate_masks_bad_size(self):
+        with pytest.raises(DecodeError, match=r"mask size must be in \[1, 5\]"):
+            enumerate_masks(5, 6)

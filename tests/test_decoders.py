@@ -200,5 +200,7 @@ class TestExactDecoder:
         class OddPlacement(CyclicRepetition):
             scheme = "custom-unknown"
 
-        dec = decoder_for(OddPlacement(4, 2))
+        # The exponential fallback is never silent for unknown schemes.
+        with pytest.warns(RuntimeWarning, match="exact-MIS"):
+            dec = decoder_for(OddPlacement(4, 2))
         assert isinstance(dec, ExactDecoder)
