@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint static test bench bench-placement trace-demo
+.PHONY: check lint static test bench bench-placement bench-environment trace-demo
 
 check: lint static test
 
@@ -31,6 +31,13 @@ bench:
 # construction (and that fast-path conflict graphs match ground truth).
 bench-placement:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_placement.py --smoke
+
+# Environment-layer benchmark; writes BENCH_environment.json and
+# asserts the registry's dispatch overhead stays under 5% of direct
+# construction and that the vectorized sample_round beats the scalar
+# per-worker loop (with bit-identical streams) on a 64-worker round.
+bench-environment:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_environment.py --smoke
 
 trace-demo:
 	PYTHONPATH=src $(PYTHON) examples/traced_run.py

@@ -81,7 +81,7 @@ def adaptive_report():
 
     table = Table(
         title=(
-            f"Extension — online placement adaptation "
+            "Extension — online placement adaptation "
             f"(n={N}, c={C}, w={W}, {STEPS} steps)"
         ),
         columns=["run", "avg recovery %", "final loss", "migrations"],

@@ -41,7 +41,7 @@ def approx_report():
 
     table = Table(
         title=(
-            f"Ablation — exact partial sums (IS-GC) vs approximate GC "
+            "Ablation — exact partial sums (IS-GC) vs approximate GC "
             f"decoding, CR(n={N}, c={C}), {TRIALS} random rounds per w"
         ),
         columns=[

@@ -50,7 +50,7 @@ def _run(strategy):
 def compression_report():
     table = Table(
         title=(
-            f"Extension — top-k sparsified IS-GC payloads "
+            "Extension — top-k sparsified IS-GC payloads "
             f"(n={N}, c={C}, w={W}, {STEPS} steps)"
         ),
         columns=["kept fraction", "upload elems/9", "final loss"],

@@ -51,9 +51,9 @@ def _run(tau):
 def local_sgd_report():
     table = Table(
         title=(
-            f"Extension — local-update SGD over IS-GC "
+            "Extension — local-update SGD over IS-GC "
             f"(n={N}, c={C}, w={W}, {BATCH_BUDGET} batches/partition, "
-            f"exp(1.0s) stragglers)"
+            "exp(1.0s) stragglers)"
         ),
         columns=["τ", "rounds", "total time (s)", "final loss"],
     )

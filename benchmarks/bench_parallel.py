@@ -304,7 +304,7 @@ def main(argv=None) -> int:
           f"batched {batch['batched_seconds']:.2f}s "
           f"(speedup {batch['speedup']:.1f}x, "
           f"bit-identical: {batch['bit_identical']})")
-    print(f"  family equivalence: "
+    print("  family equivalence: "
           + ", ".join(f"{k}={'ok' if v else 'FAIL'}"
                       for k, v in batch["families"].items()))
 
@@ -334,7 +334,7 @@ def main(argv=None) -> int:
         return 1
     if not batch["speedup_ok"]:
         print(f"FAIL: batched decode speedup {batch['speedup']:.1f}x "
-              f"is below the required 10x", file=sys.stderr)
+              "is below the required 10x", file=sys.stderr)
         return 1
     return 0
 

@@ -233,7 +233,7 @@ def main(argv=None) -> int:
         if not cg["identical"]:
             failures.append(
                 f"{family}: fast-path conflict graph diverged from the "
-                f"partition-intersection ground truth"
+                "partition-intersection ground truth"
             )
         if bf["overhead_pct"] >= MAX_OVERHEAD_PCT:
             failures.append(

@@ -32,7 +32,7 @@ def variance_report():
     issgd = CyclicRepetition(N, 1)
     table = Table(
         title=(
-            f"Theory — exact estimator variance tr Cov(ĝ) vs w "
+            "Theory — exact estimator variance tr Cov(ĝ) vs w "
             f"(n={N}, c={C}; lower is better)"
         ),
         columns=[

@@ -62,7 +62,7 @@ def main() -> None:
                   round(result.expected_recovered, 3))
     table.show()
     slow_groups = {result.assignment[m] // C for m in SLOW}
-    print(f"optimised assignment puts the slow machines into groups "
+    print("optimised assignment puts the slow machines into groups "
           f"{sorted(slow_groups)}\n")
 
     # ------------------------------------------------------------------

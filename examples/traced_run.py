@@ -76,7 +76,7 @@ def main() -> None:
     print(f"  step time   mean={step_t.mean:.3f}s "
           f"p50={step_t.p50:.3f}s p95={step_t.p95:.3f}s")
     print(f"  decodes     {reg.counter('decode.count').value:.0f}, "
-          f"mean searches "
+          "mean searches "
           f"{reg.histogram('decode.num_searches').mean:.2f}")
 
     # ------------------------------------------------------------------
@@ -95,7 +95,7 @@ def main() -> None:
     live = aggregate_traces(tracer.traces)
     assert live == aggs, "exported trace must reproduce live aggregates"
     scheme = next(iter(aggs))
-    print(f"round-trip exact: mean step time "
+    print("round-trip exact: mean step time "
           f"{aggs[scheme].mean_step_time!r} (live == loaded)")
 
 

@@ -24,6 +24,14 @@ End-to-end simulated training::
     from repro import (DistributedTrainer, ISGCStrategy, ClusterSimulator,
                        ExponentialDelay, SGD)
 
+Straggler environments (delay/failure/compute/network/contention
+models, built by family name through the environment registry)::
+
+    from repro import Environment, make_delay_model
+    delay = make_delay_model("pareto", alpha=2.5, scale=0.3)
+    env = Environment(delay={"kind": "exponential", "mean": 1.5})
+    sim = env.simulator(num_workers=8, partitions_per_worker=2)
+
 Declarative experiments (one engine, pluggable backends/schemes)::
 
     from repro import ExperimentSpec, run_spec
@@ -129,6 +137,23 @@ from .training import (
     make_regression,
     partition_dataset,
 )
+from .env import (
+    ENV_REGISTRY,
+    Environment,
+    make_compute_model,
+    make_contention_model,
+    make_delay_model,
+    make_failure_model,
+    make_network_model,
+    model_fingerprint,
+    register_compute,
+    register_contention,
+    register_delay,
+    register_failure,
+    register_network,
+    registered_models,
+    spec_of,
+)
 from .analysis import monte_carlo_recovery, recovery_curve, summarize_trials
 from .engine import (
     ExperimentSpec,
@@ -229,6 +254,22 @@ __all__ = [
     "ClassicGCStrategy",
     "ISGCStrategy",
     "DistributedTrainer",
+    # environment registry
+    "ENV_REGISTRY",
+    "Environment",
+    "make_delay_model",
+    "make_failure_model",
+    "make_compute_model",
+    "make_network_model",
+    "make_contention_model",
+    "register_delay",
+    "register_failure",
+    "register_compute",
+    "register_network",
+    "register_contention",
+    "registered_models",
+    "spec_of",
+    "model_fingerprint",
     # analysis
     "monte_carlo_recovery",
     "recovery_curve",

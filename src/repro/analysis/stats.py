@@ -105,7 +105,7 @@ def paired_comparison(
     b = np.asarray(list(scheme_b), dtype=float)
     if a.size != b.size:
         raise ConfigurationError(
-            f"paired comparison needs equal trial counts, "
+            "paired comparison needs equal trial counts, "
             f"got {a.size} and {b.size}"
         )
     if a.size < 2:

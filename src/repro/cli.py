@@ -8,6 +8,8 @@ Exposes the library's main entry points without writing Python::
     python -m repro bounds    -n 8 -c 2
     python -m repro placements
     python -m repro placements hr -n 12 -c 3 --param c1=2 --param c2=1 --param num_groups=3
+    python -m repro environments
+    python -m repro environments pareto --param alpha=2.5 --param scale=0.5
     python -m repro experiment fig13
     python -m repro experiment fig11 --jobs 8
     python -m repro run       experiment.json
@@ -211,8 +213,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     """Run a short simulated training job and print its summary."""
     from .analysis.plotting import downsample, sparkline
     from .engine.spec import make_strategy
+    from .env import make_delay_model
     from .simulation.cluster import ClusterSimulator
-    from .straggler.models import ExponentialDelay
     from .training.datasets import (
         build_batch_streams, make_classification, partition_dataset,
     )
@@ -248,9 +250,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             rng=np.random.default_rng(args.seed),
             **scheme_params,
         )
+    # Delay models are built through the environment registry — the
+    # same construction path specs and library code use (REG005); the
+    # default is the historical exponential with --delay as its mean.
+    delay_params = _parse_model_params(args.delay_param, flag="--delay-param")
+    if args.delay_kind in ("exponential", "exp"):
+        delay_params.setdefault("mean", args.delay)
     cluster = ClusterSimulator(
         n, placement.partitions_per_worker,
-        delay_model=ExponentialDelay(args.delay),
+        delay_model=make_delay_model(args.delay_kind, **delay_params),
         rng=np.random.default_rng(args.seed + 3),
     )
     trainer = DistributedTrainer(
@@ -271,6 +279,124 @@ def _parse_sweep_value(token: str):
         except ValueError:
             continue
     return token
+
+
+def _parse_param_value(token: str):
+    """Model-parameter values: JSON when it parses (``[0,1]``, ``0.5``,
+    ``null``), else a comma token list, else the sweep scalar rules."""
+    import json
+
+    try:
+        return json.loads(token)
+    except ValueError:
+        pass
+    if "," in token:
+        return [_parse_sweep_value(t) for t in token.split(",") if t]
+    return _parse_sweep_value(token)
+
+
+def _parse_model_params(
+    clauses: Optional[List[str]], *, flag: str = "--param"
+) -> dict:
+    """``KEY=VALUE`` clauses → a model-parameter dict."""
+    params = {}
+    for clause in clauses or []:
+        key, sep, value = clause.partition("=")
+        if not sep or not value:
+            raise ReproError(f"{flag} needs key=value, got {clause!r}")
+        params[key.strip()] = _parse_param_value(value.strip())
+    return params
+
+
+def cmd_environments(args: argparse.Namespace) -> int:
+    """List registered environment models, or describe one kind."""
+    import inspect
+
+    from .env import (
+        ENV_REGISTRY,
+        LAYERS,
+        make_model,
+        model_fingerprint,
+        resolve_model,
+        spec_of,
+    )
+
+    if args.kind is None:
+        table = Table(
+            title="Registered environment models",
+            columns=["layer", "kind", "aliases", "summary", "paper"],
+        )
+        for layer in LAYERS:
+            for kind in sorted(ENV_REGISTRY[layer]):
+                family = ENV_REGISTRY[layer][kind]
+                table.add_row(
+                    layer,
+                    kind,
+                    ", ".join(family.aliases) if family.aliases else "-",
+                    family.summary,
+                    family.paper,
+                )
+        table.show()
+        return 0
+
+    matches = []
+    for layer in (args.layer,) if args.layer else LAYERS:
+        try:
+            matches.append(resolve_model(layer, args.kind))
+        except ReproError as exc:
+            if args.layer:
+                raise ReproError(str(exc)) from exc
+    if not matches:
+        import difflib
+
+        known = sorted(
+            {k for layer in LAYERS for k in ENV_REGISTRY[layer]}
+            | {
+                alias
+                for layer in LAYERS
+                for fam in ENV_REGISTRY[layer].values()
+                for alias in fam.aliases
+            }
+        )
+        close = difflib.get_close_matches(args.kind, known, n=1)
+        hint = f" — did you mean {close[0]!r}?" if close else ""
+        raise ReproError(
+            f"unknown environment model {args.kind!r} in any layer{hint}; "
+            "run `repro environments` for the catalogue"
+        )
+    for family in matches:
+        alias_note = (
+            f" (aliases: {', '.join(family.aliases)})" if family.aliases else ""
+        )
+        print(f"[{family.layer}] {family.kind}{alias_note}")
+        if family.summary:
+            print(f"  {family.summary}")
+        if family.paper:
+            print(f"  paper: {family.paper}")
+        rendered = [
+            name if default is inspect.Parameter.empty
+            else f"{name}={default!r}"
+            for name, default in family.parameters().items()
+        ]
+        print(f"  params: {', '.join(rendered) if rendered else '(none)'}")
+        if family.nested:
+            print(
+                f"  nested sub-model params: {', '.join(family.nested)}"
+            )
+    if args.param:
+        if len(matches) > 1:
+            raise ReproError(
+                f"kind {args.kind!r} exists in several layers "
+                f"({', '.join(f.layer for f in matches)}); pass --layer "
+                "to build it"
+            )
+        family = matches[0]
+        model = make_model(
+            family.layer, family.kind, **_parse_model_params(args.param)
+        )
+        print(f"  spec        : {spec_of(model)}")
+        print(f"  fingerprint : {model_fingerprint(model)}")
+    return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -445,6 +571,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_placements)
 
+    p = sub.add_parser(
+        "environments",
+        help="list registered environment models "
+             "(delay/failure/compute/network/contention) / describe one",
+    )
+    p.add_argument(
+        "kind", nargs="?", default=None,
+        help="model kind to describe (omit to list the catalogue)",
+    )
+    p.add_argument(
+        "--layer",
+        choices=("delay", "failure", "compute", "network", "contention"),
+        default=None,
+        help="restrict the kind lookup to one layer",
+    )
+    p.add_argument(
+        "--param", action="append", default=None, metavar="KEY=VALUE",
+        help="build the model with these parameters and print its "
+             "canonical spec + fingerprint (repeatable)",
+    )
+    p.set_defaults(func=cmd_environments)
+
     p = sub.add_parser("advise", help="rank placements for (n, c, w)")
     p.add_argument("-n", type=int, required=True)
     p.add_argument("-c", type=int, required=True)
@@ -458,7 +606,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-w", type=int, required=True, help="workers to wait for")
     p.add_argument("--steps", type=int, default=100)
     p.add_argument("--delay", type=float, default=1.0,
-                   help="mean exponential straggler delay (s)")
+                   help="mean exponential straggler delay (s); shorthand "
+                        "for --delay-param mean=... with the default kind")
+    p.add_argument("--delay-kind", default="exponential",
+                   help="delay model kind from the environment registry "
+                        "(see `repro environments`)")
+    p.add_argument("--delay-param", action="append", default=None,
+                   metavar="KEY=VALUE",
+                   help="delay model parameter (repeatable), e.g. "
+                        "--delay-kind pareto --delay-param alpha=2.5 "
+                        "--delay-param scale=0.5")
     p.add_argument("--lr", type=float, default=0.3)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_simulate)

@@ -92,7 +92,7 @@ def decode_vector(
     if not np.allclose(achieved, ones, atol=atol):
         raise CodingError(
             f"all-ones vector not in the span of {rows.size} surviving "
-            f"rows: classic GC cannot tolerate this straggler pattern"
+            "rows: classic GC cannot tolerate this straggler pattern"
         )
     return a
 

@@ -54,7 +54,7 @@ class ClassicGradientCode:
             if not support <= stored:
                 raise CodingError(
                     f"B-matrix row {worker} uses partitions {support - stored} "
-                    f"the placement does not store there"
+                    "the placement does not store there"
                 )
         self._placement = placement
         self._b = b

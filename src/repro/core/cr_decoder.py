@@ -56,7 +56,7 @@ class CRDecoder(Decoder):
     ):
         if not isinstance(placement, CyclicRepetition):
             raise TypeError(
-                f"CRDecoder requires a CyclicRepetition placement, "
+                "CRDecoder requires a CyclicRepetition placement, "
                 f"got {type(placement).__name__}"
             )
         if starts not in ("window", "all"):

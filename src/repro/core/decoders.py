@@ -139,7 +139,7 @@ def decoder_for(
         if cls is None:
             raise DecodeError(
                 f"no decoder registered for scheme {placement.scheme!r} "
-                f"and the exact-MIS fallback is unavailable; registered "
+                "and the exact-MIS fallback is unavailable; registered "
                 f"schemes: {sorted(_REGISTRY)}"
             )
     decoder = cls(placement, rng=rng, cache=cache)
@@ -147,9 +147,9 @@ def decoder_for(
         decoder.attach_metrics(metrics)
     if is_fallback and placement.scheme not in _EXACT_BY_DESIGN:
         warnings.warn(
-            f"no linear-time decoder registered for scheme "
+            "no linear-time decoder registered for scheme "
             f"{placement.scheme!r}; falling back to the exact-MIS "
-            f"decoder (exponential worst case)",
+            "decoder (exponential worst case)",
             RuntimeWarning,
             stacklevel=2,
         )

@@ -36,7 +36,7 @@ class ExplicitPlacement(Placement):
         counts = {len(set(parts)) for parts in assignments.values()}
         if len(counts) != 1:
             raise PlacementError(
-                f"all workers must store the same number of partitions, "
+                "all workers must store the same number of partitions, "
                 f"got counts {sorted(counts)}"
             )
         (c,) = counts

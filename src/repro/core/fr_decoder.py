@@ -36,7 +36,7 @@ class FRDecoder(Decoder):
     ):
         if not isinstance(placement, FractionalRepetition):
             raise TypeError(
-                f"FRDecoder requires a FractionalRepetition placement, "
+                "FRDecoder requires a FractionalRepetition placement, "
                 f"got {type(placement).__name__}"
             )
         super().__init__(placement, rng=rng, cache=cache)

@@ -49,7 +49,7 @@ class HRDecoder(Decoder):
     def __init__(self, placement: HybridRepetition, *, rng=None, cache=None):
         if not isinstance(placement, HybridRepetition):
             raise TypeError(
-                f"HRDecoder requires a HybridRepetition placement, "
+                "HRDecoder requires a HybridRepetition placement, "
                 f"got {type(placement).__name__}"
             )
         super().__init__(placement, rng=rng, cache=cache)

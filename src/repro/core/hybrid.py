@@ -75,7 +75,7 @@ class HybridRepetition(Placement):
                 )
             if c2 > 0 and n0 > c + c1:
                 raise PlacementError(
-                    f"general HR needs within-group completeness "
+                    "general HR needs within-group completeness "
                     f"n0 <= c + c1 (Theorem 6); got n0={n0}, c={c}, c1={c1}"
                 )
         self._c1 = c1

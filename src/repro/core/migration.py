@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..env import make_network_model
 from ..exceptions import ConfigurationError
 from ..simulation.network import NetworkModel
 from .placement import Placement
@@ -60,7 +61,7 @@ def migration_plan(
     target = as_placement(target)
     if source.num_workers != target.num_workers:
         raise ConfigurationError(
-            f"cannot migrate between cluster sizes "
+            "cannot migrate between cluster sizes "
             f"{source.num_workers} and {target.num_workers}"
         )
     n = source.num_workers
@@ -99,7 +100,7 @@ def migration_cost_seconds(
         raise ConfigurationError(
             f"partition_bytes must be >= 0, got {partition_bytes}"
         )
-    network = network if network is not None else NetworkModel()
+    network = network if network is not None else make_network_model()
     per_copy = network.latency + partition_bytes / network.bandwidth
     return plan.max_copies_per_worker * per_copy
 

@@ -42,7 +42,7 @@ class Placement(abc.ABC):
             raise PlacementError(f"need at least one worker, got n={num_workers}")
         if not 1 <= partitions_per_worker <= num_workers:
             raise PlacementError(
-                f"partitions per worker must satisfy 1 <= c <= n; "
+                "partitions per worker must satisfy 1 <= c <= n; "
                 f"got c={partitions_per_worker}, n={num_workers}"
             )
         self._n = num_workers

@@ -465,7 +465,7 @@ class FRScheme(PlacementScheme):
         n, c = num_workers, partitions_per_worker
         if c is not None and n % c != 0:
             return [
-                f"FR placement requires c | n (Sec. III: workers form "
+                "FR placement requires c | n (Sec. III: workers form "
                 f"n/c groups of c replicas); got n={n}, c={c}"
             ]
         return []
@@ -517,9 +517,9 @@ class CRScheme(PlacementScheme):
         if c is not None and c >= n:
             return [
                 f"CR placement requires 1 <= c < n: with c = n = {n} "
-                f"every pair of workers shares a partition (Theorem 1: "
-                f"conflict iff circular distance < c), so at most one "
-                f"payload is ever decodable"
+                "every pair of workers shares a partition (Theorem 1: "
+                "conflict iff circular distance < c), so at most one "
+                "payload is ever decodable"
             ]
         return []
 
@@ -566,9 +566,9 @@ class HRScheme(PlacementScheme):
         ):
             raise ConfigurationError(
                 f"HR stores c1 + c2 = {self._c1 + self._c2} partitions "
-                f"per worker but partitions_per_worker="
+                "per worker but partitions_per_worker="
                 f"{partitions_per_worker} was given; make them agree "
-                f"(or drop partitions_per_worker)"
+                "(or drop partitions_per_worker)"
             )
 
     def _construct(self) -> Placement:
@@ -610,10 +610,10 @@ class HRScheme(PlacementScheme):
             and partitions_per_worker != c1 + c2
         ):
             problems.append(
-                f"HR spec declares partitions_per_worker="
+                "HR spec declares partitions_per_worker="
                 f"{partitions_per_worker} but the placement stores "
                 f"c1 + c2 = {c1 + c2} partitions per worker; make "
-                f"them agree"
+                "them agree"
             )
         return problems
 
@@ -727,7 +727,7 @@ class HeteroScheme(PlacementScheme):
         self._assignment = [int(a) for a in assignment]
         if sorted(self._assignment) != list(range(self._n)):
             raise ConfigurationError(
-                f"assignment must be a permutation of worker indices "
+                "assignment must be a permutation of worker indices "
                 f"0..{self._n - 1}, got {assignment!r}"
             )
         self._base = spec_placement_scheme(
@@ -837,8 +837,8 @@ class CommEfficientScheme(PlacementScheme):
             and not 1 <= k <= partitions_per_worker
         ):
             problems.append(
-                f"communication-efficient GC needs integer blocks k "
-                f"with 1 <= k <= c; got blocks="
+                "communication-efficient GC needs integer blocks k "
+                "with 1 <= k <= c; got blocks="
                 f"{(params or {}).get('blocks', 1)!r}, "
                 f"c={partitions_per_worker}"
             )
@@ -937,13 +937,13 @@ def _hr_constraint_problems(n: int, c1: int, c2: int, g: int) -> List[str]:
     problems: List[str] = []
     if c1 < 0 or c2 < 0 or c1 + c2 < 1:
         problems.append(
-            f"HR needs c1, c2 >= 0 with c = c1 + c2 >= 1; got "
+            "HR needs c1, c2 >= 0 with c = c1 + c2 >= 1; got "
             f"c1={c1}, c2={c2}"
         )
         return problems
     if g < 1 or n % g != 0:
         problems.append(
-            f"HR requires g | n (workers split into g equal groups, "
+            "HR requires g | n (workers split into g equal groups, "
             f"Sec. VI); got n={n}, num_groups={g}"
         )
         return problems
@@ -957,18 +957,18 @@ def _hr_constraint_problems(n: int, c1: int, c2: int, g: int) -> List[str]:
     if c1 > 0 and g > 1:
         if c > n0:
             problems.append(
-                f"HR requires c <= n0 = n/g (Theorem 5: a group must "
+                "HR requires c <= n0 = n/g (Theorem 5: a group must "
                 f"hold all its partitions); got c={c}, n0={n0}"
             )
         if c1 > n0:
             problems.append(
-                f"HR upper part needs c1 <= n0 (at most one within-group "
+                "HR upper part needs c1 <= n0 (at most one within-group "
                 f"wrap); got c1={c1}, n0={n0}"
             )
         if c2 > 0 and n0 > c + c1:
             problems.append(
-                f"general HR needs n0 <= c + c1 (Theorem 6 within-group "
-                f"completeness: workers of one group must pairwise "
+                "general HR needs n0 <= c + c1 (Theorem 6 within-group "
+                "completeness: workers of one group must pairwise "
                 f"conflict); got n0={n0}, c={c}, c1={c1}"
             )
     return problems

@@ -38,13 +38,14 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
+from ..env import make_compute_model, make_delay_model, make_network_model
 from ..exceptions import TrainingError
 from ..obs.registry import MetricsRegistry, NULL_REGISTRY
 from ..simulation.cluster import ClusterSimulator, ComputeModel
 from ..simulation.events import Event, EventQueue
 from ..simulation.network import NetworkModel
 from ..simulation.policies import WaitOutcome, WaitPolicy
-from ..straggler.models import DelayModel, NoDelay
+from ..straggler.models import DelayModel
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.tracer import RoundTracer
@@ -159,9 +160,9 @@ class ActorBackend(ExecutionBackend):
     ):
         self.master = master
         self.workers = list(workers)
-        self._compute = compute if compute is not None else ComputeModel()
-        self._network = network if network is not None else NetworkModel()
-        self._delays = delay_model if delay_model is not None else NoDelay()
+        self._compute = compute if compute is not None else make_compute_model()
+        self._network = network if network is not None else make_network_model()
+        self._delays = delay_model if delay_model is not None else make_delay_model("none")
         self._rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[DET003] deliberate opt-in to entropy when no rng is injected
         self._keep_log = keep_message_log
         self.message_log: List = []
@@ -182,14 +183,21 @@ class ActorBackend(ExecutionBackend):
         )
         queue = EventQueue()
         grad_elems = broadcast.parameters.size
-        for worker in self.workers:
+        upload_t = self._network.transfer_time(grad_elems)
+        # One vectorized draw for the whole round; handle_broadcast is
+        # RNG-free, so batching the delays ahead of the worker loop
+        # keeps the random stream bit-identical to per-worker draws.
+        straggles = self._delays.sample_round(
+            [worker.worker_id for worker in self.workers],
+            broadcast.step,
+            self._rng,
+        )
+        for worker, straggle_t in zip(self.workers, straggles):
             upload = worker.handle_broadcast(broadcast, start + broadcast_t)
             compute_t = self._compute.step_time(len(worker.partitions))
-            straggle_t = self._delays.sample(
-                worker.worker_id, broadcast.step, self._rng
+            arrival = (
+                start + broadcast_t + compute_t + float(straggle_t) + upload_t
             )
-            upload_t = self._network.transfer_time(grad_elems)
-            arrival = start + broadcast_t + compute_t + straggle_t + upload_t
             queue.push(
                 Event(arrival, "upload", worker=worker.worker_id, payload=upload)
             )
@@ -259,9 +267,9 @@ class AsyncArrivalBackend(ExecutionBackend):
         rng: np.random.Generator | None = None,
         metrics: MetricsRegistry | None = None,
     ):
-        self._compute = compute if compute is not None else ComputeModel()
-        self._network = network if network is not None else NetworkModel()
-        self._delays = delay_model if delay_model is not None else NoDelay()
+        self._compute = compute if compute is not None else make_compute_model()
+        self._network = network if network is not None else make_network_model()
+        self._delays = delay_model if delay_model is not None else make_delay_model("none")
         self._rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[DET003] deliberate opt-in to entropy when no rng is injected
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._grad_elems = 0

@@ -53,7 +53,7 @@ class RoundEngine:
         if len(streams) != n:
             raise TrainingError(
                 f"strategy expects {n} partitions, got {len(streams)} "
-                f"batch streams"
+                "batch streams"
             )
         self.model = model
         self.streams = list(streams)

@@ -28,6 +28,7 @@ import numpy as np
 from ..core.advisor import evaluate_placement, rank_placements
 from ..core.migration import migration_cost_seconds, migration_plan
 from ..core.placement import Placement
+from ..env import make_network_model
 from ..simulation.network import NetworkModel
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -214,7 +215,7 @@ class AdaptiveMigration(SyncUpdate):
         super().__init__(optimizer)
         self._wait_for = wait_for
         self._bytes = partition_bytes
-        self._network = network if network is not None else NetworkModel()
+        self._network = network if network is not None else make_network_model()
         self._review_every = review_every
         self._min_gain = min_recovery_gain
         self._rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[DET003] deliberate opt-in to entropy when no rng is injected

@@ -31,6 +31,14 @@ IS-GC factories here build their placements through it.  The generic
 ``is-gc`` scheme exposes *every* registered family to specs:
 ``scheme="is-gc"`` with ``scheme_params={"placement": "hr", ...}``.
 
+The environment side goes through a fourth registry family:
+:data:`~repro.env.ENV_REGISTRY` resolves the ``delay:`` / ``failure:``
+/ ``compute:`` / ``network:`` / ``contention:`` sections by kind, so
+every registered straggler scenario (``repro environments``) is
+spec-reachable — nested composites (``persistent`` / ``diurnal`` /
+``bursty`` / ``mixture`` / ``bernoulli``) name their sub-models the
+same way.
+
 Registering one factory is all a new scheme, backend or placement
 family needs; the engine and the CLI pick it up by name.
 
@@ -49,15 +57,9 @@ from typing import Any, Callable, Dict, Mapping, Optional
 
 import numpy as np
 
+from ..env import Environment
 from ..exceptions import ConfigurationError
-from ..straggler.models import (
-    DelayModel,
-    ExponentialDelay,
-    NoDelay,
-    ParetoDelay,
-    PersistentStragglers,
-    ShiftedExponentialDelay,
-)
+from ..straggler.models import DelayModel
 from ..simulation.cluster import ComputeModel
 from ..simulation.network import NetworkModel
 from .backends import ActorBackend, AsyncArrivalBackend, ExecutionBackend, FlatBackend
@@ -295,6 +297,8 @@ class ExperimentSpec:
     )
     compute: Mapping[str, Any] = field(default_factory=dict)
     network: Mapping[str, Any] = field(default_factory=dict)
+    failure: Mapping[str, Any] = field(default_factory=dict)
+    contention: Mapping[str, Any] = field(default_factory=dict)
     scheme_params: Mapping[str, Any] = field(default_factory=dict)
     rule_params: Mapping[str, Any] = field(default_factory=dict)
 
@@ -310,7 +314,7 @@ class ExperimentSpec:
         if self.rule not in ("sync", "local-update", "adaptive", "async"):
             raise ConfigurationError(
                 f"unknown rule {self.rule!r}; expected sync, local-update, "
-                f"adaptive or async"
+                "adaptive or async"
             )
 
     # ------------------------------------------------------------------
@@ -365,7 +369,13 @@ class ExperimentSpec:
 
 @dataclass
 class BuildContext:
-    """Everything a backend factory may need, already constructed."""
+    """Everything a backend factory may need, already constructed.
+
+    ``compute``/``network``/``delay_model`` mirror the corresponding
+    :class:`~repro.env.Environment` layers for backends that wire
+    models individually; ``environment`` carries the full composite
+    (including failure and contention) for backends that support it.
+    """
 
     spec: ExperimentSpec
     model: Any
@@ -377,23 +387,55 @@ class BuildContext:
     network: NetworkModel
     delay_model: DelayModel
     rng: np.random.Generator
+    environment: Optional[Environment] = None
 
 
 # ----------------------------------------------------------------------
 # Built-in backends.
 
+def _require_flat_only_sections(ctx: BuildContext, backend: str) -> None:
+    """``failure:``/``contention:`` are simulated by the flat backend's
+    :class:`ClusterSimulator` only; reject silently-ignored sections."""
+    unsupported = [
+        name
+        for name, section in (
+            ("failure", ctx.spec.failure),
+            ("contention", ctx.spec.contention),
+        )
+        if section
+    ]
+    if unsupported:
+        raise ConfigurationError(
+            f"backend {backend!r} does not simulate the "
+            f"{'/'.join(unsupported)} spec section(s); "
+            "use the flat backend"
+        )
+
+
 @register_backend("flat")
 def _flat_backend(ctx: BuildContext) -> ExecutionBackend:
     from ..simulation.cluster import ClusterSimulator
 
-    cluster = ClusterSimulator(
-        num_workers=ctx.spec.num_workers,
-        partitions_per_worker=ctx.strategy.placement.partitions_per_worker,
-        compute=ctx.compute,
-        network=ctx.network,
-        delay_model=ctx.delay_model,
-        rng=ctx.rng,
-    )
+    if ctx.environment is not None:
+        cluster = ClusterSimulator(
+            num_workers=ctx.spec.num_workers,
+            partitions_per_worker=(
+                ctx.strategy.placement.partitions_per_worker
+            ),
+            environment=ctx.environment,
+            rng=ctx.rng,
+        )
+    else:  # hand-built BuildContext without the composite
+        cluster = ClusterSimulator(
+            num_workers=ctx.spec.num_workers,
+            partitions_per_worker=(
+                ctx.strategy.placement.partitions_per_worker
+            ),
+            compute=ctx.compute,
+            network=ctx.network,
+            delay_model=ctx.delay_model,
+            rng=ctx.rng,
+        )
     return FlatBackend(cluster)
 
 
@@ -401,6 +443,7 @@ def _flat_backend(ctx: BuildContext) -> ExecutionBackend:
 def _actor_backend(ctx: BuildContext) -> ExecutionBackend:
     from ..runtime.actors import MasterActor, WorkerActor
 
+    _require_flat_only_sections(ctx, "actor")
     eval_data = ctx.eval_data
     master = MasterActor(
         ctx.strategy,
@@ -425,6 +468,7 @@ def _actor_backend(ctx: BuildContext) -> ExecutionBackend:
 
 @register_backend("async-arrivals")
 def _async_backend(ctx: BuildContext) -> ExecutionBackend:
+    _require_flat_only_sections(ctx, "async-arrivals")
     return AsyncArrivalBackend(
         compute=ctx.compute,
         network=ctx.network,
@@ -510,32 +554,24 @@ def _build_model(spec: ExperimentSpec, dataset):
     raise ConfigurationError(f"unknown model kind {kind!r}")
 
 
-def _build_delay(spec: ExperimentSpec) -> DelayModel:
-    params = {**_DEFAULT_DELAY, **dict(spec.delay)}
-    kind = params.pop("kind")
-    if kind == "none":
-        return NoDelay()
-    if kind == "exponential":
-        return ExponentialDelay(
-            params.pop("mean"), affected=params.pop("affected", None)
-        )
-    if kind == "shifted-exponential":
-        return ShiftedExponentialDelay(
-            params.pop("shift"), params.pop("mean")
-        )
-    if kind == "pareto":
-        return ParetoDelay(params.pop("alpha"), params.pop("scale"))
-    if kind == "persistent":
-        slow_mean = params.pop("mean")
-        background = params.pop("background_mean", 0.0)
-        return PersistentStragglers(
-            params.pop("stragglers"),
-            ExponentialDelay(slow_mean),
-            background_delay=(
-                ExponentialDelay(background) if background else None
-            ),
-        )
-    raise ConfigurationError(f"unknown delay kind {kind!r}")
+def _build_environment(spec: ExperimentSpec) -> Environment:
+    """The spec's five environment sections, resolved by the registry.
+
+    Every registered kind (``repro environments``) is reachable; the
+    ``delay:`` section defaults its kind to ``exponential`` (the
+    historical bare ``{"mean": ...}`` syntax keeps working), and bare
+    ``compute:``/``network:`` parameter mappings build the ``uniform``
+    families as before.
+    """
+    delay = dict(spec.delay) if spec.delay else dict(_DEFAULT_DELAY)
+    delay.setdefault("kind", "exponential")
+    return Environment(
+        delay=delay,
+        failure=dict(spec.failure) if spec.failure else None,
+        compute=dict(spec.compute) if spec.compute else None,
+        network=dict(spec.network) if spec.network else None,
+        contention=dict(spec.contention) if spec.contention else None,
+    )
 
 
 def _build_rule(spec: ExperimentSpec, ctx: BuildContext) -> UpdateRule:
@@ -594,13 +630,7 @@ def build_engine(spec: ExperimentSpec) -> RoundEngine:
         seed=dict(spec.scheme_params).pop("seed", spec.seed + 3),
         **{k: v for k, v in spec.scheme_params.items() if k != "seed"},
     )
-    compute = (
-        ComputeModel(**spec.compute) if spec.compute else ComputeModel()
-    )
-    network = (
-        NetworkModel(**spec.network) if spec.network else NetworkModel()
-    )
-    delay_model = _build_delay(spec)
+    environment = _build_environment(spec)
     optimizer = SGD(spec.learning_rate)
 
     ctx = BuildContext(
@@ -610,10 +640,11 @@ def build_engine(spec: ExperimentSpec) -> RoundEngine:
         strategy=strategy,
         optimizer=optimizer,
         eval_data=dataset,
-        compute=compute,
-        network=network,
-        delay_model=delay_model,
+        compute=environment.compute,
+        network=environment.network,
+        delay_model=environment.delay,
         rng=np.random.default_rng(spec.seed + 4),
+        environment=environment,
     )
 
     backend_name = "async-arrivals" if spec.rule == "async" else spec.backend

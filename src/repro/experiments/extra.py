@@ -27,11 +27,10 @@ from ..core.batch import enumerate_masks
 from ..core.decoders import decoder_for
 from ..core.scheme import make_placement
 from ..engine.spec import make_strategy
-from ..simulation.cluster import ClusterSimulator, ComputeModel
-from ..simulation.network import NetworkModel
+from ..env import make_compute_model, make_delay_model, make_network_model
+from ..simulation.cluster import ClusterSimulator
 from ..simulation.policies import AdaptiveWaitK, DeadlinePolicy, WaitForK, linear_rampup
 from ..straggler.estimators import EstimatingWaitPolicy, LatencyEstimator
-from ..straggler.models import ExponentialDelay, PersistentStragglers, ShiftedExponentialDelay
 from ..training.datasets import build_batch_streams, make_cifar_like, partition_dataset
 from ..training.models import MLPClassifier
 from ..training.optimizers import SGD
@@ -138,9 +137,11 @@ def adaptive_policy_study(
     dataset = make_cifar_like(1024, side=8, seed=seed)
     partitions = partition_dataset(dataset, n, seed=seed + 1)
     streams = build_batch_streams(partitions, batch_size=16, seed=seed + 2)
-    delay = PersistentStragglers(
-        [0, 1], ShiftedExponentialDelay(3.0, 0.5),
-        background_delay=ExponentialDelay(0.2),
+    delay = make_delay_model(
+        "persistent",
+        stragglers=[0, 1],
+        delay={"kind": "shifted-exponential", "shift": 3.0, "mean": 0.5},
+        background={"kind": "exponential", "mean": 0.2},
     )
 
     policies = [
@@ -165,8 +166,8 @@ def adaptive_policy_study(
         cluster = ClusterSimulator(
             num_workers=n,
             partitions_per_worker=c,
-            compute=ComputeModel(0.05, 0.05),
-            network=NetworkModel(latency=0.0, bandwidth=float("inf")),
+            compute=make_compute_model("uniform", base=0.05, per_partition=0.05),
+            network=make_network_model("ideal"),
             delay_model=delay,
             rng=np.random.default_rng(seed + 7),
         )

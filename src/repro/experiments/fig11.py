@@ -30,11 +30,11 @@ import numpy as np
 from ..analysis.reporting import Table
 from ..core.scheme import make_placement
 from ..core.decoders import Decoder, decoder_for
+from ..env import delay_model_from, make_compute_model, make_delay_model
 from ..parallel import PointTask, SweepExecutor
-from ..simulation.cluster import ClusterSimulator, ComputeModel
+from ..simulation.cluster import ClusterSimulator
 from ..simulation.policies import WaitForK, WaitPolicy
-from ..straggler.models import ExponentialDelay
-from ..straggler.traces import DelayTrace, TraceReplayModel
+from ..straggler.traces import DelayTrace
 from .config import Fig11Config
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -71,8 +71,12 @@ def _avg_step_time(
     sim = ClusterSimulator(
         num_workers=cfg.num_workers,
         partitions_per_worker=partitions_per_worker,
-        compute=ComputeModel(cfg.base_compute, cfg.per_partition_compute),
-        delay_model=TraceReplayModel(trace),
+        compute=make_compute_model(
+            "uniform",
+            base=cfg.base_compute,
+            per_partition=cfg.per_partition_compute,
+        ),
+        delay_model=delay_model_from(trace),
         rng=np.random.default_rng(cfg.seed),
         tracer=tracer,
     )
@@ -118,7 +122,9 @@ def run_condition(
     n = cfg.num_workers
     c = cfg.partitions_per_worker
     rng = np.random.default_rng((cfg.seed, int(expected_delay * 1000), num_delayed))
-    model = ExponentialDelay(expected_delay, affected=range(num_delayed))
+    model = make_delay_model(
+        "exponential", mean=expected_delay, affected=range(num_delayed)
+    )
     trace = DelayTrace.record(model, n, cfg.num_steps, rng)
 
     # Decoders are only built when tracing asks for recovery numbers;

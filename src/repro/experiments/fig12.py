@@ -30,10 +30,10 @@ from ..analysis.reporting import Table
 from ..analysis.stats import summarize_trials
 from ..core.scheme import make_placement
 from ..engine.spec import make_strategy
+from ..env import delay_model_from, make_delay_model
 from ..parallel import PointTask, SweepExecutor
 from ..simulation.cluster import ClusterSimulator
-from ..straggler.models import ExponentialDelay
-from ..straggler.traces import DelayTrace, TraceReplayModel
+from ..straggler.traces import DelayTrace
 from ..training.datasets import build_batch_streams, make_cifar_like, partition_dataset
 from ..training.models import MLPClassifier
 from ..training.optimizers import SGD
@@ -79,7 +79,7 @@ def _run_one(
     cluster = ClusterSimulator(
         num_workers=cfg.num_workers,
         partitions_per_worker=strategy.placement.partitions_per_worker,
-        delay_model=TraceReplayModel(trace),
+        delay_model=delay_model_from(trace),
         rng=np.random.default_rng(cfg.seed),
     )
     trainer = DistributedTrainer(
@@ -132,8 +132,10 @@ def _fig12_cell(cfg: Fig12Config, wait_for: int) -> List[TrainingPoint]:
     for trial in range(cfg.num_trials):
         trial_seed = cfg.seed + 1000 * trial
         trace = DelayTrace.record(
-            ExponentialDelay(
-                cfg.expected_delay, affected=range(cfg.num_straggling)
+            make_delay_model(
+                "exponential",
+                mean=cfg.expected_delay,
+                affected=range(cfg.num_straggling),
             ),
             n, cfg.max_steps, np.random.default_rng(trial_seed),
         )

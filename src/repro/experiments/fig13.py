@@ -25,10 +25,10 @@ from ..analysis.recovery import monte_carlo_recovery
 from ..analysis.reporting import Table
 from ..core.hybrid import HybridRepetition
 from ..engine.spec import make_strategy
+from ..env import delay_model_from, make_delay_model
 from ..parallel import PointTask, SweepExecutor
 from ..simulation.cluster import ClusterSimulator
-from ..straggler.models import ExponentialDelay
-from ..straggler.traces import DelayTrace, TraceReplayModel
+from ..straggler.traces import DelayTrace
 from ..training.datasets import build_batch_streams, make_cifar_like, partition_dataset
 from ..training.models import MLPClassifier
 from ..training.optimizers import SGD
@@ -68,7 +68,7 @@ def _fig13_cell(cfg: Fig13Config, c1: int) -> HRPoint:
     partitions = partition_dataset(dataset, n, seed=cfg.seed + 1)
     streams = build_batch_streams(partitions, cfg.batch_size, seed=cfg.seed + 2)
     trace = DelayTrace.record(
-        ExponentialDelay(1.0),
+        make_delay_model("exponential", mean=1.0),
         n, cfg.num_steps, np.random.default_rng(cfg.seed + 3),
     )
 
@@ -89,7 +89,7 @@ def _fig13_cell(cfg: Fig13Config, c1: int) -> HRPoint:
     cluster = ClusterSimulator(
         num_workers=n,
         partitions_per_worker=placement.partitions_per_worker,
-        delay_model=TraceReplayModel(trace),
+        delay_model=delay_model_from(trace),
         rng=np.random.default_rng(cfg.seed),
     )
     trainer = DistributedTrainer(
@@ -134,7 +134,7 @@ def fig13_tables(
 
     recovery = Table(
         title=(
-            f"Fig 13(a) — recovered gradients vs c1, "
+            "Fig 13(a) — recovered gradients vs c1, "
             f"HR({cfg.num_workers}, c1, {cfg.total_c}-c1), w={cfg.wait_for}"
         ),
         columns=["c1", "c2", "mean recovered partitions", "% of gradients"],

@@ -33,10 +33,11 @@ import numpy as np
 
 from ..core.decoders import decoder_for
 from ..core.placement import Placement
+from ..env import make_compute_model, make_delay_model, make_network_model
 from ..exceptions import ConfigurationError, SimulationError
 from ..simulation.cluster import ComputeModel
 from ..simulation.network import NetworkModel
-from ..straggler.models import DelayModel, NoDelay
+from ..straggler.models import DelayModel
 
 
 @dataclass(frozen=True)
@@ -65,9 +66,9 @@ class MultiMessageRound:
 
             placement = as_placement(placement)
         self._placement = placement
-        self._compute = compute if compute is not None else ComputeModel()
-        self._network = network if network is not None else NetworkModel()
-        self._delays = delay_model if delay_model is not None else NoDelay()
+        self._compute = compute if compute is not None else make_compute_model()
+        self._network = network if network is not None else make_network_model()
+        self._delays = delay_model if delay_model is not None else make_delay_model("none")
         self._elements = gradient_elements
         self._rng = rng if rng is not None else np.random.default_rng()
 
@@ -165,9 +166,9 @@ def recovery_vs_deadline(
     """
     if not deadlines:
         raise ConfigurationError("need at least one deadline")
-    compute = compute if compute is not None else ComputeModel()
-    network = network if network is not None else NetworkModel()
-    delay_model = delay_model if delay_model is not None else NoDelay()
+    compute = compute if compute is not None else make_compute_model()
+    network = network if network is not None else make_network_model()
+    delay_model = delay_model if delay_model is not None else make_delay_model("none")
 
     c = placement.partitions_per_worker
     n = placement.num_workers

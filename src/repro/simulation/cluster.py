@@ -42,6 +42,7 @@ from .network import NetworkModel
 from .policies import WaitOutcome, WaitPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..env.environment import Environment
     from ..obs.tracer import RoundTracer
 
 
@@ -117,6 +118,7 @@ class ClusterSimulator:
         failure_model: FailureModel | None = None,
         contended_link: ContendedUploadModel | None = None,
         tracer: "RoundTracer | None" = None,
+        environment: "Environment | None" = None,
     ):
         if num_workers <= 0:
             raise ConfigurationError(
@@ -124,9 +126,31 @@ class ClusterSimulator:
             )
         if partitions_per_worker <= 0:
             raise ConfigurationError(
-                f"partitions_per_worker must be positive, "
+                "partitions_per_worker must be positive, "
                 f"got {partitions_per_worker}"
             )
+        if environment is not None:
+            given = [
+                name
+                for name, value in (
+                    ("compute", compute),
+                    ("network", network),
+                    ("delay_model", delay_model),
+                    ("failure_model", failure_model),
+                    ("contended_link", contended_link),
+                )
+                if value is not None
+            ]
+            if given:
+                raise ConfigurationError(
+                    "environment= bundles every model layer; drop the "
+                    f"individual argument(s) {', '.join(given)}"
+                )
+            compute = environment.compute
+            network = environment.network
+            delay_model = environment.delay
+            failure_model = environment.failure
+            contended_link = environment.contention
         self._n = num_workers
         self._c = partitions_per_worker
         self._compute = compute if compute is not None else ComputeModel()
@@ -177,22 +201,31 @@ class ClusterSimulator:
         Crashed/dropped workers (``failure_model``) produce no arrival;
         with a ``contended_link`` the uploads fair-share the master's
         ingress bandwidth instead of transferring independently.
+
+        The round is drawn in two batches: all alive checks (worker
+        order), then one :meth:`DelayModel.sample_round` over the
+        survivors — a single vectorized draw for the vectorizable
+        families instead of ``n`` scalar ones.
         """
         start = self._clock
         broadcast = self._network.broadcast_time(
             self._gradient_elements, self._n
         )
-        upload_starts = {}
-        for worker in range(self._n):
-            if not self._failures.is_alive(worker, step, self._rng):
-                continue
-            compute_t = self._compute.step_time(self._c)
-            straggle_t = self._delays.sample(worker, step, self._rng)
-            upload_starts[worker] = start + broadcast + compute_t + straggle_t
-        if not upload_starts:
+        alive = [
+            worker
+            for worker in range(self._n)
+            if self._failures.is_alive(worker, step, self._rng)
+        ]
+        if not alive:
             raise SimulationError(
                 f"step {step}: every worker failed; nothing to wait for"
             )
+        compute_t = self._compute.step_time(self._c)
+        straggles = self._delays.sample_round(alive, step, self._rng)
+        upload_starts = {
+            worker: start + broadcast + compute_t + float(straggle_t)
+            for worker, straggle_t in zip(alive, straggles)
+        }
 
         if self._link is not None:
             contended = self._link.round_arrivals(

@@ -55,6 +55,12 @@ def fair_share_finish_times(
         if s == 0.0:
             finish[i] = float(start_times[i])
             del remaining[i]
+    # Done-threshold per flow: relative, because `rate * (bytes/rate)`
+    # can round a hair below `bytes`, leaving a residual above any
+    # absolute epsilon whose drain time then underflows `now + dt`
+    # (a permanent stall).  1e-9 relative is far below one float ulp
+    # of any realistic finish-time difference.
+    tolerance = {i: max(1e-12, 1e-9 * float(s)) for i, s in enumerate(sizes)}
 
     pending = sorted(
         (float(start_times[i]), i) for i in remaining
@@ -83,8 +89,14 @@ def fair_share_finish_times(
         done = []
         for i in active:
             remaining[i] -= drained
-            if remaining[i] <= 1e-12:
+            if remaining[i] <= tolerance[i]:
                 done.append(i)
+        if not done and next_event == now:
+            # Zero time elapsed and nothing finished: the soonest
+            # finisher's drain time underflowed the clock.  Finish it
+            # now rather than loop forever.
+            stuck = min(active, key=lambda i: remaining[i])
+            done.append(stuck)
         for i in done:
             finish[i] = next_event
             active.discard(i)

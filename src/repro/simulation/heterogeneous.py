@@ -14,6 +14,7 @@ from typing import Dict, Mapping, Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..straggler.models import DelayModel
 from .cluster import ComputeModel
 
 
@@ -90,7 +91,7 @@ def lognormal_speed_profile(
     }
 
 
-class HeterogeneousDelayAdapter:
+class HeterogeneousDelayAdapter(DelayModel):
     """Expose heterogeneous *compute* as a DelayModel-compatible extra.
 
     The homogeneous :class:`~repro.simulation.ClusterSimulator` charges
@@ -105,7 +106,7 @@ class HeterogeneousDelayAdapter:
     ):
         if partitions_per_worker <= 0:
             raise ConfigurationError(
-                f"partitions_per_worker must be positive, "
+                "partitions_per_worker must be positive, "
                 f"got {partitions_per_worker}"
             )
         self._model = model

@@ -16,7 +16,9 @@ DET       ``DET001`` module-level RNG, ``DET002`` wall-clock reads,
 TIME      ``TIME001`` mixed absolute/step-relative arithmetic,
           ``TIME002`` undocumented time units
 REG       ``REG001``/``REG002`` strategies/backends built outside the
-          registries, ``REG003`` factory signature round-trip
+          registries, ``REG003`` factory signature round-trip,
+          ``REG004`` placements outside the placement registry,
+          ``REG005`` environment models outside the env registry
 SPEC      ``SPEC001`` infeasible spec files, ``SPEC002`` infeasible
           spec literals
 PAR       ``PAR001`` arithmetic per-task seeds at a process-pool

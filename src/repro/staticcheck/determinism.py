@@ -107,8 +107,8 @@ def check_module_rng(ctx: PythonContext, rule: Rule) -> List[Finding]:
                     findings.append(ctx.finding(
                         rule, node,
                         f"`from {node.module} import {alias.name}` pulls in "
-                        f"global-state randomness; use "
-                        f"np.random.default_rng(seed)",
+                        "global-state randomness; use "
+                        "np.random.default_rng(seed)",
                     ))
     for call in _calls(ctx.tree):
         dotted = dotted_name(call.func)
@@ -121,7 +121,7 @@ def check_module_rng(ctx: PythonContext, rule: Rule) -> List[Finding]:
                 findings.append(ctx.finding(
                     rule, call,
                     f"np.random.{attr} uses the global numpy RNG; use a "
-                    f"seeded np.random.default_rng(seed) generator",
+                    "seeded np.random.default_rng(seed) generator",
                 ))
         elif imports_stdlib_random and dotted.startswith("random."):
             attr = dotted[len("random."):]
@@ -129,7 +129,7 @@ def check_module_rng(ctx: PythonContext, rule: Rule) -> List[Finding]:
                 findings.append(ctx.finding(
                     rule, call,
                     f"random.{attr} uses hidden global state; use a seeded "
-                    f"np.random.default_rng(seed) generator",
+                    "np.random.default_rng(seed) generator",
                 ))
     return findings
 
@@ -152,7 +152,7 @@ def check_wall_clock(ctx: PythonContext, rule: Rule) -> List[Finding]:
             findings.append(ctx.finding(
                 rule, call,
                 f"{dotted}() reads the wall clock; simulated components "
-                f"must take time from the simulator clock",
+                "must take time from the simulator clock",
             ))
     return findings
 
@@ -219,7 +219,7 @@ def check_ordering_hazards(ctx: PythonContext, rule: Rule) -> List[Finding]:
                 findings.append(ctx.finding(
                     rule, node,
                     f"{func.id}(set(...)) materialises hash order; use "
-                    f"sorted(set(...))",
+                    "sorted(set(...))",
                 ))
             dotted = dotted_name(func)
             if id(node) in sorted_args:
@@ -228,7 +228,7 @@ def check_ordering_hazards(ctx: PythonContext, rule: Rule) -> List[Finding]:
                 findings.append(ctx.finding(
                     rule, node,
                     f"{dotted}() returns files in filesystem order; wrap "
-                    f"in sorted()",
+                    "in sorted()",
                 ))
             elif (
                 isinstance(func, ast.Attribute)
@@ -237,7 +237,7 @@ def check_ordering_hazards(ctx: PythonContext, rule: Rule) -> List[Finding]:
                 findings.append(ctx.finding(
                     rule, node,
                     f".{func.attr}() yields entries in filesystem order; "
-                    f"wrap in sorted()",
+                    "wrap in sorted()",
                 ))
         elif isinstance(node, ast.For):
             it = node.iter

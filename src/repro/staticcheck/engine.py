@@ -404,7 +404,7 @@ def run_check(
         if unknown:
             raise StaticCheckError(
                 f"unknown rule id(s): {', '.join(sorted(unknown))}; "
-                f"see `repro check --list-rules`"
+                "see `repro check --list-rules`"
             )
     result = CheckResult()
     for path in iter_source_files(paths):

@@ -135,6 +135,6 @@ def check_pool_int_seed(ctx: PythonContext, rule: Rule) -> List[Finding]:
                     rule, expr,
                     f"seed arithmetic ({ast.unparse(expr)}) crosses the "
                     f".{func.attr}() pool boundary; derive per-task "
-                    f"seeds with SeedSequence.spawn in the parent",
+                    "seeds with SeedSequence.spawn in the parent",
                 ))
     return findings

@@ -24,6 +24,12 @@ round-tripping.  These rules keep the library honest:
   constructors); everything else goes through
   ``make_placement(<family>, ...)`` so registry, spec, CLI and
   decode-cache-key construction stay identical.
+* ``REG005`` — an environment model (delay / failure / compute /
+  network / contention class) constructed in library code outside the
+  environment registry (:mod:`repro.env`) or the defining packages
+  (``repro/straggler``, ``repro/simulation``); everything else goes
+  through ``make_delay_model(<kind>, ...)`` and friends so registry,
+  spec, CLI and fingerprint construction stay identical.
 
 Examples and tests are intentionally out of scope: demonstrating the
 low-level object API is part of their job.
@@ -41,6 +47,19 @@ from .findings import Finding
 _STRATEGY_RE = re.compile(r"^[A-Z]\w*Strategy$")
 _BACKEND_RE = re.compile(r"^[A-Z]\w*Backend$")
 _PLACEMENT_RE = re.compile(r"^[A-Z]\w*(Repetition|Placement)$")
+
+#: Every class the environment registry builds — the REG005 targets.
+#: Kept in sync with the ``@register_*`` factories in
+#: ``repro/env/registry.py`` (pinned by ``tests/test_staticcheck``).
+ENV_MODEL_CLASSES = frozenset({
+    "NoDelay", "ExponentialDelay", "ShiftedExponentialDelay",
+    "ParetoDelay", "BernoulliStraggler", "PersistentStragglers",
+    "DiurnalDelay", "BurstyDelay", "MixtureDelay", "TraceReplayModel",
+    "NoFailures", "PermanentCrashes", "TransientDropouts",
+    "CompositeFailures",
+    "ComputeModel", "HeterogeneousComputeModel",
+    "NetworkModel", "ContendedUploadModel",
+})
 
 #: Only library code is policed (tests/examples teach the object API).
 LIBRARY_SCOPE = ("repro/",)
@@ -90,8 +109,8 @@ def check_strategy_construction(
         findings.append(ctx.finding(
             rule, node,
             f"{name}(...) constructed directly; library code should go "
-            f"through make_strategy(<scheme>, ...) so registry, spec "
-            f"and CLI construction stay identical",
+            "through make_strategy(<scheme>, ...) so registry, spec "
+            "and CLI construction stay identical",
         ))
     return findings
 
@@ -130,8 +149,8 @@ def check_backend_construction(
         findings.append(ctx.finding(
             rule, node,
             f"{name}(...) constructed directly; register a backend "
-            f"factory with @register_backend and build through the "
-            f"BACKEND_REGISTRY",
+            "factory with @register_backend and build through the "
+            "BACKEND_REGISTRY",
         ))
     return findings
 
@@ -169,8 +188,50 @@ def check_placement_construction(
         findings.append(ctx.finding(
             rule, node,
             f"{name}(...) constructed directly; library code should go "
-            f"through make_placement(<family>, ...) so registry, spec, "
-            f"CLI and decode-cache-key construction stay identical",
+            "through make_placement(<family>, ...) so registry, spec, "
+            "CLI and decode-cache-key construction stay identical",
+        ))
+    return findings
+
+
+@python_rule(
+    "REG005",
+    name="env-model-outside-registry",
+    description=(
+        "Library code must obtain environment models (delay/failure/"
+        "compute/network/contention) via make_delay_model & friends / "
+        "the ENV_REGISTRY so CLI, specs, library code and environment "
+        "fingerprints agree on construction."
+    ),
+    scope=LIBRARY_SCOPE,
+    exclude=(
+        "repro/straggler/",   # the delay/failure class definitions
+        "repro/simulation/",  # compute/network/contention definitions
+        "repro/env/",         # the sanctioned construction layer
+        "staticcheck/",       # this checker's own pattern tables
+    ),
+)
+def check_env_model_construction(
+    ctx: PythonContext, rule: Rule
+) -> List[Finding]:
+    """Flag direct environment-model constructions in library code."""
+    findings = []
+    local_classes = _defined_class_names(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = terminal_name(node.func)
+        if name is None or name not in ENV_MODEL_CLASSES:
+            continue
+        if name in local_classes:
+            continue  # a module may build instances of its own classes
+        findings.append(ctx.finding(
+            rule, node,
+            f"{name}(...) constructed directly; library code should go "
+            "through make_delay_model / make_failure_model / "
+            "make_compute_model / make_network_model / "
+            "make_contention_model so registry, spec, CLI and "
+            "fingerprint construction stay identical",
         ))
     return findings
 
@@ -198,8 +259,8 @@ def check_factory_signatures(ctx: PythonContext, rule: Rule) -> List[Finding]:
                 findings.append(ctx.finding(
                     rule, node,
                     f"scheme factory {node.name}() has no **params "
-                    f"catch-all, so ExperimentSpec.scheme_params cannot "
-                    f"round-trip through it; add **params",
+                    "catch-all, so ExperimentSpec.scheme_params cannot "
+                    "round-trip through it; add **params",
                 ))
             else:
                 accepted = {
@@ -217,7 +278,7 @@ def check_factory_signatures(ctx: PythonContext, rule: Rule) -> List[Finding]:
                     findings.append(ctx.finding(
                         rule, node,
                         f"scheme factory {node.name}() does not accept "
-                        f"num_workers, which make_strategy always passes",
+                        "num_workers, which make_strategy always passes",
                     ))
         if "register_backend" in decorators:
             positional = [*node.args.posonlyargs, *node.args.args]
@@ -225,6 +286,6 @@ def check_factory_signatures(ctx: PythonContext, rule: Rule) -> List[Finding]:
                 findings.append(ctx.finding(
                     rule, node,
                     f"backend factory {node.name}() must take exactly "
-                    f"one argument (the BuildContext)",
+                    "one argument (the BuildContext)",
                 ))
     return findings

@@ -81,7 +81,7 @@ def spec_feasibility_problems(
     n = _as_int(data.get("num_workers"))
     if n is None or n < 1:
         problems.append(
-            f"num_workers must be a positive integer, got "
+            "num_workers must be a positive integer, got "
             f"{data.get('num_workers')!r}"
         )
         return problems  # everything below needs a valid n
@@ -90,8 +90,8 @@ def spec_feasibility_problems(
     c_known = "partitions_per_worker" not in unresolved
     if c_known and (c is None or not 1 <= c <= n):
         problems.append(
-            f"partitions_per_worker must satisfy 1 <= c <= n "
-            f"(each worker stores c of the n partitions); got "
+            "partitions_per_worker must satisfy 1 <= c <= n "
+            "(each worker stores c of the n partitions); got "
             f"c={data.get('partitions_per_worker')!r}, n={n}"
         )
         c_known = False
@@ -127,6 +127,25 @@ def spec_feasibility_problems(
         ))
 
     # ------------------------------------------------------------------
+    # Environment sections — dispatched through the environment
+    # registry's static hooks, so unknown kinds get the same
+    # did-you-mean message ``repro run`` raises and parameter names are
+    # checked against the factory signatures.
+    from ..env import model_spec_problems
+
+    for layer in ("delay", "failure", "compute", "network", "contention"):
+        if layer in unresolved:
+            continue
+        section = data.get(layer)
+        if not section:
+            continue
+        if layer == "delay" and isinstance(section, Mapping):
+            # The engine defaults a kind-less delay section to
+            # exponential (the paper's model); validate the same way.
+            section = {"kind": "exponential", **section}
+        problems.extend(model_spec_problems(layer, section, section=layer))
+
+    # ------------------------------------------------------------------
     # wait_for sanity (Theorems 10/11 bound α(G[W']) for 1 <= w <= n).
     if "wait_for" not in unresolved:
         w = data.get("wait_for")
@@ -134,7 +153,7 @@ def spec_feasibility_problems(
             if scheme in WAITING_SCHEMES:
                 problems.append(
                     f"scheme {scheme!r} waits for w workers each round; "
-                    f"set wait_for (1 <= w <= n)"
+                    "set wait_for (1 <= w <= n)"
                 )
             elif data.get("rule") == "adaptive":
                 problems.append(
@@ -146,8 +165,8 @@ def spec_feasibility_problems(
             if w is None or not 1 <= w <= n:
                 problems.append(
                     f"wait_for must satisfy 1 <= w <= n = {n} (the "
-                    f"Theorem 10/11 recovery bounds are defined only "
-                    f"there, and more than n workers can never arrive); "
+                    "Theorem 10/11 recovery bounds are defined only "
+                    "there, and more than n workers can never arrive); "
                     f"got {data.get('wait_for')!r}"
                 )
     return problems

@@ -119,7 +119,7 @@ def check_mixed_origins(ctx: PythonContext, rule: Rule) -> List[Finding]:
                 findings.append(ctx.finding(
                     rule, node,
                     f"comparison mixes time origins: {names}; convert "
-                    f"via step_start before comparing",
+                    "via step_start before comparing",
                 ))
         elif isinstance(node, ast.BinOp):
             left, right = _origin(node.left), _origin(node.right)
@@ -131,8 +131,8 @@ def check_mixed_origins(ctx: PythonContext, rule: Rule) -> List[Finding]:
                 findings.append(ctx.finding(
                     rule, node,
                     f"{_describe(node.left)} + {_describe(node.right)} "
-                    f"adds two absolute clock readings; subtract to get "
-                    f"a duration instead",
+                    "adds two absolute clock readings; subtract to get "
+                    "a duration instead",
                 ))
             elif (
                 isinstance(node.op, ast.Sub)
@@ -142,8 +142,8 @@ def check_mixed_origins(ctx: PythonContext, rule: Rule) -> List[Finding]:
                 findings.append(ctx.finding(
                     rule, node,
                     f"{_describe(node.left)} - {_describe(node.right)} "
-                    f"subtracts an absolute clock reading from a "
-                    f"step-relative value; did you mean the opposite "
+                    "subtracts an absolute clock reading from a "
+                    "step-relative value; did you mean the opposite "
                     f"order, or `step_start + {_describe(node.left)}`?",
                 ))
         elif isinstance(node, ast.Assign) and len(node.targets) == 1:
@@ -159,7 +159,7 @@ def check_mixed_origins(ctx: PythonContext, rule: Rule) -> List[Finding]:
                     f"assigning {value_origin} value "
                     f"{_describe(node.value)!r} to {target_origin} name "
                     f"{_describe(node.targets[0])!r}; convert via "
-                    f"step_start",
+                    "step_start",
                 ))
     return findings
 
@@ -208,8 +208,8 @@ def check_documented_units(ctx: PythonContext, rule: Rule) -> List[Finding]:
                 rule, node,
                 f"{node.name}() takes time-valued parameter(s) "
                 f"{', '.join(repr(p) for p in params)} but neither its "
-                f"docstring nor the class docstring states the unit "
-                f"(seconds) and origin (absolute vs step-relative)",
+                "docstring nor the class docstring states the unit "
+                "(seconds) and origin (absolute vs step-relative)",
             ))
 
         def visit_FunctionDef(self, node: ast.FunctionDef) -> None:

@@ -40,11 +40,32 @@ class DelayModel(abc.ABC):
         must override.  Called by :meth:`ClusterSimulator.reset`.
         """
 
+    def sample_round(
+        self, workers: Sequence[int], step: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Delays for a whole round as an array aligned with ``workers``.
+
+        Contract: consumes ``rng`` exactly as per-worker :meth:`sample`
+        calls in ``workers`` order would — bit-for-bit.  Vectorized
+        overrides (exponential & co.) preserve this because numpy's
+        ``Generator`` fills a size-``k`` request by applying the scalar
+        routine ``k`` times, so batched and looped simulation produce
+        identical delay streams.
+        """
+        return np.array(
+            [self.sample(w, step, rng) for w in workers], dtype=float
+        )
+
     def sample_all(
         self, workers: Sequence[int], step: int, rng: np.random.Generator
     ) -> dict[int, float]:
-        """Delays for a whole round, keyed by worker."""
-        return {w: self.sample(w, step, rng) for w in workers}
+        """Delays for a whole round, keyed by worker.
+
+        Shim over :meth:`sample_round` kept for dict-shaped callers.
+        """
+        ordered = list(workers)
+        round_delays = self.sample_round(ordered, step, rng)
+        return {w: float(d) for w, d in zip(ordered, round_delays)}
 
 
 class NoDelay(DelayModel):
@@ -52,6 +73,11 @@ class NoDelay(DelayModel):
 
     def sample(self, worker: int, step: int, rng: np.random.Generator) -> float:
         return 0.0
+
+    def sample_round(
+        self, workers: Sequence[int], step: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.zeros(len(list(workers)))
 
 
 class ExponentialDelay(DelayModel):
@@ -84,6 +110,24 @@ class ExponentialDelay(DelayModel):
             return 0.0
         return float(rng.exponential(self._mean))
 
+    def sample_round(
+        self, workers: Sequence[int], step: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        ordered = list(workers)
+        out = np.zeros(len(ordered))
+        if self._mean == 0.0:
+            return out
+        if self._affected is None:
+            hit = np.arange(len(ordered))
+        else:
+            hit = np.array(
+                [i for i, w in enumerate(ordered) if w in self._affected],
+                dtype=int,
+            )
+        if hit.size:
+            out[hit] = rng.exponential(self._mean, size=hit.size)
+        return out
+
 
 class ShiftedExponentialDelay(DelayModel):
     """Constant floor plus exponential tail — the classic latency model."""
@@ -99,6 +143,15 @@ class ShiftedExponentialDelay(DelayModel):
     def sample(self, worker: int, step: int, rng: np.random.Generator) -> float:
         tail = float(rng.exponential(self._mean)) if self._mean > 0 else 0.0
         return self._shift + tail
+
+    def sample_round(
+        self, workers: Sequence[int], step: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        count = len(list(workers))
+        out = np.full(count, self._shift)
+        if self._mean > 0 and count:
+            out += rng.exponential(self._mean, size=count)
+        return out
 
 
 class ParetoDelay(DelayModel):
@@ -117,6 +170,14 @@ class ParetoDelay(DelayModel):
 
     def sample(self, worker: int, step: int, rng: np.random.Generator) -> float:
         return self._scale * float(rng.pareto(self._alpha))
+
+    def sample_round(
+        self, workers: Sequence[int], step: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        count = len(list(workers))
+        if not count:
+            return np.zeros(0)
+        return self._scale * rng.pareto(self._alpha, size=count)
 
 
 class BernoulliStraggler(DelayModel):
@@ -204,6 +265,11 @@ class DiurnalDelay(DelayModel):
     def sample(self, worker: int, step: int, rng: np.random.Generator) -> float:
         return self.scale_at(step) * self._base.sample(worker, step, rng)
 
+    def sample_round(
+        self, workers: Sequence[int], step: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return self.scale_at(step) * self._base.sample_round(workers, step, rng)
+
     def reset(self) -> None:
         self._base.reset()
 
@@ -269,7 +335,7 @@ class MixtureDelay(DelayModel):
             )
         total = float(sum(weights))
         if total <= 0 or any(w < 0 for w in weights):
-            raise ConfigurationError(f"weights must be non-negative and sum > 0")
+            raise ConfigurationError("weights must be non-negative and sum > 0")
         self._models = list(models)
         self._weights = np.asarray(weights, dtype=float) / total
 

@@ -150,7 +150,7 @@ class SoftmaxRegressionModel(Model):
     def __init__(self, num_features: int, num_classes: int, seed: int = 0):
         if num_features <= 0 or num_classes < 2:
             raise TrainingError(
-                f"need num_features > 0 and num_classes >= 2, got "
+                "need num_features > 0 and num_classes >= 2, got "
                 f"{num_features}, {num_classes}"
             )
         rng = np.random.default_rng(seed)

@@ -61,7 +61,7 @@ class DistributedTrainer:
         if len(streams) != n:
             raise TrainingError(
                 f"strategy expects {n} partitions, got {len(streams)} "
-                f"batch streams"
+                "batch streams"
             )
         if cluster.num_workers != strategy.placement.num_workers:
             raise TrainingError(

@@ -113,3 +113,49 @@ class TestSimulateCommand:
             "-w", "2", "--steps", "5",
         ]) == 0
         assert "is-sgd" in capsys.readouterr().out
+
+    def test_simulate_delay_kind(self, capsys):
+        assert main([
+            "simulate", "--scheme", "cr", "-n", "4", "-c", "2",
+            "-w", "2", "--steps", "5",
+            "--delay-kind", "pareto",
+            "--delay-param", "alpha=2.5", "--delay-param", "scale=0.3",
+        ]) == 0
+        assert "loss:" in capsys.readouterr().out
+
+    def test_simulate_unknown_delay_kind_did_you_mean(self, capsys):
+        assert main([
+            "simulate", "--scheme", "cr", "-n", "4", "-c", "2",
+            "-w", "2", "--steps", "5", "--delay-kind", "exponentail",
+        ]) == 2
+        assert "exponential" in capsys.readouterr().err
+
+    def test_simulate_bad_delay_param(self, capsys):
+        assert main([
+            "simulate", "--scheme", "cr", "-n", "4", "-c", "2",
+            "-w", "2", "--steps", "5", "--delay-param", "alpha",
+        ]) == 2
+        assert "--delay-param" in capsys.readouterr().err
+
+
+class TestEnvironmentsCommand:
+    def test_catalogue_lists_every_layer(self, capsys):
+        assert main(["environments"]) == 0
+        out = capsys.readouterr().out
+        for token in ("delay", "failure", "compute", "network",
+                      "contention", "exponential", "transient-dropouts",
+                      "fair-share"):
+            assert token in out
+
+    def test_single_model_described_with_params(self, capsys):
+        assert main([
+            "environments", "pareto",
+            "--param", "alpha=2.5", "--param", "scale=0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pareto" in out
+        assert "2.5" in out
+
+    def test_unknown_kind_did_you_mean(self, capsys):
+        assert main(["environments", "exponentail"]) == 2
+        assert "exponential" in capsys.readouterr().err

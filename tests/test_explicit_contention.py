@@ -109,6 +109,14 @@ class TestFairShare:
         for s, f in zip(starts, finishes):
             assert f >= s
 
+    def test_no_stall_on_rounding_residual(self):
+        """Regression: ``rate * (bytes/rate)`` can round a hair below
+        ``bytes``, leaving a residual whose drain time underflows
+        ``now + dt`` — the loop must still terminate."""
+        out = fair_share_finish_times([0.0, 0.1], [40000.0, 40000.0], 1e9)
+        assert out[0] == pytest.approx(4e-05)
+        assert out[1] == pytest.approx(0.10004)
+
     def test_validation(self):
         with pytest.raises(ConfigurationError):
             fair_share_finish_times([0.0], [1.0, 2.0], 1.0)

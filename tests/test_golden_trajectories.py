@@ -50,7 +50,7 @@ def test_engine_shims_match_pre_refactor_goldens(filename, recorder):
     fresh = _roundtrip(recorder())
     assert fresh == _golden(filename), (
         f"{filename}: engine-backed run diverged from the pre-refactor "
-        f"recording"
+        "recording"
     )
 
 

@@ -117,6 +117,60 @@ class TestRoundTrip:
             ExperimentSpec.load(path)
 
 
+class TestEnvironmentSections:
+    def test_env_sections_round_trip(self, tmp_path):
+        spec = _spec(
+            delay={"kind": "pareto", "alpha": 2.5, "scale": 0.3},
+            failure={"kind": "transient-dropouts", "probability": 0.05},
+            compute={"kind": "uniform", "base": 0.05, "per_partition": 0.1},
+            network={"kind": "uniform", "latency": 0.002, "bandwidth": 1e9},
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert ExperimentSpec.load(path) == spec
+
+    def test_contention_section_round_trip(self):
+        spec = _spec(
+            contention={"kind": "fair-share", "capacity_bytes_per_s": 1e9},
+        )
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_failure_section_changes_trajectory(self):
+        healthy = run_spec(_spec(seed=3))
+        crashy = run_spec(_spec(
+            seed=3,
+            failure={"kind": "permanent-crashes", "crashed_workers": [0]},
+        ))
+        assert healthy.loss_curve != crashy.loss_curve
+
+    def test_unknown_env_kind_fails_at_build(self):
+        spec = _spec(failure={"kind": "transiant-dropouts",
+                              "probability": 0.1})
+        with pytest.raises(ConfigurationError, match="transient-dropouts"):
+            build_engine(spec)
+
+    @pytest.mark.parametrize("backend", ["actor", "async-arrival"])
+    def test_non_flat_backends_reject_flat_only_sections(self, backend):
+        spec = _spec(
+            backend=backend,
+            failure={"kind": "transient-dropouts", "probability": 0.1},
+            **({"rule": "async", "wait_for": None, "scheme": "sync-sgd"}
+               if backend == "async-arrival" else {}),
+        )
+        with pytest.raises(ConfigurationError, match="flat backend"):
+            build_engine(spec)
+
+    def test_persistent_legacy_sugar_still_builds(self):
+        """The pre-registry shorthand (stragglers + mean) keeps working
+        through the spec path."""
+        summary = run_spec(_spec(delay={
+            "kind": "persistent", "stragglers": [0],
+            "mean": 2.0, "background_mean": 0.1,
+        }))
+        assert summary.num_steps == 5
+
+
 class TestRules:
     @pytest.mark.parametrize("rule, params", [
         ("sync", {}),

@@ -327,6 +327,63 @@ class TestRegistryRules:
             scope_path="src/repro/experiments/foo.py",
         ) == []
 
+    def test_reg005_direct_delay_construction(self):
+        findings = check(
+            "m = ExponentialDelay(1.5)\n",
+            scope_path="src/repro/experiments/foo.py",
+        )
+        assert rules_of(findings) == ["REG005"]
+        assert "make_delay_model" in findings[0].message
+
+    def test_reg005_direct_failure_and_network_construction(self):
+        findings = check(
+            "f = TransientDropouts(0.1)\nn = NetworkModel()\n",
+            scope_path="src/repro/engine/foo.py",
+        )
+        assert rules_of(findings) == ["REG005", "REG005"]
+
+    def test_reg005_defining_packages_and_registry_exempt(self):
+        src = "m = ExponentialDelay(1.5)\n"
+        assert check(src, scope_path="src/repro/straggler/models.py") == []
+        assert check(src, scope_path="src/repro/simulation/cluster.py") == []
+        assert check(src, scope_path="src/repro/env/registry.py") == []
+        assert check(src, scope_path="tests/test_foo.py") == []
+        assert check(src, scope_path="examples/demo.py") == []
+
+    def test_reg005_own_class_exempt(self):
+        assert check(
+            """
+            class NoDelay:
+                pass
+
+            m = NoDelay()
+            """,
+            scope_path="src/repro/experiments/foo.py",
+        ) == []
+
+    def test_reg005_noqa_opt_out(self):
+        assert check(
+            "m = ExponentialDelay(1.5)  # repro: noqa[REG005] doc example\n",
+            scope_path="src/repro/experiments/foo.py",
+        ) == []
+
+    def test_reg005_class_list_matches_env_registry(self):
+        """Every registry-buildable class name is policed, and the rule's
+        table names no class the env registry cannot build."""
+        from repro.env import ENV_REGISTRY
+        from repro.staticcheck.registries import ENV_MODEL_CLASSES
+
+        buildable = set()
+        for families in ENV_REGISTRY.values():
+            for family in families.values():
+                try:
+                    model = family.build()
+                except Exception:
+                    continue  # requires parameters; class named below
+                if model is not None:
+                    buildable.add(type(model).__name__)
+        assert buildable <= ENV_MODEL_CLASSES
+
     def test_reg003_scheme_factory_missing_kwargs(self):
         findings = check(
             """
@@ -646,4 +703,4 @@ class TestFullRepo:
     def test_shipped_spec_files_are_feasible(self):
         result = run_check([REPO / "examples" / "specs"])
         assert result.findings == []
-        assert result.num_files == 3
+        assert result.num_files == 4
