@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint static test bench bench-placement bench-environment trace-demo
+.PHONY: check lint static static-fast test bench bench-placement bench-environment bench-staticcheck trace-demo
 
 check: lint static test
 
@@ -17,6 +17,11 @@ lint:
 
 static:
 	PYTHONPATH=src $(PYTHON) -m repro check src tests examples README.md docs
+
+# Same gate with the incremental cache (.repro-check-cache.json):
+# warm runs re-analyse only edited files and their importers.
+static-fast:
+	PYTHONPATH=src $(PYTHON) -m repro check src tests examples README.md docs --cache
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -38,6 +43,12 @@ bench-placement:
 # per-worker loop (with bit-identical streams) on a 64-worker round.
 bench-environment:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_environment.py --smoke
+
+# Static-analysis benchmark; writes BENCH_staticcheck.json and asserts
+# the warm incremental-cache run is >=5x faster than cold with
+# bit-identical findings.
+bench-staticcheck:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_staticcheck.py
 
 trace-demo:
 	PYTHONPATH=src $(PYTHON) examples/traced_run.py

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Benchmark the incremental static-analysis cache.
+
+Runs ``repro check`` over the repository three times — cold (empty
+cache), warm (nothing changed) and warm-after-edit (one core module
+touched) — and asserts the contract the cache exists for:
+
+* the warm no-change run is at least ``MIN_WARM_SPEEDUP``x faster than
+  the cold run;
+* warm findings are **bit-identical** to cold findings;
+* the after-edit run re-analyses the edited file (and its importers)
+  but still hits the cache for everything else.
+
+Writes ``BENCH_staticcheck.json`` (the perf-trajectory data point CI
+archives per commit) and exits non-zero on any violated floor.
+"""
+
+import json
+import os
+import pathlib
+import platform
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import numpy as np  # noqa: E402  (environment fingerprint only)
+
+from repro.staticcheck import AnalysisCache, run_check  # noqa: E402
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: the paths `make static` gates (the realistic workload).
+PATHS = ["src", "tests", "examples", "README.md", "docs"]
+
+#: warm no-change run must beat the cold run by at least this factor.
+MIN_WARM_SPEEDUP = 5.0
+
+
+def finding_dicts(result):
+    """Findings as sorted JSON-able dicts (for bit-identity checks)."""
+    return [f.to_dict() for f in sorted(result.findings)]
+
+
+def timed_run(cache_path):
+    started = time.perf_counter()
+    result = run_check(PATHS, cache=AnalysisCache(cache_path))
+    return time.perf_counter() - started, result
+
+
+def main(argv=None) -> int:
+    os.chdir(REPO)
+    out = pathlib.Path("BENCH_staticcheck.json")
+    failures = []
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = pathlib.Path(tmp) / "cache.json"
+
+        cold_s, cold = timed_run(cache_path)
+        warm_s, warm = timed_run(cache_path)
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        identical = finding_dicts(cold) == finding_dicts(warm)
+
+        print(
+            f"cold {cold_s:6.2f}s ({cold.num_files} files, "
+            f"{cold.project_modules} modules)   "
+            f"warm {warm_s:6.2f}s   speedup {speedup:.1f}x   "
+            f"identical findings: {identical}"
+        )
+        if speedup < MIN_WARM_SPEEDUP:
+            failures.append(
+                f"warm run is only {speedup:.1f}x faster than cold "
+                f"(floor {MIN_WARM_SPEEDUP}x)"
+            )
+        if not identical:
+            failures.append("warm findings differ from cold findings")
+        if warm.cache_misses != 0:
+            failures.append(
+                f"warm no-change run missed the cache "
+                f"{warm.cache_misses} times"
+            )
+
+        # Touch one core module (comment-only edit: content hash moves,
+        # findings must not) and measure the incremental run.
+        target = REPO / "src" / "repro" / "core" / "exact_decoder.py"
+        original = target.read_text(encoding="utf-8")
+        try:
+            target.write_text(
+                original + "\n# bench_staticcheck touch\n",
+                encoding="utf-8",
+            )
+            edit_s, edited = timed_run(cache_path)
+        finally:
+            target.write_text(original, encoding="utf-8")
+        print(
+            f"after-edit {edit_s:6.2f}s   "
+            f"hits {edited.cache_hits}, misses {edited.cache_misses}"
+        )
+        if edited.cache_misses == 0:
+            failures.append("edited file did not invalidate its entry")
+        if edited.cache_hits == 0:
+            failures.append("after-edit run hit nothing (no reuse)")
+        if finding_dicts(edited) != finding_dicts(cold):
+            failures.append("comment-only edit changed the findings")
+
+    report = {
+        "bench": "staticcheck",
+        "paths": PATHS,
+        "min_warm_speedup": MIN_WARM_SPEEDUP,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "warm_speedup": speedup,
+        "warm_findings_identical": identical,
+        "after_edit_seconds": edit_s,
+        "after_edit_cache_hits": edited.cache_hits,
+        "after_edit_cache_misses": edited.cache_misses,
+        "num_files": cold.num_files,
+        "project_modules": cold.project_modules,
+        "num_findings": len(cold.findings),
+        "env": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+        "ok": not failures,
+    }
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

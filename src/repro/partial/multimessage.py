@@ -70,7 +70,9 @@ class MultiMessageRound:
         self._network = network if network is not None else make_network_model()
         self._delays = delay_model if delay_model is not None else make_delay_model("none")
         self._elements = gradient_elements
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # Entropy-seeded fallback is the documented default: callers
+        # wanting replay inject a seeded Generator.
+        self._rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[DET003]
 
     @property
     def placement(self) -> Placement:

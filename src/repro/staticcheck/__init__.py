@@ -23,7 +23,23 @@ SPEC      ``SPEC001`` infeasible spec files, ``SPEC002`` infeasible
           spec literals
 PAR       ``PAR001`` arithmetic per-task seeds at a process-pool
           boundary (use ``SeedSequence.spawn``)
+FLOW      whole-project RNG dataflow: ``FLOW001`` Generator into a
+          cached/batched kernel, ``FLOW002`` Generator/derived seed
+          across a pool dispatch, ``FLOW003`` draw order depending on
+          set iteration
+XREG      cross-module registry completeness: ``XREG001`` missing
+          ``spec_problems``, ``XREG002`` missing golden fingerprint,
+          ``XREG003`` missing docs catalogue row, ``XREG004`` name
+          collisions
+XIMP      import hygiene: ``XIMP001`` cycles, ``XIMP002`` layer
+          violations, ``XIMP003`` stale re-exports
 ========  ==============================================================
+
+The FLOW/XREG/XIMP families run on the whole-project index
+(:mod:`repro.staticcheck.project`) with interprocedural dataflow
+summaries (:mod:`repro.staticcheck.dataflow`); per-file and per-module
+results are cached incrementally (:mod:`repro.staticcheck.cache`) and
+invalidated transitively through the import graph.
 
 Suppress a deliberate exception with ``# repro: noqa[RULE]`` on the
 offending line (always with a justification comment).  See
@@ -31,6 +47,7 @@ offending line (always with a justification comment).  See
 rule.
 """
 
+from .cache import AnalysisCache, DEFAULT_CACHE_PATH
 from .engine import (
     RULE_REGISTRY,
     CheckResult,
@@ -38,13 +55,18 @@ from .engine import (
     StaticCheckError,
     check_source,
     check_spec_mapping,
+    expand_select,
+    iter_markdown_blocks,
     iter_source_files,
     noqa_map,
+    project_rule,
+    project_wide_rule,
     python_rule,
     run_check,
     spec_rule,
 )
 from .findings import Finding, Severity
+from .project import ModuleInfo, ProjectContext, ProjectIndex
 from .report import (
     JSON_SCHEMA_VERSION,
     render_catalogue,
@@ -56,19 +78,29 @@ from .specrules import spec_feasibility_problems
 
 # Importing the rule modules registers their rules.
 from . import determinism, parallelism, registries, specrules, timeunits  # noqa: F401
+from . import flowrules, ximports, xreg  # noqa: F401
 
 __all__ = [
+    "AnalysisCache",
+    "DEFAULT_CACHE_PATH",
     "RULE_REGISTRY",
     "CheckResult",
     "Finding",
     "JSON_SCHEMA_VERSION",
+    "ModuleInfo",
+    "ProjectContext",
+    "ProjectIndex",
     "Rule",
     "Severity",
     "StaticCheckError",
     "check_source",
     "check_spec_mapping",
+    "expand_select",
+    "iter_markdown_blocks",
     "iter_source_files",
     "noqa_map",
+    "project_rule",
+    "project_wide_rule",
     "python_rule",
     "render_catalogue",
     "render_json",

@@ -1,0 +1,174 @@
+"""Autofixes for the mechanical rules (``repro check --fix``).
+
+Fixes are deliberately conservative: single-line, textual, applied at
+the finding's location, and only where the rewrite is unambiguous —
+everything else stays a finding for a human.  Because every fix
+removes its finding, a second ``--fix`` run is a no-op (idempotency is
+asserted by the tests).
+
+What gets fixed:
+
+* ``DET003`` — ``default_rng()`` → ``default_rng(0)``, in docs,
+  examples and markdown snippets only (library code needs a design
+  decision, not a constant);
+* ``DET004`` — ``list(set(...))`` / ``tuple(set(...))`` →
+  ``sorted(set(...))``, exactly the rewrite the rule prescribes;
+* ``REG005`` — zero-argument environment-model constructions rewritten
+  through the registry (``NoDelay()`` → ``make_delay_model("none")``)
+  when the module already imports that factory;
+* ``--fix-suppress RULE[,RULE…]`` — append ``# repro: noqa[RULE]``
+  (merging into an existing suppression list) to every line the named
+  rules flag, for freezing deliberate exceptions; a ``TODO`` marker is
+  left so justifications get written.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from .findings import Finding
+
+#: zero-argument constructions with an unambiguous registry spelling.
+_REG005_REWRITES = {
+    "NoDelay": ('make_delay_model("none")', "make_delay_model"),
+    "NoFailures": ('make_failure_model("none")', "make_failure_model"),
+    "ComputeModel": ('make_compute_model("uniform")', "make_compute_model"),
+    "NetworkModel": ('make_network_model("uniform")', "make_network_model"),
+}
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+#: paths where seeding a snippet constant is the right DET003 fix.
+_DOCLIKE = ("docs/", "examples/", ".md")
+
+
+def _doclike(path: str) -> bool:
+    posix = Path(path).as_posix()
+    return posix.endswith(".md") or any(
+        fragment in posix for fragment in ("docs/", "examples/")
+    )
+
+
+def _fix_det003(line: str, finding: Finding) -> Optional[str]:
+    if not _doclike(finding.path):
+        return None
+    fixed = line.replace("default_rng()", "default_rng(0)", 1)
+    return fixed if fixed != line else None
+
+
+def _fix_det004(line: str, finding: Finding) -> Optional[str]:
+    col = max(0, finding.col - 1)
+    for word in ("list", "tuple"):
+        needle = f"{word}(set("
+        at = line.find(needle, col)
+        if at < 0:
+            at = line.find(needle)
+        if at >= 0:
+            return line[:at] + "sorted" + line[at + len(word):]
+    return None
+
+
+def _fix_reg005(line: str, finding: Finding, source: str) -> Optional[str]:
+    for cls, (replacement, factory) in _REG005_REWRITES.items():
+        call = f"{cls}()"
+        if call not in line:
+            continue
+        if not re.search(rf"\b{factory}\b", source):
+            return None  # factory not in scope; rewrite would not run
+        return line.replace(call, replacement, 1)
+    return None
+
+
+def _add_noqa(line: str, rule: str) -> Optional[str]:
+    stripped = line.rstrip("\n")
+    newline = line[len(stripped):]
+    match = _NOQA_RE.search(stripped)
+    if match:
+        rules = match.group("rules")
+        if rules is None:
+            return None  # bare noqa already suppresses everything
+        current = {r.strip().upper() for r in rules.split(",") if r.strip()}
+        if rule in current:
+            return None
+        merged = ",".join(sorted(current | {rule}))
+        start, end = match.span()
+        fixed = (
+            stripped[:start]
+            + f"# repro: noqa[{merged}]"
+            + stripped[end:]
+        )
+        return fixed + newline
+    return (
+        stripped
+        + f"  # repro: noqa[{rule}]  TODO: justify this exception"
+        + newline
+    )
+
+
+@dataclass
+class FixResult:
+    """What one ``--fix`` pass changed."""
+
+    fixed: Counter = field(default_factory=Counter)  # rule → count
+    changed_paths: Set[str] = field(default_factory=set)
+    #: findings no fixer could handle (stay for a human).
+    remaining: List[Finding] = field(default_factory=list)
+
+
+def apply_fixes(
+    findings: Sequence[Finding],
+    sources: Dict[str, str],
+    *,
+    suppress: Optional[Set[str]] = None,
+) -> FixResult:
+    """Apply every applicable fix, mutating ``sources`` in place.
+
+    ``sources`` maps finding paths to file text; only entries present
+    are touched (callers control what is writable).  ``suppress`` names
+    rules to silence via noqa insertion instead of a semantic rewrite.
+    """
+    suppress = suppress or set()
+    result = FixResult()
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    for path, path_findings in by_path.items():
+        text = sources.get(path)
+        if text is None:
+            result.remaining.extend(path_findings)
+            continue
+        lines = text.splitlines(keepends=True)
+        changed = False
+        # bottom-up so earlier line numbers stay valid.
+        for finding in sorted(
+            path_findings, key=lambda f: (-f.line, -f.col)
+        ):
+            if not 1 <= finding.line <= len(lines):
+                result.remaining.append(finding)
+                continue
+            line = lines[finding.line - 1]
+            fixed: Optional[str] = None
+            if finding.rule in suppress:
+                fixed = _add_noqa(line, finding.rule)
+            elif finding.rule == "DET003":
+                fixed = _fix_det003(line, finding)
+            elif finding.rule == "DET004":
+                fixed = _fix_det004(line, finding)
+            elif finding.rule == "REG005":
+                fixed = _fix_reg005(line, finding, text)
+            if fixed is None or fixed == line:
+                result.remaining.append(finding)
+                continue
+            lines[finding.line - 1] = fixed
+            changed = True
+            result.fixed[finding.rule] += 1
+        if changed:
+            sources[path] = "".join(lines)
+            result.changed_paths.add(path)
+    return result

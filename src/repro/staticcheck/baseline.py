@@ -1,0 +1,103 @@
+"""Baseline freezing for ``repro check --baseline``.
+
+A baseline file records known, accepted findings so the gate fails
+only on *new* ones — how a strict checker lands on a codebase with
+history.  ``repro check --write-baseline`` freezes the current
+findings; later runs with ``--baseline`` subtract them.
+
+Matching is deliberately line-insensitive: a baseline entry is
+``(path, rule, message)``, counted with multiplicity, so reformatting
+a file does not resurrect frozen findings, while a *second* identical
+violation in the same file is new and still fails.  Frozen entries
+that no longer occur are reported back (``stale``) so the baseline
+shrinks over time instead of fossilising.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from .findings import Finding
+
+#: bump when the baseline structure changes incompatibly.
+BASELINE_SCHEMA_VERSION = 1
+
+#: default baseline location, relative to the working directory.
+DEFAULT_BASELINE_PATH = ".repro-check-baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> _Key:
+    return (Path(finding.path).as_posix(), finding.rule, finding.message)
+
+
+@dataclass
+class BaselineResult:
+    """Findings split against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    #: frozen entries with no matching finding any more.
+    stale: List[_Key] = field(default_factory=list)
+
+
+def write_baseline(
+    path: "str | Path", findings: Sequence[Finding]
+) -> None:
+    """Freeze ``findings`` into a baseline file (sorted, stable)."""
+    entries = [
+        {"path": p, "rule": r, "message": m}
+        for p, r, m in sorted(_key(f) for f in findings)
+    ]
+    Path(path).write_text(
+        json.dumps(
+            {"version": BASELINE_SCHEMA_VERSION, "findings": entries},
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_baseline(path: "str | Path") -> List[_Key]:
+    """Frozen entries from a baseline file (empty if absent)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return []
+    if not isinstance(data, dict) or data.get(
+        "version"
+    ) != BASELINE_SCHEMA_VERSION:
+        return []
+    out: List[_Key] = []
+    for entry in data.get("findings", []):
+        if isinstance(entry, dict):
+            out.append((
+                str(entry.get("path", "")),
+                str(entry.get("rule", "")),
+                str(entry.get("message", "")),
+            ))
+    return out
+
+
+def apply_baseline(
+    findings: Sequence[Finding], frozen: Sequence[_Key]
+) -> BaselineResult:
+    """Split findings into new vs baseline-suppressed (with stale
+    accounting); multiplicity-aware, line-insensitive."""
+    budget = Counter(frozen)
+    result = BaselineResult()
+    for finding in findings:
+        key = _key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            result.suppressed.append(finding)
+        else:
+            result.new.append(finding)
+    result.stale = sorted(budget.elements())
+    return result

@@ -1,0 +1,195 @@
+"""The incremental analysis cache behind ``repro check --cache``.
+
+One JSON file (``.repro-check-cache.json`` by default) holding four
+stores, all keyed by content:
+
+* **file findings** — per-file check results keyed by the file's
+  content hash (a changed byte anywhere in the file, including a new
+  ``noqa`` comment, invalidates exactly that file);
+* **index shards** — each module's parsed :class:`~repro.staticcheck.
+  project.ModuleInfo` shard plus its local dataflow summary, keyed by
+  the same content hash (a warm run rebuilds the whole project index
+  without re-parsing a single unchanged module);
+* **per-module project findings** — FLOW results keyed by the module's
+  *import-closure digest*, so editing ``repro.core.decoders``
+  transitively invalidates every module that imports it, and nothing
+  else;
+* **project-wide findings** — XREG/XIMP results keyed by a digest over
+  every module plus the auxiliary evidence files (goldens, docs
+  catalogues).
+
+The whole cache is dropped whenever the **ruleset signature** changes —
+registered rule ids, the ``--select`` set, or the cache schema version —
+so stale semantics can never leak through a content match.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from .findings import Finding
+from .project import content_hash
+
+#: bump when the cached shapes change incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+#: default cache location, relative to the working directory.
+DEFAULT_CACHE_PATH = ".repro-check-cache.json"
+
+
+class AnalysisCache:
+    """Content-addressed store for findings and index shards."""
+
+    def __init__(self, path: "str | Path" = DEFAULT_CACHE_PATH):
+        self.path = Path(path)
+        self.data: Dict[str, Any] = self._empty()
+        self._dirty = False
+        self._load()
+
+    @staticmethod
+    def _empty() -> Dict[str, Any]:
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "ruleset": None,
+            "files": {},
+            "shards": {},
+            "module_findings": {},
+            "project_findings": None,
+        }
+
+    def _load(self) -> None:
+        try:
+            loaded = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            isinstance(loaded, dict)
+            and loaded.get("schema") == CACHE_SCHEMA_VERSION
+        ):
+            self.data = loaded
+
+    def save(self) -> None:
+        """Persist the cache (only when something changed)."""
+        if not self._dirty:
+            return
+        try:
+            self.path.write_text(
+                json.dumps(self.data, sort_keys=True), encoding="utf-8"
+            )
+            self._dirty = False
+        except OSError:  # pragma: no cover - read-only checkouts
+            pass
+
+    def clear(self) -> None:
+        """Drop everything (ruleset change, ``--no-cache`` rebuild)."""
+        self.data = self._empty()
+        self._dirty = True
+
+    # -- validity ------------------------------------------------------
+
+    def ensure_ruleset(self, signature: str) -> None:
+        """Invalidate the whole cache if the ruleset changed."""
+        if self.data.get("ruleset") != signature:
+            self.clear()
+            self.data["ruleset"] = signature
+
+    # -- per-file findings ---------------------------------------------
+
+    def get_file_findings(
+        self, path: str, text: str
+    ) -> Optional[List[Finding]]:
+        """Cached per-file findings, or ``None`` on hash mismatch."""
+        entry = self.data["files"].get(path)
+        if entry is None or entry["hash"] != content_hash(text):
+            return None
+        return [Finding.from_dict(d) for d in entry["findings"]]
+
+    def put_file_findings(
+        self, path: str, text: str, findings: List[Finding]
+    ) -> None:
+        """Store per-file findings keyed by the file's content hash."""
+        self.data["files"][path] = {
+            "hash": content_hash(text),
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
+    # -- index shards ---------------------------------------------------
+
+    def get_shard(
+        self, path: str, file_hash: str
+    ) -> Optional[Mapping[str, Any]]:
+        """Cached :class:`ModuleInfo` shard, or ``None`` on mismatch."""
+        entry = self.data["shards"].get(path)
+        if entry is None or entry["hash"] != file_hash:
+            return None
+        return entry["module"]
+
+    def get_summary(
+        self, path: str, file_hash: str
+    ) -> Optional[Dict[str, Any]]:
+        """Cached local dataflow summary (deep-copied), or ``None``."""
+        entry = self.data["shards"].get(path)
+        if entry is None or entry["hash"] != file_hash:
+            return None
+        # deep-copied via JSON so propagation never mutates the store.
+        return json.loads(json.dumps(entry["summary"]))
+
+    def put_shard(
+        self,
+        path: str,
+        file_hash: str,
+        module_shard: Mapping[str, Any],
+        summary: Mapping[str, Any],
+    ) -> None:
+        """Store a module's index shard and local dataflow summary."""
+        self.data["shards"][path] = {
+            "hash": file_hash,
+            "module": dict(module_shard),
+            "summary": json.loads(json.dumps(summary)),
+        }
+        self._dirty = True
+
+    # -- per-module project findings -----------------------------------
+
+    def get_module_findings(
+        self, path: str, closure_digest: str
+    ) -> Optional[List[Finding]]:
+        """Cached per-module project findings keyed by closure digest."""
+        entry = self.data["module_findings"].get(path)
+        if entry is None or entry["digest"] != closure_digest:
+            return None
+        return [Finding.from_dict(d) for d in entry["findings"]]
+
+    def put_module_findings(
+        self, path: str, closure_digest: str, findings: List[Finding]
+    ) -> None:
+        """Store per-module project findings under a closure digest."""
+        self.data["module_findings"][path] = {
+            "digest": closure_digest,
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
+    # -- project-wide findings -----------------------------------------
+
+    def get_project_findings(
+        self, digest: str
+    ) -> Optional[List[Finding]]:
+        """Cached project-wide findings, or ``None`` on digest change."""
+        entry = self.data.get("project_findings")
+        if entry is None or entry["digest"] != digest:
+            return None
+        return [Finding.from_dict(d) for d in entry["findings"]]
+
+    def put_project_findings(
+        self, digest: str, findings: List[Finding]
+    ) -> None:
+        """Store project-wide findings under the global index digest."""
+        self.data["project_findings"] = {
+            "digest": digest,
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True

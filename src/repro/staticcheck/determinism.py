@@ -11,8 +11,9 @@ every Fig. 11–13 result.  These rules make the discipline checkable:
   ``random.shuffle``, …) anywhere in the tree;
 * ``DET002`` — wall-clock reads (``time.time``, ``datetime.now``, …)
   inside the deterministic core packages;
-* ``DET003`` — ``default_rng()`` with no seed inside the core packages
-  (entropy-seeded generators cannot be replayed);
+* ``DET003`` — ``default_rng()`` with no seed anywhere in the
+  library, docs and examples (entropy-seeded generators cannot be
+  replayed; ``repro check --fix`` seeds doc/example snippets);
 * ``DET004`` — ordering hazards (``list(set(...))``, ``os.listdir``,
   unsorted ``glob``/``iterdir``) inside the core packages.
 
@@ -37,6 +38,11 @@ CORE_SCOPE = (
     "repro/codes/",
     "repro/core/",
 )
+
+#: Everywhere an unseeded ``default_rng()`` can break replay: the whole
+#: library plus the runnable docs/examples (DET003 only — the other
+#: determinism rules stay on the core replay path).
+SEEDED_RNG_SCOPE = ("repro/", "docs/", "examples/", "README.md")
 
 #: ``np.random.<fn>`` module-level calls that consume global RNG state.
 BANNED_NP_RANDOM = frozenset({
@@ -164,12 +170,12 @@ def check_wall_clock(ctx: PythonContext, rule: Rule) -> List[Finding]:
         "default_rng() without a seed draws OS entropy, so the run can "
         "never be replayed; pass a seed or accept an injected Generator."
     ),
-    scope=CORE_SCOPE,
+    scope=SEEDED_RNG_SCOPE,
 )
 def check_unseeded_default_rng(
     ctx: PythonContext, rule: Rule
 ) -> List[Finding]:
-    """Flag zero-argument ``default_rng()`` calls in core packages."""
+    """Flag zero-argument ``default_rng()`` calls."""
     findings = []
     for call in _calls(ctx.tree):
         dotted = dotted_name(call.func)

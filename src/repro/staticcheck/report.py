@@ -63,12 +63,64 @@ def to_json_dict(result: CheckResult) -> Dict[str, Any]:
                 )
             ),
         },
+        "timing": {
+            "total_seconds": round(result.total_seconds, 6),
+            "files": {
+                path: round(seconds, 6)
+                for path, seconds in sorted(result.file_seconds.items())
+            },
+            "rules": {
+                rule: round(seconds, 6)
+                for rule, seconds in sorted(result.rule_seconds.items())
+            },
+        },
+        "cache": {
+            "hits": result.cache_hits,
+            "misses": result.cache_misses,
+        },
+        "project_modules": result.project_modules,
     }
 
 
 def render_json(result: CheckResult) -> str:
     """The JSON report as a string (``repro check --format json``)."""
     return json.dumps(to_json_dict(result), indent=2, sort_keys=False)
+
+
+def render_stats(result: CheckResult, top: int = 10) -> str:
+    """The ``--stats`` block: slowest rules and files, cache traffic."""
+    lines = [
+        f"total: {result.total_seconds:.3f}s over "
+        f"{result.num_files} files"
+        + (
+            f", {result.project_modules} indexed modules"
+            if result.project_modules else ""
+        )
+    ]
+    if result.cache_hits or result.cache_misses:
+        lines.append(
+            f"cache: {result.cache_hits} hits, "
+            f"{result.cache_misses} misses"
+        )
+    slowest_rules = sorted(
+        result.rule_seconds.items(), key=lambda kv: -kv[1]
+    )[:top]
+    if slowest_rules:
+        lines.append("slowest rules:")
+        lines.extend(
+            f"  {rule:<10} {seconds * 1000:8.1f} ms"
+            for rule, seconds in slowest_rules
+        )
+    slowest_files = sorted(
+        result.file_seconds.items(), key=lambda kv: -kv[1]
+    )[:top]
+    if slowest_files:
+        lines.append("slowest files:")
+        lines.extend(
+            f"  {seconds * 1000:8.1f} ms  {path}"
+            for path, seconds in slowest_files
+        )
+    return "\n".join(lines)
 
 
 def render_catalogue() -> str:
@@ -79,6 +131,45 @@ def render_catalogue() -> str:
         lines.append(f"{rule.id}  {rule.name} [{rule.severity.value}]")
         lines.append(f"    {rule.description}")
         lines.append(f"    scope: {scope}")
+    return "\n".join(lines)
+
+
+def catalogue_json() -> Dict[str, Any]:
+    """The rule catalogue as data
+    (``repro check --list-rules --format json``)."""
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "rules": [
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "severity": rule.severity.value,
+                "kind": rule.kind,
+                "scope": list(rule.scope),
+                "exclude": list(rule.exclude),
+                "description": rule.description,
+            }
+            for rule in sorted(
+                RULE_REGISTRY.values(), key=lambda r: r.id
+            )
+        ],
+    }
+
+
+def catalogue_markdown() -> str:
+    """The rule catalogue as a Markdown table — the generator behind
+    the table in ``docs/static_analysis.md`` (regenerate with
+    ``repro check --list-rules --format markdown``)."""
+    lines = [
+        "| Rule | Name | Severity | Kind | Description |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for rule in sorted(RULE_REGISTRY.values(), key=lambda r: r.id):
+        description = " ".join(rule.description.split())
+        lines.append(
+            f"| `{rule.id}` | {rule.name} | {rule.severity.value} "
+            f"| {rule.kind} | {description} |"
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,228 @@
+"""Cross-module registry completeness rules (XREG0xx).
+
+The registries (``repro.core.scheme``'s placement families,
+``repro.env``'s five environment layers) are the project's extension
+surface: a family registered by name is reachable from specs, the CLI
+and fingerprints.  That reach comes with obligations this family
+checks **by index, without running anything**:
+
+* ``XREG001`` — every ``@register_placement`` class defines or
+  inherits ``spec_problems`` (the static spec-feasibility hook that
+  lets ``repro check`` validate specs naming the family);
+* ``XREG002`` — every registered family has a golden-fingerprint entry
+  (``tests/golden/placement_schemes.json`` /
+  ``tests/golden/environments.json``); registered absences (factories
+  that only ever return ``None``, like the ``none`` contention model)
+  are exempt — there is no object to fingerprint;
+* ``XREG003`` — every registered family has a catalogue row in
+  ``docs/placements.md`` / ``docs/environments.md``;
+* ``XREG004`` — no two registrations of the same kind claim the same
+  name or alias (a duplicate silently shadows, first-import wins).
+
+The evidence files are read through :meth:`ProjectContext.aux_text`,
+so fixtures can inject them and a missing file is only reported when
+the context actually knows the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from .engine import Rule, project_wide_rule
+from .findings import Finding
+from .project import ModuleInfo, ProjectContext, Registration
+
+#: registry kind → (golden evidence file, docs catalogue file).
+_EVIDENCE = {
+    "placement": (
+        "tests/golden/placement_schemes.json", "docs/placements.md"
+    ),
+    "delay": ("tests/golden/environments.json", "docs/environments.md"),
+    "failure": ("tests/golden/environments.json", "docs/environments.md"),
+    "compute": ("tests/golden/environments.json", "docs/environments.md"),
+    "network": ("tests/golden/environments.json", "docs/environments.md"),
+    "contention": (
+        "tests/golden/environments.json", "docs/environments.md"
+    ),
+}
+
+
+def _registrations(
+    ctx: ProjectContext,
+) -> List[Tuple[ModuleInfo, Registration]]:
+    out = []
+    for name in sorted(ctx.index.modules):
+        info = ctx.index.modules[name]
+        for reg in info.registrations:
+            out.append((info, reg))
+    return out
+
+
+def _golden_names(ctx: ProjectContext, relpath: str) -> Optional[set]:
+    """Family names pinned by a golden file (``None`` = unavailable)."""
+    text = ctx.aux_text(relpath)
+    if text is None:
+        return None
+    try:
+        data = json.loads(text)
+    except ValueError:
+        return set()
+    names = set()
+    for case in data.get("cases", []):
+        for key in ("family", "kind"):
+            value = case.get(key)
+            if isinstance(value, str):
+                names.add(value)
+    return names
+
+
+def _aux_known_missing(ctx: ProjectContext, relpath: str) -> bool:
+    """True when the evidence file is *known* absent (repo root in
+    hand, or a fixture explicitly injected ``None``)."""
+    if relpath in ctx.aux:
+        return ctx.aux[relpath] is None
+    return ctx.root is not None
+
+
+@project_wide_rule(
+    "XREG001",
+    name="registry-spec-hook",
+    description=(
+        "Every @register_placement family must define or inherit "
+        "spec_problems, the hook that lets `repro check` validate "
+        "specs naming the family without constructing anything."
+    ),
+)
+def check_registry_spec_hook(
+    ctx: ProjectContext, rule: Rule
+) -> List[Finding]:
+    """Require a spec_problems hook on every registered placement class."""
+    findings: List[Finding] = []
+    for info, reg in _registrations(ctx):
+        if reg.kind != "placement":
+            continue
+        if not ctx.index.class_defines(
+            info.name, reg.symbol, "spec_problems"
+        ):
+            findings.append(ctx.finding(
+                rule, info, reg.lineno,
+                f"placement family {reg.name!r} ({reg.symbol}) neither "
+                "defines nor inherits spec_problems; specs naming it "
+                "cannot be statically validated",
+            ))
+    return findings
+
+
+@project_wide_rule(
+    "XREG002",
+    name="registry-golden-entry",
+    description=(
+        "Every registered family must be pinned by a golden "
+        "fingerprint entry under tests/golden/ so registry "
+        "construction stays bit-for-bit stable across refactors "
+        "(factories that only return None are exempt: a registered "
+        "absence has nothing to fingerprint)."
+    ),
+)
+def check_registry_golden_entry(
+    ctx: ProjectContext, rule: Rule
+) -> List[Finding]:
+    """Require a golden-fingerprint entry for every registration."""
+    findings: List[Finding] = []
+    golden: Dict[str, Optional[set]] = {}
+    for info, reg in _registrations(ctx):
+        evidence = _EVIDENCE.get(reg.kind)
+        if evidence is None or reg.returns_none:
+            continue
+        relpath = evidence[0]
+        if relpath not in golden:
+            golden[relpath] = _golden_names(ctx, relpath)
+        names = golden[relpath]
+        if names is None:
+            if _aux_known_missing(ctx, relpath):
+                findings.append(ctx.finding(
+                    rule, info, reg.lineno,
+                    f"{reg.kind} family {reg.name!r} has no golden "
+                    f"fingerprint file ({relpath} is missing)",
+                ))
+            continue
+        if reg.name not in names and not (set(reg.aliases) & names):
+            findings.append(ctx.finding(
+                rule, info, reg.lineno,
+                f"{reg.kind} family {reg.name!r} has no golden "
+                f"fingerprint entry in {relpath}; registry construction "
+                "for it is not pinned",
+            ))
+    return findings
+
+
+@project_wide_rule(
+    "XREG003",
+    name="registry-docs-row",
+    description=(
+        "Every registered family must have a catalogue row in "
+        "docs/placements.md or docs/environments.md — the registries "
+        "are the extension surface and the catalogues are their "
+        "contract with users."
+    ),
+)
+def check_registry_docs_row(
+    ctx: ProjectContext, rule: Rule
+) -> List[Finding]:
+    """Require a docs-catalogue mention for every registration."""
+    findings: List[Finding] = []
+    for info, reg in _registrations(ctx):
+        evidence = _EVIDENCE.get(reg.kind)
+        if evidence is None:
+            continue
+        relpath = evidence[1]
+        text = ctx.aux_text(relpath)
+        if text is None:
+            if _aux_known_missing(ctx, relpath):
+                findings.append(ctx.finding(
+                    rule, info, reg.lineno,
+                    f"{reg.kind} family {reg.name!r} is uncatalogued "
+                    f"({relpath} is missing)",
+                ))
+            continue
+        mentions = [f"`{reg.name}`"] + [f"`{a}`" for a in reg.aliases]
+        if not any(m in text for m in mentions):
+            findings.append(ctx.finding(
+                rule, info, reg.lineno,
+                f"{reg.kind} family {reg.name!r} has no catalogue row "
+                f"in {relpath} (expected a `{reg.name}` mention)",
+            ))
+    return findings
+
+
+@project_wide_rule(
+    "XREG004",
+    name="registry-name-collision",
+    description=(
+        "Two registrations of the same kind claim the same name or "
+        "alias; whichever module imports first silently shadows the "
+        "other."
+    ),
+)
+def check_registry_name_collision(
+    ctx: ProjectContext, rule: Rule
+) -> List[Finding]:
+    """Flag two registrations claiming the same (kind, name)."""
+    findings: List[Finding] = []
+    claimed: Dict[Tuple[str, str], Tuple[ModuleInfo, Registration]] = {}
+    for info, reg in _registrations(ctx):
+        for name in (reg.name, *reg.aliases):
+            key = (reg.kind, name)
+            prior = claimed.get(key)
+            if prior is None:
+                claimed[key] = (info, reg)
+                continue
+            prior_info, prior_reg = prior
+            findings.append(ctx.finding(
+                rule, info, reg.lineno,
+                f"{reg.kind} name {name!r} registered by {reg.symbol} "
+                f"collides with {prior_reg.symbol} "
+                f"({prior_info.path}:{prior_reg.lineno})",
+            ))
+    return findings

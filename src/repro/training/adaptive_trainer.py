@@ -82,7 +82,9 @@ class AdaptivePlacementTrainer:
         # The strategy and the migration rule share one generator so a
         # migrated run consumes the same random stream as the pre-engine
         # implementation did.
-        rng = rng if rng is not None else np.random.default_rng()
+        # Entropy-seeded fallback is the documented default: callers
+        # wanting replay inject a seeded Generator.
+        rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[DET003]
         # Wraps the caller's Placement object with the shared generator;
         # the name-keyed registry cannot express either (see REG001).
         strategy = ISGCStrategy(  # repro: noqa[REG001]

@@ -93,3 +93,22 @@ def test_observability_blocks_run(tmp_path, monkeypatch, capsys):
     # These blocks write/read run.jsonl relative to the cwd.
     monkeypatch.chdir(tmp_path)
     _run_blocks(REPO / "docs" / "observability.md")
+
+
+def test_static_analysis_catalogue_is_generated():
+    """The rule table in docs/static_analysis.md is the generated one.
+
+    The docs promise the catalogue is produced by ``repro check
+    --list-rules --format markdown``; regenerate and compare, so the
+    table cannot drift from the registry.
+    """
+    from repro.staticcheck.report import catalogue_markdown
+
+    text = (REPO / "docs" / "static_analysis.md").read_text()
+    match = re.search(
+        r"<!-- BEGIN RULE CATALOGUE -->\n(.*?)\n<!-- END RULE CATALOGUE -->",
+        text,
+        flags=re.DOTALL,
+    )
+    assert match, "catalogue markers missing from docs/static_analysis.md"
+    assert match.group(1).strip() == catalogue_markdown().strip()

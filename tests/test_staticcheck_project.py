@@ -1,0 +1,619 @@
+"""Fixture tests for the whole-project rule families (FLOW/XREG/XIMP).
+
+Each rule gets at least one offending fixture (asserted caught) and a
+clean twin (asserted clean).  Fixtures are in-memory module sets built
+with :meth:`ProjectIndex.from_sources`, so no files are written and the
+full-repo cleanliness assertions elsewhere never trip over them.  The
+module names start with ``repro.`` so the ``repro/``-scoped rules
+apply.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.staticcheck import RULE_REGISTRY
+from repro.staticcheck.dataflow import analyze_project
+from repro.staticcheck.project import ProjectContext, ProjectIndex
+
+
+def project_findings(sources, rule_ids, aux=None):
+    """Run the named project rules over ``{dotted: source}`` fixtures."""
+    index = ProjectIndex.from_sources(
+        {name: textwrap.dedent(src) for name, src in sources.items()}
+    )
+    ctx = ProjectContext(index=index, aux=dict(aux or {}))
+    ctx.summaries = analyze_project(index)
+    findings = []
+    for rule_id in rule_ids:
+        rule = RULE_REGISTRY[rule_id]
+        if rule.granularity == "module":
+            for name in sorted(index.modules):
+                info = index.modules[name]
+                if rule.applies_to(info.scope_path):
+                    findings.extend(rule.check(ctx, rule, info))
+        else:
+            findings.extend(rule.check(ctx, rule))
+    return findings
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# FLOW001 — Generator into a memoised/batched kernel
+
+
+class TestFlow001:
+    def test_gen_arg_into_memo_call(self):
+        findings = project_findings({
+            "repro.decode": """
+                import numpy as np
+
+                class Decoder:
+                    def decode(self, cache, key, rng):
+                        return cache.get_or_compute(key, rng)
+                """,
+        }, ["FLOW001"])
+        assert rules_of(findings) == ["FLOW001"]
+        assert "rng" in findings[0].message
+
+    def test_gen_draw_inside_memo_lambda(self):
+        findings = project_findings({
+            "repro.decode": """
+                import numpy as np
+
+                class Decoder:
+                    def __init__(self):
+                        self._rng = np.random.default_rng(0)
+
+                    def decode(self, cache, key):
+                        return cache._memo(
+                            key, lambda: self._rng.integers(5)
+                        )
+                """,
+        }, ["FLOW001"])
+        assert rules_of(findings) == ["FLOW001"]
+        assert "compute callback" in findings[0].message
+
+    def test_gen_into_batch_module_kernel(self):
+        findings = project_findings({
+            "repro.core.batch": """
+                def decode_batch(masks, out):
+                    return out
+                """,
+            "repro.core.caller": """
+                import numpy as np
+
+                from repro.core.batch import decode_batch
+
+                def drive(masks):
+                    rng = np.random.default_rng(0)
+                    return decode_batch(masks, rng)
+                """,
+        }, ["FLOW001"])
+        assert rules_of(findings) == ["FLOW001"]
+        assert "repro.core.batch.decode_batch()" in findings[0].message
+
+    def test_drawn_values_passed_in_are_clean(self):
+        findings = project_findings({
+            "repro.decode": """
+                import numpy as np
+
+                class Decoder:
+                    def decode(self, cache, key, rng):
+                        pick = int(rng.integers(5))
+                        return cache.get_or_compute(key, pick)
+                """,
+        }, ["FLOW001"])
+        assert findings == []
+
+    def test_memo_lambda_drawing_from_own_param_is_clean(self):
+        # the lambda's own parameter shadows any outer Generator.
+        findings = project_findings({
+            "repro.decode": """
+                def decode(cache, key, pick):
+                    return cache.get_or_compute(key, lambda rng: rng)
+                """,
+        }, ["FLOW001"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# FLOW002 — Generator / derived seed across a pool boundary
+
+
+class TestFlow002:
+    def test_gen_through_pool_submit(self):
+        findings = project_findings({
+            "repro.sweep": """
+                import numpy as np
+
+                def run(pool, task):
+                    rng = np.random.default_rng(7)
+                    return pool.submit(task, rng)
+                """,
+        }, ["FLOW002"])
+        assert rules_of(findings) == ["FLOW002"]
+        assert "Generator" in findings[0].message
+
+    def test_gen_assigned_then_shipped(self):
+        # assignment-aware: the Generator flows through a rename.
+        findings = project_findings({
+            "repro.sweep": """
+                import numpy as np
+
+                def run(executor, task):
+                    source = np.random.default_rng(7)
+                    shipped = source
+                    return executor.run(task, shipped)
+                """,
+        }, ["FLOW002"])
+        assert rules_of(findings) == ["FLOW002"]
+
+    def test_derived_seed_through_executor_run(self):
+        findings = project_findings({
+            "repro.sweep": """
+                def run(executor, task, seed, i):
+                    child = seed * 1000 + i
+                    return executor.run(task, child)
+                """,
+        }, ["FLOW002"])
+        assert rules_of(findings) == ["FLOW002"]
+        assert "derived seed" in findings[0].message
+
+    def test_spawned_seed_sequences_are_clean(self):
+        findings = project_findings({
+            "repro.sweep": """
+                import numpy as np
+
+                def run(pool, task, seed, n):
+                    children = np.random.SeedSequence(seed).spawn(n)
+                    return [pool.submit(task, c) for c in children]
+                """,
+        }, ["FLOW002"])
+        assert findings == []
+
+    def test_non_pool_receiver_is_clean(self):
+        # .run() on something that is not pool-ish is not a dispatch.
+        findings = project_findings({
+            "repro.sweep": """
+                import numpy as np
+
+                def run(trainer, task):
+                    rng = np.random.default_rng(7)
+                    return trainer.run(task, rng)
+                """,
+        }, ["FLOW002"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# FLOW003 — Generator consumed in hash-ordered iteration
+
+
+class TestFlow003:
+    def test_draw_inside_set_loop(self):
+        findings = project_findings({
+            "repro.assign": """
+                import numpy as np
+
+                def jitter(workers):
+                    rng = np.random.default_rng(0)
+                    out = {}
+                    for w in set(workers):
+                        out[w] = rng.normal()
+                    return out
+                """,
+        }, ["FLOW003"])
+        assert rules_of(findings) == ["FLOW003"]
+        assert "hash-dependent" in findings[0].message
+
+    def test_draw_inside_set_comprehension(self):
+        findings = project_findings({
+            "repro.assign": """
+                import numpy as np
+
+                def jitter(workers):
+                    rng = np.random.default_rng(0)
+                    return [rng.normal() for w in {1, 2} | set(workers)]
+                """,
+        }, ["FLOW003"])
+        assert rules_of(findings) == ["FLOW003"]
+
+    def test_interprocedural_consumption_in_set_loop(self):
+        # the draw hides inside a helper that consumes its rng param.
+        findings = project_findings({
+            "repro.helpers": """
+                def delay_for(worker, rng):
+                    return rng.exponential()
+                """,
+            "repro.assign": """
+                import numpy as np
+
+                from repro.helpers import delay_for
+
+                def jitter(workers):
+                    rng = np.random.default_rng(0)
+                    return {w: delay_for(w, rng) for w in set(workers)}
+                """,
+        }, ["FLOW003"])
+        assert rules_of(findings) == ["FLOW003"]
+        assert "delay_for" in findings[0].message
+
+    def test_sorted_view_is_clean(self):
+        findings = project_findings({
+            "repro.assign": """
+                import numpy as np
+
+                def jitter(workers):
+                    rng = np.random.default_rng(0)
+                    return {w: rng.normal() for w in sorted(set(workers))}
+                """,
+        }, ["FLOW003"])
+        assert findings == []
+
+    def test_list_loop_is_clean(self):
+        findings = project_findings({
+            "repro.assign": """
+                import numpy as np
+
+                def jitter(workers):
+                    rng = np.random.default_rng(0)
+                    return [rng.normal() for w in list(workers)]
+                """,
+        }, ["FLOW003"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# XREG — registry completeness (evidence injected via ctx.aux)
+
+GOLDEN_OK = '{"cases": [{"family": "mirror"}]}'
+DOCS_OK = "# Catalogue\n\n| `mirror` | a scheme |\n"
+PLACEMENT_GOLDEN = "tests/golden/placement_schemes.json"
+PLACEMENT_DOCS = "docs/placements.md"
+ENV_GOLDEN = "tests/golden/environments.json"
+ENV_DOCS = "docs/environments.md"
+
+
+def placement_fixture(body):
+    return {
+        "repro.schemes": (
+            "from repro.core.scheme import register_placement\n\n"
+            + textwrap.dedent(body)
+        ),
+        "repro.core.scheme": """
+            def register_placement(name, aliases=()):
+                def wrap(cls):
+                    return cls
+                return wrap
+            """,
+    }
+
+
+class TestXreg:
+    def test_missing_spec_hook_flagged(self):
+        findings = project_findings(
+            placement_fixture(
+                """
+                @register_placement("mirror")
+                class Mirror:
+                    def place(self):
+                        return None
+                """
+            ),
+            ["XREG001"],
+        )
+        assert rules_of(findings) == ["XREG001"]
+        assert "spec_problems" in findings[0].message
+
+    def test_spec_hook_inherited_is_clean(self):
+        sources = placement_fixture(
+            """
+            class Base:
+                def spec_problems(self, spec):
+                    return []
+
+            @register_placement("mirror")
+            class Mirror(Base):
+                pass
+            """
+        )
+        assert project_findings(sources, ["XREG001"]) == []
+
+    def test_missing_golden_entry_flagged(self):
+        findings = project_findings(
+            placement_fixture(
+                """
+                @register_placement("mirror")
+                class Mirror:
+                    def spec_problems(self, spec):
+                        return []
+                """
+            ),
+            ["XREG002"],
+            aux={PLACEMENT_GOLDEN: '{"cases": []}'},
+        )
+        assert rules_of(findings) == ["XREG002"]
+        assert "golden" in findings[0].message
+
+    def test_golden_entry_via_alias_is_clean(self):
+        sources = placement_fixture(
+            """
+            @register_placement("mirror", aliases=("copy",))
+            class Mirror:
+                def spec_problems(self, spec):
+                    return []
+            """
+        )
+        findings = project_findings(
+            sources, ["XREG002"],
+            aux={PLACEMENT_GOLDEN: '{"cases": [{"family": "copy"}]}'},
+        )
+        assert findings == []
+
+    def test_golden_file_known_missing_flagged(self):
+        findings = project_findings(
+            placement_fixture(
+                """
+                @register_placement("mirror")
+                class Mirror:
+                    def spec_problems(self, spec):
+                        return []
+                """
+            ),
+            ["XREG002"],
+            aux={PLACEMENT_GOLDEN: None},
+        )
+        assert rules_of(findings) == ["XREG002"]
+        assert "missing" in findings[0].message
+
+    def test_golden_file_unknowable_is_silent(self):
+        # no repo root, nothing injected: absence is not evidence.
+        findings = project_findings(
+            placement_fixture(
+                """
+                @register_placement("mirror")
+                class Mirror:
+                    def spec_problems(self, spec):
+                        return []
+                """
+            ),
+            ["XREG002"],
+        )
+        assert findings == []
+
+    def test_none_returning_factory_exempt_from_golden(self):
+        findings = project_findings({
+            "repro.env.delays": """
+                from repro.env.registry import register_delay
+
+                @register_delay("none")
+                def make_none(params):
+                    return None
+                """,
+            "repro.env.registry": """
+                def register_delay(name, aliases=()):
+                    def wrap(fn):
+                        return fn
+                    return wrap
+                """,
+        }, ["XREG002"], aux={ENV_GOLDEN: '{"cases": []}'})
+        assert findings == []
+
+    def test_uncatalogued_family_flagged(self):
+        findings = project_findings(
+            placement_fixture(
+                """
+                @register_placement("mirror")
+                class Mirror:
+                    def spec_problems(self, spec):
+                        return []
+                """
+            ),
+            ["XREG003"],
+            aux={PLACEMENT_DOCS: "# Catalogue\n\nnothing here\n"},
+        )
+        assert rules_of(findings) == ["XREG003"]
+        assert "catalogue" in findings[0].message
+
+    def test_catalogued_family_is_clean(self):
+        findings = project_findings(
+            placement_fixture(
+                """
+                @register_placement("mirror")
+                class Mirror:
+                    def spec_problems(self, spec):
+                        return []
+                """
+            ),
+            ["XREG003"],
+            aux={PLACEMENT_DOCS: DOCS_OK},
+        )
+        assert findings == []
+
+    def test_name_collision_flagged(self):
+        findings = project_findings({
+            "repro.env.a": """
+                from repro.env.registry import register_delay
+
+                @register_delay("uniform")
+                def make_a(params):
+                    return params
+                """,
+            "repro.env.b": """
+                from repro.env.registry import register_delay
+
+                @register_delay("shifted", aliases=("uniform",))
+                def make_b(params):
+                    return params
+                """,
+            "repro.env.registry": """
+                def register_delay(name, aliases=()):
+                    def wrap(fn):
+                        return fn
+                    return wrap
+                """,
+        }, ["XREG004"])
+        assert rules_of(findings) == ["XREG004"]
+        assert "uniform" in findings[0].message
+
+    def test_same_name_different_kind_is_clean(self):
+        findings = project_findings({
+            "repro.env.models": """
+                from repro.env.registry import register_delay
+                from repro.env.registry import register_failure
+
+                @register_delay("uniform")
+                def make_delay(params):
+                    return params
+
+                @register_failure("uniform")
+                def make_failure(params):
+                    return params
+                """,
+            "repro.env.registry": """
+                def register_delay(name, aliases=()):
+                    def wrap(fn):
+                        return fn
+                    return wrap
+
+                def register_failure(name, aliases=()):
+                    def wrap(fn):
+                        return fn
+                    return wrap
+                """,
+        }, ["XREG004"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# XIMP — import hygiene
+
+
+class TestXimp:
+    def test_cycle_flagged_once_per_module(self):
+        findings = project_findings({
+            "repro.a": "import repro.b\n",
+            "repro.b": "import repro.a\n",
+        }, ["XIMP001"])
+        assert rules_of(findings) == ["XIMP001", "XIMP001"]
+        assert "cycle" in findings[0].message
+
+    def test_function_level_import_breaks_cycle(self):
+        findings = project_findings({
+            "repro.a": "import repro.b\n",
+            "repro.b": (
+                "def late():\n"
+                "    import repro.a\n"
+                "    return repro.a\n"
+            ),
+        }, ["XIMP001"])
+        assert findings == []
+
+    def test_core_importing_engine_flagged(self):
+        findings = project_findings({
+            "repro.core.decoder": "from repro.engine.runner import run\n",
+            "repro.engine.runner": "def run():\n    return None\n",
+        }, ["XIMP002"])
+        assert rules_of(findings) == ["XIMP002"]
+        assert "repro.engine" in findings[0].message
+
+    def test_engine_importing_core_is_clean(self):
+        findings = project_findings({
+            "repro.engine.runner": "import repro.core.decoder\n",
+            "repro.core.decoder": "def decode():\n    return None\n",
+        }, ["XIMP002"])
+        assert findings == []
+
+    def test_library_importing_staticcheck_flagged(self):
+        findings = project_findings({
+            "repro.engine.runner": "from repro.staticcheck import run_check\n",
+            "repro.staticcheck": "def run_check():\n    return None\n",
+        }, ["XIMP002"])
+        assert rules_of(findings) == ["XIMP002"]
+        assert "staticcheck" in findings[0].message
+
+    def test_cli_importing_staticcheck_is_clean(self):
+        findings = project_findings({
+            "repro.cli": "from repro.staticcheck import run_check\n",
+            "repro.staticcheck": "def run_check():\n    return None\n",
+        }, ["XIMP002"])
+        assert findings == []
+
+    def test_stale_all_name_flagged(self):
+        findings = project_findings({
+            "repro.shim": '__all__ = ["gone"]\n',
+        }, ["XIMP003"])
+        assert rules_of(findings) == ["XIMP003"]
+        assert "gone" in findings[0].message
+
+    def test_stale_from_import_flagged(self):
+        findings = project_findings({
+            "repro.shim": "from repro.real import vanished\n",
+            "repro.real": "def still_here():\n    return None\n",
+        }, ["XIMP003"])
+        assert rules_of(findings) == ["XIMP003"]
+        assert "vanished" in findings[0].message
+
+    def test_live_reexport_is_clean(self):
+        findings = project_findings({
+            "repro.shim": (
+                "from repro.real import still_here\n"
+                '__all__ = ["still_here"]\n'
+            ),
+            "repro.real": "def still_here():\n    return None\n",
+        }, ["XIMP003"])
+        assert findings == []
+
+    def test_wildcard_module_skipped(self):
+        findings = project_findings({
+            "repro.shim": (
+                "from repro.real import *  # noqa: F401,F403\n"
+                '__all__ = ["whatever"]\n'
+            ),
+            "repro.real": "def still_here():\n    return None\n",
+        }, ["XIMP003"])
+        assert findings == []
+
+    def test_submodule_import_is_not_stale(self):
+        findings = project_findings({
+            "repro.pkg": "",
+            "repro.pkg.sub": "def f():\n    return None\n",
+            "repro.shim": "from repro.pkg import sub\n",
+        }, ["XIMP003"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# Acceptance scenario: the planted violation from the issue
+
+
+class TestPlantedViolation:
+    def test_rng_draw_moved_inside_memo_is_caught(self):
+        # exact_decoder draws a tie-break *outside* _memo today; moving
+        # the draw inside the memoised lambda must be caught statically.
+        findings = project_findings({
+            "repro.core.exact_decoder": """
+                import numpy as np
+
+                class ExactDecoder:
+                    def __init__(self):
+                        self._rng = np.random.default_rng(0)
+
+                    def decode(self, available):
+                        key = tuple(available)
+                        return self._memo(
+                            key,
+                            lambda: list(range(8))[
+                                : int(self._rng.integers(1, 5))
+                            ],
+                        )
+
+                    def _memo(self, key, compute):
+                        return compute()
+                """,
+        }, ["FLOW001"])
+        assert rules_of(findings) == ["FLOW001"]
