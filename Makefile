@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint static static-fast test bench bench-placement bench-environment bench-staticcheck trace-demo
+.PHONY: check lint static static-fast test bench bench-placement bench-environment bench-staticcheck serve-smoke trace-demo
 
 check: lint static test
 
@@ -49,6 +49,13 @@ bench-environment:
 # bit-identical findings.
 bench-staticcheck:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_staticcheck.py
+
+# Serve smoke: 8 jobs through the file mailbox, asserting reports and
+# streamed traces are bit-for-bit sequential, traces re-aggregate
+# losslessly, and a live-mode injected failure never touches peers.
+# Writes BENCH_serve.json.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/smoke_serve.py
 
 trace-demo:
 	PYTHONPATH=src $(PYTHON) examples/traced_run.py

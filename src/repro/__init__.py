@@ -40,6 +40,11 @@ Declarative experiments (one engine, pluggable backends/schemes)::
         partitions_per_worker=2, wait_for=2,
     ))
 
+Multi-job serving (one coordinator, many concurrent specs)::
+
+    from repro import Coordinator, run_jobs
+    reports = run_jobs([spec_a, spec_b], mode="deterministic")
+
 See ``examples/quickstart.py`` for a runnable walk-through,
 ``docs/architecture.md`` for the engine layering, and
 ``EXPERIMENTS.md`` for the paper-figure reproductions.
@@ -52,6 +57,7 @@ from .exceptions import (
     ObservabilityError,
     PlacementError,
     ReproError,
+    ServeError,
     SimulationError,
     TrainingError,
 )
@@ -158,6 +164,7 @@ from .analysis import monte_carlo_recovery, recovery_curve, summarize_trials
 from .engine import (
     ExperimentSpec,
     RoundEngine,
+    RunReport,
     build_engine,
     make_strategy,
     register_backend,
@@ -170,9 +177,20 @@ from .obs import (
     MetricsRegistry,
     RoundTrace,
     RoundTracer,
+    TraceStreamWriter,
     aggregate_traces,
     read_traces,
     write_traces,
+)
+from .serve import (
+    Coordinator,
+    CoordinatorClient,
+    JobCancelledError,
+    JobFailedError,
+    JobHandle,
+    JobState,
+    ServeMailbox,
+    run_jobs,
 )
 
 __version__ = "1.0.0"
@@ -187,6 +205,7 @@ __all__ = [
     "SimulationError",
     "TrainingError",
     "ObservabilityError",
+    "ServeError",
     # types
     "DecodeResult",
     "StepRecord",
@@ -291,6 +310,7 @@ __all__ = [
     "SimulatedRuntime",
     # engine
     "RoundEngine",
+    "RunReport",
     "ExperimentSpec",
     "build_engine",
     "run_spec",
@@ -305,8 +325,18 @@ __all__ = [
     "MetricsRegistry",
     "RoundTrace",
     "RoundTracer",
+    "TraceStreamWriter",
     "aggregate_traces",
     "read_traces",
     "write_traces",
+    # serving
+    "Coordinator",
+    "run_jobs",
+    "JobState",
+    "JobHandle",
+    "JobFailedError",
+    "JobCancelledError",
+    "ServeMailbox",
+    "CoordinatorClient",
     "__version__",
 ]

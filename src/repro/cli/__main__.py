@@ -1,0 +1,6 @@
+"""Allow ``python -m repro.cli`` — the historical module invocation."""
+
+from . import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

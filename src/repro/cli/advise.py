@@ -1,0 +1,40 @@
+"""``repro advise`` — rank candidate placements for (n, c, w)."""
+
+from __future__ import annotations
+
+import argparse
+
+from ..analysis.reporting import Table
+from .registry import register_command
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    """Rank all candidate placements for (n, c, w)."""
+    from ..core.advisor import rank_placements
+
+    ranking = rank_placements(
+        args.n, args.c, args.w, trials=args.trials, seed=args.seed
+    )
+    table = Table(
+        title=f"Placement ranking for n={args.n}, c={args.c}, w={args.w}",
+        columns=["rank", "placement", "E[recovered partitions]", "method"],
+    )
+    for idx, score in enumerate(ranking, start=1):
+        table.add_row(
+            idx, score.label, round(score.expected_recovered, 4),
+            "exact" if score.exact else "monte-carlo",
+        )
+    table.show()
+    print(f"recommended: {ranking[0].label}")
+    return 0
+
+
+@register_command("advise", help="rank placements for (n, c, w)")
+def configure(parser: argparse.ArgumentParser) -> None:
+    """Wire the ``advise`` subparser (arguments + handler)."""
+    parser.add_argument("-n", type=int, required=True)
+    parser.add_argument("-c", type=int, required=True)
+    parser.add_argument("-w", type=int, required=True)
+    parser.add_argument("--trials", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.set_defaults(func=cmd_advise)

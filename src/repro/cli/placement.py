@@ -1,0 +1,30 @@
+"""``repro placement`` — describe a placement and its conflict graph."""
+
+from __future__ import annotations
+
+import argparse
+
+from ..core.conflict import conflict_graph
+from .params import _add_placement_args, _build_placement
+from .registry import register_command
+
+
+def cmd_placement(args: argparse.Namespace) -> int:
+    """Describe a placement and render its conflict graph."""
+    from ..graphs.render import adjacency_art, edge_list_art
+
+    placement = _build_placement(args)
+    print(placement.describe())
+    graph = conflict_graph(placement)
+    print(f"\nconflict graph ({graph.number_of_edges()} edges):")
+    print(adjacency_art(graph))
+    print()
+    print(edge_list_art(graph))
+    return 0
+
+
+@register_command("placement", help="describe a placement")
+def configure(parser: argparse.ArgumentParser) -> None:
+    """Wire the ``placement`` subparser (arguments + handler)."""
+    _add_placement_args(parser)
+    parser.set_defaults(func=cmd_placement)

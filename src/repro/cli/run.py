@@ -1,0 +1,106 @@
+"""``repro run`` — run a declarative :class:`ExperimentSpec` file."""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+from ..analysis.reporting import Table
+from ..engine.report import RunReport
+from ..exceptions import ReproError
+from .params import _parse_sweep_value
+from .registry import register_command
+
+
+def run_spec_file(spec_path: str):
+    """Load and run a single spec file.
+
+    Returns ``(report, summary, spec)`` — the structured
+    :class:`RunReport` is the same payload a :mod:`repro.serve` job
+    produces for this spec, so ``repro run`` and a submitted job report
+    identically.
+    """
+    from ..engine.spec import ExperimentSpec, run_spec
+
+    spec = ExperimentSpec.from_file(spec_path)
+    summary = run_spec(spec)
+    return RunReport.from_summary(summary, spec=spec), summary, spec
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a declarative :class:`ExperimentSpec` from a JSON/TOML file.
+
+    With ``--sweep field=v1,v2`` (repeatable) the spec becomes the base
+    of a grid sweep over those fields; ``--jobs N`` fans the grid out
+    over a process pool with bit-for-bit identical results.
+    """
+    from ..analysis.plotting import downsample, sparkline
+
+    if args.sweep:
+        from ..engine.spec import ExperimentSpec
+        from ..experiments.runner import executor_for_jobs
+        from ..experiments.sweep import Sweep
+
+        spec = ExperimentSpec.from_file(args.spec)
+        axes = {}
+        for clause in args.sweep:
+            name, sep, values = clause.partition("=")
+            if not sep or not values:
+                raise ReproError(
+                    f"--sweep needs field=v1,v2,... , got {clause!r}"
+                )
+            axes[name.strip()] = [
+                _parse_sweep_value(tok) for tok in values.split(",") if tok
+            ]
+        sweep = Sweep.over_spec(f"{spec.name} sweep", spec, axes)
+        result = sweep.run(executor=executor_for_jobs(args.jobs))
+        names = list(axes)
+        table = Table(
+            title=f"{spec.name} — sweep over {', '.join(names)} "
+                  f"[{result.executor} executor, {result.elapsed:.2f}s]",
+            columns=[*names, "steps", "sim time (s)", "final loss"],
+        )
+        for point in result:
+            if point.ok:
+                s = point.value
+                cells = [
+                    s.num_steps if hasattr(s, "num_steps") else s.num_updates,
+                    round(s.total_sim_time, 3),
+                    round(s.final_loss, 4),
+                ]
+            else:
+                cells = [f"error: {point.error_summary}", "-", "-"]
+            table.add_row(*(point.params[k] for k in names), *cells)
+        table.show()
+        return 0 if result.ok else 1
+    report, summary, spec = run_spec_file(args.spec)
+    print(f"{spec.name} [{spec.scheme} / {report.backend} / {spec.rule}]")
+    print(summary.describe())
+    if getattr(summary, "loss_curve", None):
+        print("loss: " + sparkline(downsample(list(summary.loss_curve), 60)))
+    if args.report is not None:
+        pathlib.Path(args.report).write_text(report.to_json() + "\n")
+    return 0
+
+
+@register_command(
+    "run", help="run a declarative experiment spec (.json/.toml)"
+)
+def configure(parser: argparse.ArgumentParser) -> None:
+    """Wire the ``run`` subparser (arguments + handler)."""
+    parser.add_argument("spec", help="path to an ExperimentSpec file")
+    parser.add_argument(
+        "--sweep", action="append", default=None, metavar="FIELD=V1,V2",
+        help="sweep a spec field over values (repeatable); grid points "
+             "run under the sweep executor",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="process-pool workers for --sweep grids (default: serial; "
+             "results are identical either way)",
+    )
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the structured RunReport JSON here",
+    )
+    parser.set_defaults(func=cmd_run)

@@ -1,0 +1,205 @@
+"""``repro serve`` / ``submit`` / ``jobs`` / ``cancel`` — the multi-job
+coordinator's command-line surface.
+
+All four commands meet over a *mailbox directory* (see
+:mod:`repro.serve.mailbox`): ``repro serve MAILBOX`` runs a
+:class:`~repro.serve.Coordinator` against it; ``repro submit`` drops
+spec files into its inbox; ``repro jobs`` lists the published state
+snapshots; ``repro cancel`` requests a round-boundary cancellation.
+The commands work in either order — submissions made before the
+coordinator starts are picked up when it does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+
+from ..analysis.reporting import Table
+from .registry import register_command
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a mailbox directory until drained (--once) or forever."""
+    from ..serve import Coordinator, ServeMailbox
+
+    coordinator = Coordinator(
+        mode=args.mode,
+        max_running=args.max_running,
+        queue_limit=args.queue_limit,
+        trace_dir=args.trace_dir,
+    )
+    mailbox = ServeMailbox(args.mailbox)
+    print(
+        f"serving {args.mailbox} [{args.mode}] — "
+        f"max_running={args.max_running}, queue_limit={args.queue_limit}"
+    )
+    with coordinator:
+        try:
+            asyncio.run(coordinator.serve(
+                mailbox,
+                poll_interval=args.poll_interval,
+                idle_exit=args.idle_exit,
+                once=args.once,
+            ))
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+    snapshots = coordinator.jobs()
+    done = sum(1 for s in snapshots if s["state"] == "done")
+    failed = sum(1 for s in snapshots if s["state"] == "failed")
+    cancelled = sum(1 for s in snapshots if s["state"] == "cancelled")
+    print(
+        f"served {len(snapshots)} jobs: {done} done, {failed} failed, "
+        f"{cancelled} cancelled"
+    )
+    return 0 if failed == 0 else 1
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a spec file to a serve mailbox; optionally wait for it."""
+    from ..serve import CoordinatorClient
+
+    client = CoordinatorClient(args.mailbox)
+    job_id = client.submit(
+        args.spec,
+        name=args.name,
+        weight=args.weight,
+        trace=True if args.trace else None,
+        job_id=args.job_id,
+    )
+    print(f"submitted {job_id}")
+    if args.wait:
+        snapshot = client.wait(job_id, timeout=args.timeout)
+        print(f"{job_id}: {snapshot['state']}")
+        if snapshot.get("error"):
+            print(f"  {snapshot['error']}")
+        report = snapshot.get("report")
+        if isinstance(report, dict):
+            print(
+                f"  {report.get('num_steps', 0)} steps, "
+                f"{report.get('total_sim_time', 0.0):.2f}s simulated, "
+                f"final loss {report.get('final_loss', float('nan')):.4f}"
+            )
+        return 0 if snapshot["state"] == "done" else 1
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """List every job the mailbox's coordinator knows about."""
+    from ..serve import CoordinatorClient
+
+    client = CoordinatorClient(args.mailbox)
+    snapshots = client.jobs()
+    if args.json:
+        print(json.dumps(snapshots, indent=2, sort_keys=True))
+        return 0
+    serving = client.serving()
+    status = (
+        f"coordinator: {serving['mode']} mode, pid {serving['pid']}"
+        if serving else "coordinator: not running"
+    )
+    print(status)
+    table = Table(
+        title=f"Jobs — {args.mailbox}",
+        columns=["job", "name", "state", "rounds", "detail"],
+    )
+    for snap in snapshots:
+        detail = snap.get("error", "")
+        report = snap.get("report")
+        if isinstance(report, dict):
+            detail = f"final loss {report.get('final_loss'):.4f}"
+        table.add_row(
+            snap.get("id", "?"),
+            snap.get("name", "-"),
+            snap.get("state", "?"),
+            snap.get("rounds_done", "-"),
+            detail,
+        )
+    table.show()
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    """Request cancellation of a submitted job."""
+    from ..serve import CoordinatorClient
+
+    client = CoordinatorClient(args.mailbox)
+    client.cancel(args.job_id)
+    print(f"cancel requested for {args.job_id}")
+    return 0
+
+
+def _add_mailbox_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "mailbox",
+        help="mailbox directory shared with `repro serve` "
+             "(created if missing)",
+    )
+
+
+@register_command("serve", help="run the multi-job coordinator on a mailbox")
+def configure_serve(parser: argparse.ArgumentParser) -> None:
+    """Wire the ``serve`` subparser (arguments + handler)."""
+    _add_mailbox_arg(parser)
+    parser.add_argument(
+        "--mode", choices=("live", "deterministic"), default="live",
+        help="live: thread-pool rounds; deterministic: inline, "
+             "bit-for-bit reproducible interleaving",
+    )
+    parser.add_argument("--max-running", type=int, default=4,
+                        help="jobs running concurrently (default 4)")
+    parser.add_argument("--queue-limit", type=int, default=64,
+                        help="admission bound on active jobs (default 64)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="stream each job's JSONL round trace into "
+                             "this directory")
+    parser.add_argument("--once", action="store_true",
+                        help="drain the current inbox and all admitted "
+                             "jobs, then exit")
+    parser.add_argument("--idle-exit", type=float, default=None,
+                        metavar="SECONDS",
+                        help="exit after this long with nothing to do")
+    parser.add_argument("--poll-interval", type=float, default=0.05,
+                        help="inbox poll period in seconds (default 0.05)")
+    parser.set_defaults(func=cmd_serve)
+
+
+@register_command("submit", help="submit a spec to a serve mailbox")
+def configure_submit(parser: argparse.ArgumentParser) -> None:
+    """Wire the ``submit`` subparser (arguments + handler)."""
+    _add_mailbox_arg(parser)
+    parser.add_argument("spec", help="path to an ExperimentSpec file "
+                                     "(.json/.toml)")
+    parser.add_argument("--name", default=None,
+                        help="job display name (default: spec name)")
+    parser.add_argument("--weight", type=int, default=1,
+                        help="scheduling weight (default 1)")
+    parser.add_argument("--job-id", default=None,
+                        help="explicit job id (default: generated)")
+    parser.add_argument("--trace", action="store_true",
+                        help="request round-trace streaming (needs the "
+                             "coordinator's --trace-dir)")
+    parser.add_argument("--wait", action="store_true",
+                        help="block until the job reaches a terminal "
+                             "state and print its result")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="--wait timeout in seconds (default 60)")
+    parser.set_defaults(func=cmd_submit)
+
+
+@register_command("jobs", help="list jobs on a serve mailbox")
+def configure_jobs(parser: argparse.ArgumentParser) -> None:
+    """Wire the ``jobs`` subparser (arguments + handler)."""
+    _add_mailbox_arg(parser)
+    parser.add_argument("--json", action="store_true",
+                        help="print raw JSON snapshots")
+    parser.set_defaults(func=cmd_jobs)
+
+
+@register_command("cancel", help="cancel a job on a serve mailbox")
+def configure_cancel(parser: argparse.ArgumentParser) -> None:
+    """Wire the ``cancel`` subparser (arguments + handler)."""
+    _add_mailbox_arg(parser)
+    parser.add_argument("job_id", help="job id from `repro submit`/`jobs`")
+    parser.set_defaults(func=cmd_cancel)

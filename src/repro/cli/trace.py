@@ -1,0 +1,68 @@
+"""``repro trace`` — record / summarize JSONL round traces."""
+
+from __future__ import annotations
+
+import argparse
+
+from .registry import register_command
+
+
+def cmd_trace_record(args: argparse.Namespace) -> int:
+    """Run a traced fig11-style condition and export JSONL."""
+    from ..experiments.config import Fig11Config
+    from ..experiments.fig11 import run_traced_fig11
+
+    cfg = Fig11Config(
+        num_workers=args.n,
+        num_steps=args.steps,
+        expected_delays=(args.delay,),
+        num_delayed_options=(args.delayed if args.delayed is not None
+                             else args.n // 2,),
+        wait_values=(args.w,),
+    )
+    points, tracer = run_traced_fig11(cfg, out_path=args.out)
+    print(f"recorded {len(tracer)} rounds over {len(points)} schemes "
+          f"-> {args.out}")
+    for p in points:
+        print(f"  {p.scheme:<16} avg step {p.avg_step_time:.4f}s")
+    return 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Re-aggregate an exported JSONL trace and print the summary."""
+    from ..analysis.reporting import trace_summary_table
+    from ..obs import aggregate_traces, read_traces
+
+    traces = read_traces(args.path)
+    aggregates = aggregate_traces(traces)
+    table = trace_summary_table(
+        aggregates, title=f"Round-trace summary — {args.path}"
+    )
+    table.show()
+    print(f"{len(traces)} rounds, {len(aggregates)} schemes")
+    return 0
+
+
+@register_command("trace", help="record / summarize round traces")
+def configure(parser: argparse.ArgumentParser) -> None:
+    """Wire the ``trace`` subparser (arguments + handler)."""
+    trace_sub = parser.add_subparsers(dest="trace_command", required=True)
+
+    pr = trace_sub.add_parser(
+        "record", help="run a traced fig11-style condition, export JSONL"
+    )
+    pr.add_argument("--out", required=True, help="output JSONL path")
+    pr.add_argument("-n", type=int, default=8, help="number of workers")
+    pr.add_argument("-w", type=int, default=4, help="IS wait count")
+    pr.add_argument("--steps", type=int, default=50)
+    pr.add_argument("--delay", type=float, default=1.5,
+                    help="mean exponential straggler delay (s)")
+    pr.add_argument("--delayed", type=int, default=None,
+                    help="number of delayed workers (default n/2)")
+    pr.set_defaults(func=cmd_trace_record)
+
+    ps = trace_sub.add_parser(
+        "summarize", help="re-aggregate an exported JSONL trace"
+    )
+    ps.add_argument("path", help="JSONL trace file")
+    ps.set_defaults(func=cmd_trace_summarize)

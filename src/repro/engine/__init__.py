@@ -25,6 +25,7 @@ from .backends import (
     RoundExecution,
 )
 from .core import RoundEngine
+from .report import RunReport
 from .rules import (
     AdaptiveMigration,
     AsyncUpdate,
@@ -59,6 +60,7 @@ __all__ = [
     "AsyncUpdate",
     "MigrationEvent",
     "ExperimentSpec",
+    "RunReport",
     "BuildContext",
     "SCHEME_REGISTRY",
     "BACKEND_REGISTRY",

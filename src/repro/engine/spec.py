@@ -50,6 +50,7 @@ load.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import pathlib
 from dataclasses import dataclass, field
@@ -324,23 +325,51 @@ class ExperimentSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
-        """Build a spec from a parsed JSON/TOML mapping."""
+        """Build a spec from a parsed JSON/TOML mapping.
+
+        Unknown keys raise :class:`ConfigurationError` with a
+        did-you-mean hint, so a typoed ``wiat_for`` in a submission
+        payload fails at admission instead of silently defaulting.
+        """
+        import difflib
+
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = sorted(set(data) - known)
         if unknown:
+            hints = []
+            for name in unknown:
+                close = difflib.get_close_matches(
+                    name, sorted(known), n=1, cutoff=0.6
+                )
+                hints.append(
+                    f"{name!r} — did you mean {close[0]!r}?"
+                    if close else repr(name)
+                )
             raise ConfigurationError(
-                f"unknown spec fields: {', '.join(unknown)}"
+                f"unknown spec field{'s' if len(unknown) != 1 else ''}: "
+                + "; ".join(hints)
             )
         return cls(**dict(data))
 
     @classmethod
-    def load(cls, path: "str | pathlib.Path") -> "ExperimentSpec":
-        """Load a spec from a ``.json`` or ``.toml`` file."""
+    def from_file(cls, path: "str | pathlib.Path") -> "ExperimentSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file.
+
+        The public file API: ``repro run``, job submission payloads
+        (``repro submit``) and :meth:`to_file` all share this format.
+        Validation failures raise :class:`ConfigurationError` with
+        did-you-mean hints for unknown field names.
+        """
         path = pathlib.Path(path)
         if not path.exists():
             raise ConfigurationError(f"spec file not found: {path}")
         if path.suffix == ".json":
-            data = json.loads(path.read_text())
+            try:
+                data = json.loads(path.read_text())
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"spec file {path} is not valid JSON: {exc}"
+                ) from exc
         elif path.suffix == ".toml":
             try:
                 import tomllib
@@ -349,7 +378,12 @@ class ExperimentSpec:
                     "TOML specs need Python >= 3.11 (tomllib); "
                     "use a JSON spec instead"
                 ) from exc
-            data = tomllib.loads(path.read_text())
+            try:
+                data = tomllib.loads(path.read_text())
+            except tomllib.TOMLDecodeError as exc:
+                raise ConfigurationError(
+                    f"spec file {path} is not valid TOML: {exc}"
+                ) from exc
         else:
             raise ConfigurationError(
                 f"spec files must be .json or .toml, got {path.suffix!r}"
@@ -360,11 +394,99 @@ class ExperimentSpec:
             )
         return cls.from_dict(data)
 
+    # `load` predates `from_file`; both names are public and identical.
+    load = from_file
+
+    def to_file(self, path: "str | pathlib.Path") -> pathlib.Path:
+        """Write the spec to ``path`` (format chosen by suffix).
+
+        ``.json`` writes canonical indented JSON; ``.toml`` writes a
+        TOML document :meth:`from_file` reads back to an equal spec
+        (``None``-valued optionals are omitted — TOML has no null —
+        and re-applied as defaults on load).  Returns the path.
+        """
+        path = pathlib.Path(path)
+        if path.suffix == ".json":
+            self.save(path)
+        elif path.suffix == ".toml":
+            path.write_text(_spec_toml(self.to_dict()))
+        else:
+            raise ConfigurationError(
+                f"spec files must be .json or .toml, got {path.suffix!r}"
+            )
+        return path
+
     def save(self, path: "str | pathlib.Path") -> None:
-        """Write the spec as JSON (the round-trippable format)."""
+        """Write the spec as JSON regardless of suffix (the historical
+        behaviour; :meth:`to_file` picks the format by suffix)."""
         pathlib.Path(path).write_text(
             json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
         )
+
+    def fingerprint(self) -> str:
+        """Content digest of this spec, stable across processes.
+
+        A deterministic function of every field (canonical sorted-key
+        JSON), mirroring :meth:`Placement.fingerprint`; it identifies
+        a run's full configuration in :class:`~repro.engine.report.RunReport`
+        payloads and serve-job results.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        h = hashlib.blake2b(digest_size=16)
+        h.update(canonical.encode())
+        return h.hexdigest()
+
+
+def _toml_scalar(value: Any) -> str:
+    """Render one TOML value (the subset spec fields use)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and value != value:
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == float("-inf"):
+            return "-inf"
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_scalar(v) for v in value) + "]"
+    if isinstance(value, Mapping):  # nested model specs → inline tables
+        rows = ", ".join(
+            f"{k} = {_toml_scalar(v)}" for k, v in value.items()
+            if v is not None
+        )
+        return "{" + rows + "}"
+    raise ConfigurationError(
+        f"cannot write {type(value).__name__} value {value!r} to TOML"
+    )
+
+
+def _spec_toml(data: Dict[str, Any]) -> str:
+    """A spec dict as TOML: scalar fields first, mappings as tables.
+
+    ``None`` values are dropped (TOML has no null); they are optional
+    spec fields whose defaults re-apply on :meth:`ExperimentSpec.from_file`.
+    """
+    scalars, tables = [], []
+    for key, value in data.items():
+        if value is None:
+            continue
+        if isinstance(value, Mapping):
+            if value:
+                rows = "\n".join(
+                    f"{k} = {_toml_scalar(v)}"
+                    for k, v in value.items()
+                    if v is not None
+                )
+                tables.append(f"[{key}]\n{rows}")
+        else:
+            scalars.append(f"{key} = {_toml_scalar(value)}")
+    return "\n".join(scalars) + "\n\n" + "\n\n".join(tables) + "\n"
 
 
 @dataclass
@@ -603,13 +725,17 @@ def _build_rule(spec: ExperimentSpec, ctx: BuildContext) -> UpdateRule:
     raise ConfigurationError(f"unknown rule {spec.rule!r}")
 
 
-def build_engine(spec: ExperimentSpec) -> RoundEngine:
+def build_engine(spec: ExperimentSpec, tracer=None) -> RoundEngine:
     """Assemble the full engine a spec describes.
 
     Seeding convention (matching the figure runners): the dataset uses
     ``seed``, partitioning ``seed+1``, batch streams ``seed+2``, the
     strategy's decoder ``seed+3``, the backend simulator ``seed+4``,
     and an adaptive rule's advisor ``seed+5``.
+
+    ``tracer`` (a :class:`~repro.obs.RoundTracer`) threads per-round
+    tracing through the engine — the serve coordinator uses this for
+    live per-job trace streaming.  Tracing never perturbs the run.
     """
     from ..training.datasets import build_batch_streams, partition_dataset
     from ..training.optimizers import SGD
@@ -655,6 +781,15 @@ def build_engine(spec: ExperimentSpec) -> RoundEngine:
             f"unknown backend {backend_name!r}; registered backends: {known}"
         )
     backend = backend_factory(ctx)
+    if tracer is not None:
+        cluster = getattr(backend, "cluster", None)
+        if cluster is None:
+            raise ConfigurationError(
+                f"tracing requires a cluster-backed backend "
+                f"(round events come from ClusterSimulator); "
+                f"backend {backend_name!r} does not record rounds"
+            )
+        cluster.tracer = tracer
     rule = _build_rule(spec, ctx)
     return RoundEngine(
         model=model,
@@ -663,6 +798,7 @@ def build_engine(spec: ExperimentSpec) -> RoundEngine:
         backend=backend,
         rule=rule,
         eval_data=dataset,
+        tracer=tracer,
     )
 
 

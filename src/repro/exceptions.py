@@ -44,3 +44,14 @@ class TrainingError(ReproError):
 
 class ObservabilityError(ReproError):
     """Invalid use of the metrics/tracing layer, or a malformed trace."""
+
+
+class ServeError(ReproError):
+    """Invalid use of the multi-job coordinator (:mod:`repro.serve`).
+
+    Admission rejections, submissions to a stopped coordinator, and
+    malformed mailbox payloads all raise this; per-job *outcomes*
+    (failure, cancellation) surface as the dedicated
+    :class:`repro.serve.JobFailedError` / :class:`repro.serve.JobCancelledError`
+    subclasses when a client awaits the job's result.
+    """

@@ -33,7 +33,7 @@ from .registry import (
 )
 from .events import RoundTrace, TRACE_SCHEMA_VERSION
 from .tracer import RoundTracer, null_tracer
-from .jsonl import read_traces, write_traces
+from .jsonl import TraceStreamWriter, read_traces, write_traces
 from .summary import SchemeAggregate, aggregate_traces
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "null_tracer",
     "read_traces",
     "write_traces",
+    "TraceStreamWriter",
     "SchemeAggregate",
     "aggregate_traces",
 ]

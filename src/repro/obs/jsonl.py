@@ -33,6 +33,71 @@ def write_traces(path: PathLike, traces: Iterable[RoundTrace]) -> int:
     return count
 
 
+class TraceStreamWriter:
+    """Append round traces to a JSONL file as they happen.
+
+    :func:`write_traces` is a batch writer — nothing is on disk until
+    the run ends.  A stream writer keeps the file live instead: every
+    :meth:`append` writes one line and flushes, so an external reader
+    (``repro jobs``, ``repro trace summarize``, ``tail -f``) sees each
+    round the moment it completes.  The on-disk format is identical to
+    :func:`write_traces`, hence losslessly re-aggregatable with
+    :func:`read_traces` + :func:`~repro.obs.aggregate_traces` at any
+    point mid-run.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path: PathLike):
+        self._path = Path(path)
+        try:
+            self._fh = self._path.open("w", encoding="utf-8")
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot open trace stream: {exc}"
+            ) from exc
+        self._count = 0
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def count(self) -> int:
+        """Number of traces written so far."""
+        return self._count
+
+    def append(self, trace: RoundTrace) -> None:
+        """Write one trace as a JSONL line and flush it to disk."""
+        if self._fh is None:
+            raise ObservabilityError(
+                f"trace stream {self._path} is closed"
+            )
+        try:
+            self._fh.write(
+                json.dumps(trace.to_dict(), separators=(",", ":"))
+            )
+            self._fh.write("\n")
+            self._fh.flush()
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot write trace stream: {exc}"
+            ) from exc
+        self._count += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceStreamWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 def read_traces(path: PathLike) -> List[RoundTrace]:
     """Load every trace from a JSONL file written by :func:`write_traces`.
 

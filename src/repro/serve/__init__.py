@@ -1,0 +1,57 @@
+"""Multi-job serving layer: one coordinator, many experiments.
+
+:mod:`repro.serve` turns the single-run engine into a job service: an
+asyncio :class:`Coordinator` admits many :class:`~repro.engine.ExperimentSpec`
+jobs at once, interleaves their rounds under a fair (smooth weighted
+round-robin) scheduler, isolates failures, supports cancellation at
+round boundaries, and streams each job's round trace as JSONL.
+
+Entry points:
+
+* :func:`run_jobs` — submit a batch of specs and collect
+  :class:`~repro.engine.RunReport` results (the one-call API);
+* :class:`Coordinator` — long-lived, incremental submissions,
+  ``await handle.result()`` / ``async for event in handle.watch()``;
+* :class:`CoordinatorClient` + ``repro serve`` / ``repro submit`` /
+  ``repro jobs`` / ``repro cancel`` — cross-process, over a file
+  mailbox.
+
+Deterministic mode guarantees that any interleaving of N jobs is
+bit-for-bit identical to N sequential ``repro run`` invocations; see
+``docs/serving.md``.
+"""
+
+from .coordinator import Coordinator, run_jobs
+from .jobs import (
+    JobCancelledError,
+    JobEvent,
+    JobFailedError,
+    JobHandle,
+    JobState,
+)
+from .mailbox import CoordinatorClient, ServeMailbox, Submission
+from .runner import JobRunner
+from .scheduler import (
+    FairScheduler,
+    RandomOrderScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+
+__all__ = [
+    "Coordinator",
+    "run_jobs",
+    "JobState",
+    "JobEvent",
+    "JobHandle",
+    "JobFailedError",
+    "JobCancelledError",
+    "JobRunner",
+    "Scheduler",
+    "FairScheduler",
+    "RoundRobinScheduler",
+    "RandomOrderScheduler",
+    "ServeMailbox",
+    "CoordinatorClient",
+    "Submission",
+]

@@ -1,0 +1,512 @@
+"""The asyncio multi-job coordinator: :class:`Coordinator`.
+
+One coordinator hosts many simultaneous training jobs — each a full
+:class:`~repro.engine.ExperimentSpec` with its own placement scheme,
+environment, round engine and seed — and interleaves their rounds over
+a shared executor under a fair scheduler:
+
+* **admission control** — at most ``queue_limit`` non-terminal jobs;
+  submissions beyond that are rejected with :class:`ServeError`;
+* **scheduling** — up to ``max_running`` jobs hold RUNNING state; each
+  quantum (one engine round) goes to the job the pluggable
+  :class:`~repro.serve.scheduler.Scheduler` picks (default: smooth
+  weighted round-robin, starvation-free);
+* **lifecycle** — ``submit → QUEUED → RUNNING → DONE/FAILED/CANCELLED``
+  with per-job failure isolation and round-boundary cancellation;
+* **observability** — per-job JSONL round-trace streaming through
+  :class:`~repro.obs.TraceStreamWriter`, plus in-process
+  :meth:`JobHandle.watch` event streams.
+
+Two execution modes:
+
+``deterministic``
+    Quanta run inline on the event-loop thread, one at a time.  Because
+    every job's RNG streams, decode cache and simulated clock are
+    private to its engine, **any** interleaving of quanta yields
+    bit-for-bit the trajectories of sequential ``repro run``
+    invocations — the property the test suite pins with hypothesis.
+
+``live``
+    Quanta run on a thread pool (up to ``max_running`` in flight), so
+    many jobs make wall-clock progress concurrently while the event
+    loop keeps serving submissions, watches and the file mailbox.
+    Results are still per-job deterministic; only the *completion
+    order* is timing-dependent.
+
+Simulated time and wall time never mix: job results carry only their
+engines' simulated clocks (the ``TIME003`` static check patrols this
+boundary).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import pathlib
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from ..engine.spec import ExperimentSpec
+from ..exceptions import ServeError
+from .jobs import Job, JobEvent, JobHandle, JobState
+from .runner import JobRunner
+from .scheduler import FairScheduler, Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.report import RunReport
+    from .mailbox import ServeMailbox
+
+
+class Coordinator:
+    """Hosts and fairly schedules many concurrent training jobs.
+
+    Parameters
+    ----------
+    mode:
+        ``"deterministic"`` (inline quanta, reproducible interleaving)
+        or ``"live"`` (thread-pool quanta); see the module docstring.
+    max_running:
+        How many jobs may hold RUNNING state at once (and, in live
+        mode, how many quanta may be in flight concurrently).
+    queue_limit:
+        Admission bound on non-terminal jobs (queued + running).
+    scheduler:
+        Quantum scheduler; defaults to the smooth weighted round-robin
+        :class:`~repro.serve.scheduler.FairScheduler`.
+    trace_dir:
+        When set, every job streams its round trace to
+        ``<trace_dir>/<job_id>.jsonl`` unless submitted with
+        ``trace=False``.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "live",
+        max_running: int = 4,
+        queue_limit: int = 64,
+        scheduler: Optional[Scheduler] = None,
+        trace_dir: "str | pathlib.Path | None" = None,
+    ):
+        if mode not in ("live", "deterministic"):
+            raise ServeError(
+                f"unknown coordinator mode {mode!r}; expected "
+                "'live' or 'deterministic'"
+            )
+        if max_running <= 0:
+            raise ServeError(
+                f"max_running must be positive, got {max_running}"
+            )
+        if queue_limit <= 0:
+            raise ServeError(
+                f"queue_limit must be positive, got {queue_limit}"
+            )
+        self.mode = mode
+        self.max_running = max_running
+        self.queue_limit = queue_limit
+        self.scheduler: Scheduler = (
+            scheduler if scheduler is not None else FairScheduler()
+        )
+        self.trace_dir = (
+            pathlib.Path(trace_dir) if trace_dir is not None else None
+        )
+        self._jobs: Dict[str, Job] = {}
+        self._seq = itertools.count()
+        self._inflight: set = set()
+        self._pool: ThreadPoolExecutor | None = None
+        self._wake = asyncio.Event()
+        self._mailbox: "ServeMailbox | None" = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Submission / admission control
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: "ExperimentSpec | str | pathlib.Path",
+        *,
+        name: Optional[str] = None,
+        weight: int = 1,
+        trace: Optional[bool] = None,
+        job_id: Optional[str] = None,
+    ) -> JobHandle:
+        """Admit one job; returns its :class:`JobHandle`.
+
+        ``spec`` may be a spec object or a ``.json``/``.toml`` path
+        (loaded through :meth:`ExperimentSpec.from_file`, so submission
+        payloads get the same validation + did-you-mean errors).
+        Raises :class:`ServeError` when the queue is full, the weight
+        is invalid, or the coordinator is closed.
+        """
+        if self._closed:
+            raise ServeError("coordinator is closed; no new submissions")
+        if not isinstance(spec, ExperimentSpec):
+            spec = ExperimentSpec.from_file(spec)
+        if weight < 1:
+            raise ServeError(f"job weight must be >= 1, got {weight}")
+        active = sum(
+            1 for job in self._jobs.values() if not job.state.terminal
+        )
+        if active >= self.queue_limit:
+            raise ServeError(
+                f"admission rejected: {active} active jobs at the "
+                f"queue limit ({self.queue_limit})"
+            )
+        seq = next(self._seq)
+        if job_id is None:
+            job_id = f"job-{seq:04d}"
+        if job_id in self._jobs:
+            raise ServeError(f"duplicate job id {job_id!r}")
+        job = Job(
+            job_id=job_id,
+            name=name if name is not None else spec.name,
+            spec=spec,
+            weight=int(weight),
+            seq=seq,
+        )
+        if trace is None:
+            trace = self.trace_dir is not None and spec.rule != "async"
+        if trace:
+            if self.trace_dir is None:
+                raise ServeError(
+                    "tracing requested but the coordinator has no "
+                    "trace_dir"
+                )
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+            job.trace_path = str(self.trace_dir / f"{job_id}.jsonl")
+        self._jobs[job_id] = job
+        self._emit_state(job)
+        self._wake.set()
+        return JobHandle(self, job)
+
+    def handle(self, job_id: str) -> JobHandle:
+        """The handle for a previously submitted job id."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServeError(f"unknown job id {job_id!r}")
+        return JobHandle(self, job)
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """State snapshots of every job, in submission order."""
+        ordered = sorted(self._jobs.values(), key=lambda job: job.seq)
+        return [job.snapshot() for job in ordered]
+
+    # ------------------------------------------------------------------
+    # Lifecycle internals
+    # ------------------------------------------------------------------
+    def _request_cancel(self, job: Job) -> bool:
+        if job.state.terminal:
+            return False
+        job.cancel_requested = True
+        if job.state is JobState.QUEUED:
+            self._finish_cancel(job)
+        # RUNNING jobs stop at the next round boundary (the scheduler
+        # checks the flag before granting another quantum).
+        self._wake.set()
+        return True
+
+    def _finish_cancel(self, job: Job) -> None:
+        if job.runner is not None:
+            job.runner.abort()
+        self._transition(job, JobState.CANCELLED)
+
+    def _transition(
+        self, job: Job, state: JobState, detail: str = ""
+    ) -> None:
+        job.state = state
+        self._emit_state(job, detail)
+        if state.terminal:
+            job.done_event.set()
+            for queue in job.watchers:
+                queue.put_nowait(None)
+            job.watchers.clear()
+
+    def _emit_state(self, job: Job, detail: str = "") -> None:
+        self._push_event(job, JobEvent(
+            job_id=job.job_id,
+            kind="state",
+            state=job.state.value,
+            detail=detail or job.error,
+        ))
+
+    def _push_event(self, job: Job, event: JobEvent) -> None:
+        for queue in job.watchers:
+            queue.put_nowait(event)
+        if self._mailbox is not None:
+            self._mailbox.write_state(job)
+
+    def _start_job(self, job: Job) -> None:
+        """QUEUED → RUNNING: build the engine (isolated on failure)."""
+        try:
+            job.runner = JobRunner(
+                job.spec,
+                trace_path=job.trace_path,
+                trace_context=job.name,
+            )
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            job.error = _summarize_error(exc)
+            self._transition(job, JobState.FAILED)
+            return
+        self._transition(job, JobState.RUNNING)
+
+    def _admit_queued(self) -> None:
+        running = [
+            job for job in self._jobs.values()
+            if job.state is JobState.RUNNING
+        ]
+        queued = sorted(
+            (
+                job for job in self._jobs.values()
+                if job.state is JobState.QUEUED
+            ),
+            key=lambda job: job.seq,
+        )
+        for job in queued:
+            if len(running) >= self.max_running:
+                break
+            if job.cancel_requested:
+                self._finish_cancel(job)
+                continue
+            self._start_job(job)
+            if job.state is JobState.RUNNING:
+                running.append(job)
+
+    def _runnable(self) -> List[Job]:
+        """RUNNING jobs eligible for a quantum right now."""
+        jobs = []
+        for job in sorted(self._jobs.values(), key=lambda j: j.seq):
+            if job.state is not JobState.RUNNING or job in self._inflight:
+                continue
+            if job.cancel_requested:
+                self._finish_cancel(job)
+                continue
+            jobs.append(job)
+        return jobs
+
+    def _active(self) -> bool:
+        return any(
+            not job.state.terminal for job in self._jobs.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Quantum execution
+    # ------------------------------------------------------------------
+    def _finish_quantum(self, job: Job, outcome) -> None:
+        """Commit one quantum's result on the event-loop thread."""
+        self._inflight.discard(job)
+        if isinstance(outcome, BaseException):
+            job.error = _summarize_error(outcome)
+            if job.runner is not None:
+                job.runner.abort()
+            self._transition(job, JobState.FAILED)
+            return
+        assert job.runner is not None
+        job.rounds_done = job.runner.rounds_done
+        record = job.runner.last_record
+        self._push_event(job, JobEvent(
+            job_id=job.job_id,
+            kind="round",
+            state=job.state.value,
+            step=job.rounds_done,
+            sim_time=record.sim_time if record is not None else None,
+            loss=record.loss if record is not None else None,
+        ))
+        if outcome:  # runner reported completion
+            job.report = job.runner.report()
+            self._transition(job, JobState.DONE)
+        elif job.cancel_requested:
+            self._finish_cancel(job)
+
+    async def _run_one_deterministic(self, job: Job) -> None:
+        assert job.runner is not None
+        try:
+            done = job.runner.step()
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            self._finish_quantum(job, exc)
+        else:
+            self._finish_quantum(job, done)
+        # Yield so submissions/watchers interleave at round boundaries.
+        await asyncio.sleep(0)
+
+    def _launch_live(self, job: Job) -> "asyncio.Future":
+        assert job.runner is not None
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_running,
+                thread_name_prefix="repro-serve",
+            )
+        self._inflight.add(job)
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._pool, job.runner.step)
+
+        def _done(fut: "asyncio.Future") -> None:
+            outcome = fut.exception()
+            if outcome is None:
+                outcome = fut.result()
+            self._finish_quantum(job, outcome)
+            self._wake.set()
+
+        future.add_done_callback(_done)
+        return future
+
+    # ------------------------------------------------------------------
+    # Driving loops
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Schedule quanta until every submitted job is terminal."""
+        while self._active():
+            self._admit_queued()
+            runnable = self._runnable()
+            if not runnable:
+                if self._inflight:
+                    self._wake.clear()
+                    await self._wake.wait()
+                    continue
+                if not self._active():
+                    break
+                # Only queued-but-unadmittable jobs remain; loop again
+                # (admission frees up as running jobs finish).
+                await asyncio.sleep(0)
+                continue
+            if self.mode == "deterministic":
+                job = self.scheduler.pick(runnable)
+                await self._run_one_deterministic(job)
+            else:
+                while runnable and len(self._inflight) < self.max_running:
+                    job = self.scheduler.pick(runnable)
+                    runnable.remove(job)
+                    self._launch_live(job)
+                self._wake.clear()
+                if self._inflight:
+                    await self._wake.wait()
+
+    async def serve(
+        self,
+        mailbox: "ServeMailbox",
+        *,
+        poll_interval: float = 0.05,
+        idle_exit: Optional[float] = None,
+        once: bool = False,
+    ) -> None:
+        """Serve a file mailbox: accept submissions, run jobs, publish
+        state snapshots.
+
+        ``once`` drains the current inbox and every admitted job, then
+        returns (the CI smoke mode).  ``idle_exit`` returns after
+        approximately that many seconds with an empty inbox and no
+        active jobs (measured in ``poll_interval`` sleeps, not by
+        reading a wall clock).  With neither, serves until cancelled.
+        """
+        self._mailbox = mailbox
+        mailbox.announce(self)
+        idle_polls = 0
+        try:
+            while True:
+                admitted = self._poll_mailbox(mailbox)
+                if self._active():
+                    idle_polls = 0
+                    await self.drain()
+                    for job in self._jobs.values():
+                        if job.state.terminal:
+                            mailbox.write_state(job)
+                    continue
+                if once and not admitted:
+                    return
+                if idle_exit is not None:
+                    idle_polls += 1
+                    if idle_polls * poll_interval >= idle_exit:
+                        return
+                await asyncio.sleep(poll_interval)
+        finally:
+            mailbox.retire(self)
+            self._mailbox = None
+
+    def _poll_mailbox(self, mailbox: "ServeMailbox") -> int:
+        admitted = 0
+        for submission in mailbox.poll_submissions():
+            try:
+                self.submit(
+                    submission.spec,
+                    name=submission.name,
+                    weight=submission.weight,
+                    trace=submission.trace,
+                    job_id=submission.job_id,
+                )
+                admitted += 1
+            except ServeError as exc:
+                mailbox.write_rejection(submission, str(exc))
+        for job_id in mailbox.poll_cancels():
+            job = self._jobs.get(job_id)
+            if job is not None:
+                self._request_cancel(job)
+        return admitted
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Refuse further submissions and release the thread pool."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _summarize_error(exc: BaseException) -> str:
+    """One-line error summary plus the innermost frame, for job state."""
+    lines = traceback.format_exception_only(type(exc), exc)
+    summary = lines[-1].strip() if lines else repr(exc)
+    tb = exc.__traceback__
+    location = ""
+    while tb is not None:
+        frame = tb.tb_frame
+        location = f" (at {frame.f_code.co_filename}:{tb.tb_lineno})"
+        tb = tb.tb_next
+    return summary + location
+
+
+def run_jobs(
+    specs: Sequence["ExperimentSpec | str | pathlib.Path"],
+    *,
+    mode: str = "deterministic",
+    max_running: int = 4,
+    weights: Optional[Sequence[int]] = None,
+    scheduler: Optional[Scheduler] = None,
+    trace_dir: "str | pathlib.Path | None" = None,
+    queue_limit: Optional[int] = None,
+) -> List["RunReport"]:
+    """Convenience driver: submit ``specs``, drain, return the reports.
+
+    Results are in submission order.  A failed or cancelled job raises
+    its :class:`~repro.serve.jobs.JobFailedError` /
+    :class:`~repro.serve.jobs.JobCancelledError` — callers that want
+    per-job outcomes should drive a :class:`Coordinator` directly.
+    """
+    coordinator = Coordinator(
+        mode=mode,
+        max_running=max_running,
+        queue_limit=(
+            queue_limit if queue_limit is not None else max(64, len(specs))
+        ),
+        scheduler=scheduler,
+        trace_dir=trace_dir,
+    )
+
+    async def _run() -> List["RunReport"]:
+        handles = [
+            coordinator.submit(
+                spec,
+                weight=(weights[i] if weights is not None else 1),
+            )
+            for i, spec in enumerate(specs)
+        ]
+        await coordinator.drain()
+        return [await handle.result() for handle in handles]
+
+    with coordinator:
+        return asyncio.run(_run())

@@ -1,0 +1,288 @@
+"""File-based submission protocol between serve CLI commands and a
+running coordinator.
+
+A mailbox is a directory; every message is one JSON file written
+atomically (temp file + ``os.replace``), so readers never observe a
+partial payload and the protocol needs no socket, daemon library or
+extra dependency.  Layout::
+
+    <root>/
+      coordinator.json      # present while a coordinator is serving
+      inbox/<job_id>.json   # submissions, consumed in sorted order
+      cancel/<job_id>.cancel
+      jobs/<job_id>.json    # state snapshots, rewritten on progress
+      rejected/<job_id>.json
+
+Submissions embed the full spec payload (``{"spec": {...}}``), so the
+coordinator revalidates through :meth:`ExperimentSpec.from_dict` and
+rejections land in ``rejected/`` with the original error message —
+including the spec layer's did-you-mean hints.
+
+Two classes share the directory: :class:`ServeMailbox` is the
+coordinator side (poll, consume, publish state);
+:class:`CoordinatorClient` is the CLI side (submit, list, cancel,
+wait).  Wall-clock time appears *only* here, for client poll timeouts —
+never in job results (the ``TIME003`` static check keeps the rest of
+:mod:`repro.serve` wall-clock-free).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
+
+from ..engine.spec import ExperimentSpec
+from ..exceptions import ConfigurationError, ServeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .coordinator import Coordinator
+    from .jobs import Job
+
+_INBOX = "inbox"
+_JOBS = "jobs"
+_CANCEL = "cancel"
+_REJECTED = "rejected"
+_COORDINATOR = "coordinator.json"
+
+#: terminal states a client's ``wait()`` stops on.
+_TERMINAL = ("done", "failed", "cancelled", "rejected")
+
+
+def _atomic_write(path: pathlib.Path, payload: Dict[str, object]) -> None:
+    """Write JSON so that readers see either nothing or the whole file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+@dataclass
+class Submission:
+    """One decoded inbox entry."""
+
+    job_id: str
+    spec: ExperimentSpec
+    name: Optional[str] = None
+    weight: int = 1
+    trace: Optional[bool] = None
+
+    @classmethod
+    def from_payload(
+        cls, job_id: str, payload: Dict[str, object]
+    ) -> "Submission":
+        if not isinstance(payload, dict) or "spec" not in payload:
+            raise ServeError(
+                f"submission {job_id!r} is missing the 'spec' payload"
+            )
+        spec = ExperimentSpec.from_dict(payload["spec"])
+        weight = payload.get("weight", 1)
+        if not isinstance(weight, int) or isinstance(weight, bool):
+            raise ServeError(
+                f"submission {job_id!r} has non-integer weight "
+                f"{weight!r}"
+            )
+        trace = payload.get("trace")
+        if trace is not None and not isinstance(trace, bool):
+            raise ServeError(
+                f"submission {job_id!r} has non-boolean trace flag "
+                f"{trace!r}"
+            )
+        name = payload.get("name")
+        if name is not None and not isinstance(name, str):
+            raise ServeError(
+                f"submission {job_id!r} has non-string name {name!r}"
+            )
+        return cls(
+            job_id=job_id, spec=spec, name=name,
+            weight=weight, trace=trace,
+        )
+
+
+class ServeMailbox:
+    """Coordinator-side view of a mailbox directory."""
+
+    def __init__(self, root: "str | pathlib.Path"):
+        self.root = pathlib.Path(root)
+        for sub in (_INBOX, _JOBS, _CANCEL, _REJECTED):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def announce(self, coordinator: "Coordinator") -> None:
+        """Publish that a coordinator is serving this mailbox."""
+        _atomic_write(self.root / _COORDINATOR, {
+            "mode": coordinator.mode,
+            "max_running": coordinator.max_running,
+            "queue_limit": coordinator.queue_limit,
+            "pid": os.getpid(),
+        })
+
+    def retire(self, coordinator: "Coordinator") -> None:
+        """Remove the serving marker (idempotent)."""
+        marker = self.root / _COORDINATOR
+        if marker.exists():
+            marker.unlink()
+
+    # ------------------------------------------------------------------
+    def poll_submissions(self) -> Iterator[Submission]:
+        """Consume pending inbox entries in sorted (submission) order.
+
+        Malformed payloads are moved straight to ``rejected/`` with the
+        parse error; well-formed ones are yielded for admission.
+        """
+        inbox = self.root / _INBOX
+        for path in sorted(inbox.glob("*.json")):
+            job_id = path.stem
+            try:
+                payload = json.loads(path.read_text())
+                submission = Submission.from_payload(job_id, payload)
+            except (ServeError, ConfigurationError, ValueError) as exc:
+                path.unlink()
+                self._write_rejection_payload(job_id, str(exc))
+                continue
+            path.unlink()
+            yield submission
+
+    def poll_cancels(self) -> List[str]:
+        """Consume pending cancellation requests (job ids)."""
+        cancels = []
+        for path in sorted((self.root / _CANCEL).glob("*.cancel")):
+            cancels.append(path.stem)
+            path.unlink()
+        return cancels
+
+    # ------------------------------------------------------------------
+    def write_state(self, job: "Job") -> None:
+        """Publish/refresh one job's state snapshot."""
+        _atomic_write(
+            self.root / _JOBS / f"{job.job_id}.json", job.snapshot()
+        )
+
+    def write_rejection(self, submission: Submission, reason: str) -> None:
+        """Record that a well-formed submission failed admission."""
+        self._write_rejection_payload(submission.job_id, reason)
+
+    def _write_rejection_payload(self, job_id: str, reason: str) -> None:
+        _atomic_write(self.root / _REJECTED / f"{job_id}.json", {
+            "id": job_id,
+            "state": "rejected",
+            "error": reason,
+        })
+
+
+class CoordinatorClient:
+    """CLI/client-side view of a mailbox directory.
+
+    Submissions are fire-and-forget file drops; state comes from the
+    snapshots the coordinator publishes.  ``wait()`` polls with a
+    wall-clock deadline — acceptable here because the clock only
+    bounds the *wait*, it never enters a job result.
+    """
+
+    def __init__(self, root: "str | pathlib.Path"):
+        self.root = pathlib.Path(root)
+        for sub in (_INBOX, _JOBS, _CANCEL, _REJECTED):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def serving(self) -> Optional[Dict[str, object]]:
+        """The announce payload if a coordinator is serving, else None."""
+        marker = self.root / _COORDINATOR
+        if not marker.exists():
+            return None
+        return json.loads(marker.read_text())
+
+    def _fresh_job_id(self) -> str:
+        taken = {
+            path.stem
+            for sub in (_INBOX, _JOBS, _REJECTED)
+            for path in (self.root / sub).glob("*.json")
+        }
+        i = 0
+        while f"job-{os.getpid()}-{i:04d}" in taken:
+            i += 1
+        return f"job-{os.getpid()}-{i:04d}"
+
+    def submit(
+        self,
+        spec: "ExperimentSpec | str | pathlib.Path",
+        *,
+        name: Optional[str] = None,
+        weight: int = 1,
+        trace: Optional[bool] = None,
+        job_id: Optional[str] = None,
+    ) -> str:
+        """Drop one submission into the inbox; returns its job id."""
+        if not isinstance(spec, ExperimentSpec):
+            spec = ExperimentSpec.from_file(spec)
+        if job_id is None:
+            job_id = self._fresh_job_id()
+        target = self.root / _INBOX / f"{job_id}.json"
+        if target.exists() or (self.root / _JOBS / f"{job_id}.json").exists():
+            raise ServeError(f"duplicate job id {job_id!r}")
+        payload: Dict[str, object] = {
+            "spec": spec.to_dict(),
+            "weight": int(weight),
+        }
+        if name is not None:
+            payload["name"] = name
+        if trace is not None:
+            payload["trace"] = trace
+        _atomic_write(target, payload)
+        return job_id
+
+    def cancel(self, job_id: str) -> None:
+        """Request cancellation of a submitted job."""
+        (self.root / _CANCEL / f"{job_id}.cancel").write_text("")
+
+    # ------------------------------------------------------------------
+    def state(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The latest snapshot for one job (or its rejection record)."""
+        for sub in (_JOBS, _REJECTED):
+            path = self.root / sub / f"{job_id}.json"
+            if path.exists():
+                return json.loads(path.read_text())
+        inbox = self.root / _INBOX / f"{job_id}.json"
+        if inbox.exists():
+            return {"id": job_id, "state": "submitted"}
+        return None
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """All known job snapshots, sorted by job id."""
+        snapshots = {}
+        for sub in (_JOBS, _REJECTED):
+            for path in sorted((self.root / sub).glob("*.json")):
+                snapshots[path.stem] = json.loads(path.read_text())
+        for path in sorted((self.root / _INBOX).glob("*.json")):
+            snapshots.setdefault(
+                path.stem, {"id": path.stem, "state": "submitted"}
+            )
+        return [snapshots[key] for key in sorted(snapshots)]
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 60.0,
+        poll_interval: float = 0.05,
+    ) -> Dict[str, object]:
+        """Block until ``job_id`` reaches a terminal state.
+
+        Returns the final snapshot; raises :class:`ServeError` when the
+        timeout expires first.  The deadline uses the monotonic clock
+        purely for flow control — nothing from it enters the result.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.state(job_id)
+            if snapshot is not None and snapshot.get("state") in _TERMINAL:
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"timed out after {timeout:g}s waiting for job "
+                    f"{job_id!r}"
+                    + ("" if snapshot else " (never seen by a coordinator)")
+                )
+            time.sleep(poll_interval)

@@ -1,0 +1,153 @@
+"""One job's engine, steppable round by round: :class:`JobRunner`.
+
+:meth:`RoundEngine.run` owns the canonical training loop (step →
+loss-tracker → early stop).  Interleaving many jobs means suspending
+that loop between rounds, so the runner re-expresses it as an explicit
+state machine with *exactly* the same step sequence and stopping rule:
+``JobRunner`` run to completion produces, bit for bit, the
+:class:`~repro.types.TrainingSummary` of ``engine.run(...)`` on the
+same spec.  The determinism tests pin this equivalence, which is what
+makes the coordinator's deterministic mode meaningful — N interleaved
+jobs produce the same results as N sequential ``repro run``
+invocations.
+
+Jobs under the ``async`` update rule have no round boundary the engine
+exposes (arrivals are a continuous stream), so an async job runs as a
+single monolithic quantum.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..engine.report import RunReport
+from ..engine.spec import build_engine
+from ..exceptions import ServeError
+from ..obs import RoundTracer, TraceStreamWriter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.spec import ExperimentSpec
+    from ..types import StepRecord
+
+
+class JobRunner:
+    """Builds a spec's engine and exposes a one-round ``step()`` API.
+
+    Parameters
+    ----------
+    spec:
+        The job's experiment description; the engine, RNG streams and
+        decode cache are all private to this runner, so concurrent
+        runners cannot perturb each other.
+    trace_path:
+        When given, a :class:`~repro.obs.TraceStreamWriter` streams the
+        job's round trace there — one JSONL line per round, flushed as
+        the round completes (requires the flat backend, like all
+        tracing).
+    """
+
+    def __init__(
+        self,
+        spec: "ExperimentSpec",
+        trace_path: Optional[str] = None,
+        trace_context: Optional[str] = None,
+    ):
+        self.spec = spec
+        self.tracer: RoundTracer | None = None
+        self._stream: TraceStreamWriter | None = None
+        self._streamed = 0
+        if trace_path is not None:
+            if spec.rule == "async":
+                raise ServeError(
+                    "async-rule jobs have no round trace to stream; "
+                    "submit without a trace path"
+                )
+            self.tracer = RoundTracer(
+                scheme=trace_context if trace_context is not None
+                else spec.name
+            )
+            self._stream = TraceStreamWriter(trace_path)
+        self.engine = build_engine(spec, tracer=self.tracer)
+        self._step = 0
+        self._finished = False
+        self._summary = None
+        # Mirrors RoundEngine.run: same tracker, same reset, same
+        # stopping rule — the golden determinism tests pin this.
+        from ..training.convergence import LossTracker
+
+        self._tracker = LossTracker(
+            spec.loss_threshold, spec.smoothing_window
+        )
+        self.engine.max_steps = spec.max_steps
+        self.engine.records = []
+
+    # ------------------------------------------------------------------
+    @property
+    def rounds_done(self) -> int:
+        return self._step
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def last_record(self) -> "StepRecord | None":
+        return self.engine.records[-1] if self.engine.records else None
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run one quantum; returns ``True`` when the job just finished.
+
+        For synchronous rules a quantum is one engine round; for the
+        ``async`` rule it is the whole run (no exposed round boundary).
+        """
+        if self._finished:
+            raise ServeError("job already finished; step() after end")
+        if self.spec.rule == "async":
+            self._summary = self.engine.run_updates(self.spec.max_steps)
+            self._step = self._summary.num_updates
+            self._finished = True
+            return True
+        record = self.engine.run_step(self._step)
+        self._tracker.record(record.loss)
+        self._step += 1
+        self._stream_new_traces()
+        if self._tracker.reached_threshold() or self._step >= self.spec.max_steps:
+            self._summary = self.engine.summarize(
+                reached=self._tracker.reached_threshold()
+            )
+            self._finished = True
+            self._close_stream()
+        return self._finished
+
+    def _stream_new_traces(self) -> None:
+        """Flush traces recorded since the last round to the stream."""
+        if self._stream is None or self.tracer is None:
+            return
+        traces = self.tracer.traces
+        for trace in traces[self._streamed:]:
+            self._stream.append(trace)
+        self._streamed = len(traces)
+
+    def _close_stream(self) -> None:
+        if self._stream is not None:
+            self._stream_new_traces()
+            self._stream.close()
+
+    def abort(self) -> None:
+        """Stop without a summary (cancellation); closes the stream."""
+        self._finished = True
+        self._close_stream()
+
+    # ------------------------------------------------------------------
+    def report(self) -> RunReport:
+        """The finished job's result payload."""
+        if self._summary is None:
+            raise ServeError("job has no result yet; step() to completion")
+        return RunReport.from_summary(
+            self._summary,
+            spec=self.spec,
+            trace_path=(
+                str(self._stream.path) if self._stream is not None else None
+            ),
+        )

@@ -1,0 +1,90 @@
+"""Quantum schedulers: which running job gets the next round.
+
+The coordinator executes one *quantum* (one engine round) at a time
+per scheduling decision.  A :class:`Scheduler` picks the job for each
+quantum from the currently runnable set; the default
+:class:`FairScheduler` implements smooth weighted round-robin (SWRR):
+every decision adds each runnable job's weight to its credit, the
+highest-credit job runs and pays the total weight back.  Over any
+window of ``Q`` quanta a job with weight ``w_i`` receives
+``Q * w_i / Σw`` quanta to within one — the classic starvation-free
+fairness bound (ties break on admission order, so the schedule is a
+pure function of the submission history).
+
+Schedulers are pluggable (``Coordinator(scheduler=...)``); the test
+suite drives the coordinator with adversarial random-order schedulers
+to prove trajectories are interleaving-invariant.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .jobs import Job
+
+
+class Scheduler(Protocol):
+    """Picks the next job to receive a round quantum."""
+
+    def pick(self, runnable: Sequence["Job"]) -> "Job":
+        """Choose one job from ``runnable`` (never empty)."""
+        ...
+
+
+class FairScheduler:
+    """Smooth weighted round-robin over the runnable jobs.
+
+    Credit state lives on the jobs themselves (``job.credit``), so
+    jobs entering and leaving the running set keep their standing and
+    a finished job's state needs no cleanup here.
+    """
+
+    def pick(self, runnable: Sequence["Job"]) -> "Job":
+        """One SWRR decision: credit all runnables, run the richest."""
+        total = sum(job.weight for job in runnable)
+        best = None
+        for job in runnable:
+            job.credit += job.weight
+            if best is None or job.credit > best.credit or (
+                job.credit == best.credit and job.seq < best.seq
+            ):
+                best = job
+        assert best is not None
+        best.credit -= total
+        return best
+
+
+class RoundRobinScheduler:
+    """Strict cyclic order by admission sequence, ignoring weights."""
+
+    def __init__(self) -> None:
+        self._last_seq = -1
+
+    def pick(self, runnable: Sequence["Job"]) -> "Job":
+        """The next runnable job after the previously picked one."""
+        ordered = sorted(runnable, key=lambda job: job.seq)
+        for job in ordered:
+            if job.seq > self._last_seq:
+                self._last_seq = job.seq
+                return job
+        job = ordered[0]
+        self._last_seq = job.seq
+        return job
+
+
+class RandomOrderScheduler:
+    """Seeded adversarial scheduler: uniformly random runnable job.
+
+    Exists for the determinism tests — *any* interleaving must produce
+    the same per-job trajectories — and for chaos-style smoke runs.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def pick(self, runnable: Sequence["Job"]) -> "Job":
+        """A uniformly random runnable job from the seeded stream."""
+        return runnable[int(self._rng.integers(len(runnable)))]

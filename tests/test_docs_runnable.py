@@ -81,6 +81,20 @@ def test_async_vs_isgc_example_runs(capsys):
     assert "async staleness" in out
 
 
+def test_serve_quickstart_example_runs(capsys):
+    _run_example(REPO / "examples" / "serve_quickstart.py")
+    out = capsys.readouterr().out
+    assert "four schemes, one coordinator" in out
+    assert "job-0002: cancelled" in out
+    assert "demo-job: done" in out
+
+
+def test_serving_doc_blocks_run(tmp_path, monkeypatch, capsys):
+    # The serving doc's blocks drop a mailbox directory in the cwd.
+    monkeypatch.chdir(tmp_path)
+    _run_blocks(REPO / "docs" / "serving.md")
+
+
 def test_readme_blocks_run(capsys):
     _run_blocks(REPO / "README.md")
 

@@ -1,0 +1,494 @@
+"""Tests for :mod:`repro.serve` — the asyncio multi-job coordinator.
+
+The load-bearing property: in deterministic mode, *any* interleaving
+of N concurrent jobs is bit-for-bit identical to N sequential
+``repro run`` invocations — trajectories AND streamed JSONL traces.
+Hypothesis drives adversarial schedulers and weight assignments at it.
+"""
+
+import asyncio
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Coordinator,
+    CoordinatorClient,
+    ExperimentSpec,
+    JobCancelledError,
+    JobFailedError,
+    JobState,
+    RunReport,
+    ServeError,
+    ServeMailbox,
+    run_jobs,
+    run_spec,
+)
+from repro.serve import (
+    FairScheduler,
+    RandomOrderScheduler,
+    RoundRobinScheduler,
+)
+from repro.serve.jobs import Job
+
+SCHEMES = ("is-gc-cr", "is-gc-fr", "gc", "sync-sgd")
+
+
+def make_spec(i, max_steps=6):
+    return ExperimentSpec(
+        name=f"serve-test-{i}",
+        scheme=SCHEMES[i % len(SCHEMES)],
+        num_workers=4,
+        partitions_per_worker=2,
+        wait_for=3,
+        max_steps=max_steps,
+        seed=100 + i,
+    )
+
+
+def sequential_reports(specs, trace_dir=None):
+    """The ground truth: each spec run alone, one at a time."""
+    reports = []
+    for i, spec in enumerate(specs):
+        sub_dir = None
+        if trace_dir is not None:
+            sub_dir = pathlib.Path(trace_dir) / f"solo-{i}"
+        reports.extend(run_jobs([spec], trace_dir=sub_dir))
+    return reports
+
+
+def strip_trace(report):
+    """Report payload minus the (path-dependent) trace location."""
+    payload = report.to_dict()
+    payload.pop("trace_path", None)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Determinism: interleaved == sequential
+
+
+class TestDeterminism:
+    def test_concurrent_equals_sequential(self):
+        specs = [make_spec(i) for i in range(4)]
+        concurrent = run_jobs(specs, max_running=4)
+        solo = sequential_reports(specs)
+        assert [r.to_dict() for r in concurrent] == [
+            r.to_dict() for r in solo
+        ]
+
+    def test_concurrent_equals_run_spec(self):
+        spec = make_spec(0)
+        (report,) = run_jobs([spec])
+        summary = run_spec(spec)
+        assert report.num_steps == summary.num_steps
+        assert report.final_loss == summary.final_loss
+        assert report.total_sim_time == summary.total_sim_time
+        assert report.loss_curve == tuple(summary.loss_curve)
+
+    def test_eight_jobs_bit_for_bit_with_traces(self, tmp_path):
+        specs = [make_spec(i) for i in range(8)]
+        concurrent_dir = tmp_path / "concurrent"
+        concurrent = run_jobs(
+            specs, max_running=4, trace_dir=concurrent_dir
+        )
+        solo = sequential_reports(specs, trace_dir=tmp_path / "solo")
+        assert [strip_trace(r) for r in concurrent] == [
+            strip_trace(r) for r in solo
+        ]
+        for conc, seq in zip(concurrent, solo):
+            conc_trace = pathlib.Path(conc.trace_path).read_bytes()
+            seq_trace = pathlib.Path(seq.trace_path).read_bytes()
+            assert conc_trace == seq_trace
+
+    def test_adversarial_interleaving(self):
+        specs = [make_spec(i) for i in range(4)]
+        baseline = [r.to_dict() for r in sequential_reports(specs)]
+        for seed in range(3):
+            shuffled = run_jobs(
+                specs,
+                max_running=4,
+                scheduler=RandomOrderScheduler(seed),
+            )
+            assert [r.to_dict() for r in shuffled] == baseline
+
+    def test_live_mode_matches_deterministic(self):
+        specs = [make_spec(i) for i in range(3)]
+        live = run_jobs(specs, mode="live", max_running=3)
+        det = run_jobs(specs, mode="deterministic")
+        assert [r.to_dict() for r in live] == [r.to_dict() for r in det]
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        weights=st.lists(st.integers(1, 5), min_size=3, max_size=3),
+        max_running=st.integers(1, 3),
+    )
+    def test_any_interleaving_equals_sequential(
+        self, seed, weights, max_running
+    ):
+        specs = [make_spec(i, max_steps=4) for i in range(3)]
+        interleaved = run_jobs(
+            specs,
+            max_running=max_running,
+            weights=weights,
+            scheduler=RandomOrderScheduler(seed),
+        )
+        solo = sequential_reports(specs)
+        assert [r.to_dict() for r in interleaved] == [
+            r.to_dict() for r in solo
+        ]
+
+
+# ----------------------------------------------------------------------
+# Scheduling: fairness and starvation-freedom
+
+
+def _fake_jobs(weights):
+    return [
+        Job(
+            job_id=f"fake-{i}",
+            name=f"fake-{i}",
+            spec=None,
+            weight=w,
+            seq=i,
+        )
+        for i, w in enumerate(weights)
+    ]
+
+
+class TestScheduling:
+    def test_swrr_fairness_bound(self):
+        # Over any window of Q quanta a job with weight w_i receives
+        # Q * w_i / sum(w) quanta to within one.
+        weights = [1, 2, 5]
+        jobs = _fake_jobs(weights)
+        scheduler = FairScheduler()
+        quanta = 400
+        counts = {job.job_id: 0 for job in jobs}
+        for _ in range(quanta):
+            counts[scheduler.pick(jobs).job_id] += 1
+        total = sum(weights)
+        for job, w in zip(jobs, weights):
+            expected = quanta * w / total
+            assert abs(counts[job.job_id] - expected) <= 1
+
+    def test_swrr_no_starvation(self):
+        # Even a weight-1 job among heavyweights runs regularly: the
+        # gap between its quanta is bounded (no starvation).
+        jobs = _fake_jobs([1, 10, 10])
+        scheduler = FairScheduler()
+        last_seen = 0
+        max_gap = 0
+        for tick in range(1, 301):
+            if scheduler.pick(jobs).job_id == "fake-0" :
+                max_gap = max(max_gap, tick - last_seen)
+                last_seen = tick
+        assert last_seen > 0, "weight-1 job never ran"
+        assert max_gap <= 21  # one full cycle of sum(weights)
+
+    def test_round_robin_cycles_in_seq_order(self):
+        jobs = _fake_jobs([1, 1, 1])
+        scheduler = RoundRobinScheduler()
+        picked = [scheduler.pick(jobs).job_id for _ in range(6)]
+        assert picked == ["fake-0", "fake-1", "fake-2"] * 2
+
+    def test_schedule_is_deterministic(self):
+        picks = []
+        for _ in range(2):
+            jobs = _fake_jobs([3, 1, 2])
+            scheduler = FairScheduler()
+            picks.append(
+                [scheduler.pick(jobs).job_id for _ in range(50)]
+            )
+        assert picks[0] == picks[1]
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: admission, cancellation, failure isolation
+
+
+class TestLifecycle:
+    def test_admission_rejects_beyond_queue_limit(self):
+        with Coordinator(mode="deterministic", queue_limit=2) as coord:
+            coord.submit(make_spec(0))
+            coord.submit(make_spec(1))
+            with pytest.raises(ServeError, match="queue limit"):
+                coord.submit(make_spec(2))
+
+    def test_duplicate_job_id_rejected(self):
+        with Coordinator(mode="deterministic") as coord:
+            coord.submit(make_spec(0), job_id="twin")
+            with pytest.raises(ServeError, match="duplicate"):
+                coord.submit(make_spec(1), job_id="twin")
+
+    def test_invalid_weight_rejected(self):
+        with Coordinator(mode="deterministic") as coord:
+            with pytest.raises(ServeError, match="weight"):
+                coord.submit(make_spec(0), weight=0)
+
+    def test_closed_coordinator_rejects(self):
+        coord = Coordinator(mode="deterministic")
+        coord.close()
+        with pytest.raises(ServeError, match="closed"):
+            coord.submit(make_spec(0))
+
+    def test_cancel_queued_job(self):
+        async def scenario():
+            coord = Coordinator(mode="deterministic")
+            handle = coord.submit(make_spec(0))
+            assert handle.cancel() is True
+            assert handle.state is JobState.CANCELLED
+            assert handle.cancel() is False  # already terminal
+            with pytest.raises(JobCancelledError):
+                await handle.result()
+
+        asyncio.run(scenario())
+
+    def test_cancel_running_job_at_round_boundary(self):
+        async def scenario():
+            coord = Coordinator(mode="deterministic", max_running=2)
+            victim = coord.submit(make_spec(0, max_steps=50))
+            peer = coord.submit(make_spec(1))
+            drain = asyncio.ensure_future(coord.drain())
+            rounds = 0
+            async for event in victim.watch():
+                if event.kind == "round":
+                    rounds += 1
+                    if rounds == 2:
+                        victim.cancel()
+            await drain
+            assert victim.state is JobState.CANCELLED
+            # cancellation lands on a round boundary, not mid-round
+            assert 2 <= victim._job.rounds_done < 50
+            assert peer.state is JobState.DONE
+            return peer
+
+        peer = asyncio.run(scenario())
+        # the surviving peer's result is unaffected by the cancellation
+        (solo,) = run_jobs([make_spec(1)])
+        assert peer.report.to_dict() == solo.to_dict()
+
+    def test_failed_job_is_isolated(self):
+        async def scenario():
+            coord = Coordinator(mode="deterministic", max_running=2)
+            bad_spec = ExperimentSpec(
+                name="bad",
+                scheme="nope",
+                num_workers=4,
+                partitions_per_worker=2,
+                wait_for=3,
+                max_steps=4,
+            )
+            bad = coord.submit(bad_spec)
+            good = coord.submit(make_spec(1))
+            await coord.drain()
+            assert bad.state is JobState.FAILED
+            assert "nope" in bad.error
+            with pytest.raises(JobFailedError, match="nope"):
+                await bad.result()
+            assert good.state is JobState.DONE
+            return good
+
+        good = asyncio.run(scenario())
+        (solo,) = run_jobs([make_spec(1)])
+        assert good.report.to_dict() == solo.to_dict()
+
+    def test_run_jobs_raises_on_failed_job(self):
+        bad = ExperimentSpec(
+            name="bad", scheme="nope", num_workers=4,
+            partitions_per_worker=2, wait_for=3,
+        )
+        with pytest.raises(JobFailedError):
+            run_jobs([bad])
+
+    def test_watch_streams_state_and_round_events(self):
+        async def scenario():
+            coord = Coordinator(mode="deterministic")
+            handle = coord.submit(make_spec(0))
+            events = []
+
+            async def watcher():
+                async for event in handle.watch():
+                    events.append(event)
+
+            task = asyncio.ensure_future(watcher())
+            await asyncio.sleep(0)  # let the watcher attach first
+            await coord.drain()
+            await task
+            return handle, events
+
+        handle, events = asyncio.run(scenario())
+        kinds = {event.kind for event in events}
+        assert kinds == {"state", "round"}
+        assert events[-1].state == "done"
+        rounds = [e for e in events if e.kind == "round"]
+        assert len(rounds) == handle.report.num_steps
+        # round events carry the job's simulated clock, never wall time
+        assert rounds[-1].sim_time == handle.report.total_sim_time
+
+    def test_jobs_snapshot_listing(self):
+        specs = [make_spec(i) for i in range(2)]
+        coord = Coordinator(mode="deterministic")
+        with coord:
+            for spec in specs:
+                coord.submit(spec)
+            asyncio.run(coord.drain())
+            snapshots = coord.jobs()
+        assert [s["state"] for s in snapshots] == ["done", "done"]
+        assert [s["id"] for s in snapshots] == ["job-0000", "job-0001"]
+        for snapshot, spec in zip(snapshots, specs):
+            assert snapshot["spec_fingerprint"] == spec.fingerprint()
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ServeError, match="mode"):
+            Coordinator(mode="turbo")
+
+
+# ----------------------------------------------------------------------
+# Mailbox protocol: CLI-side client against a serving coordinator
+
+
+def serve_once(mailbox_root, **kwargs):
+    coord = Coordinator(mode="deterministic", **kwargs)
+    mailbox = ServeMailbox(mailbox_root)
+    with coord:
+        asyncio.run(coord.serve(mailbox, once=True))
+    return coord
+
+
+class TestMailbox:
+    def test_submit_serve_roundtrip(self, tmp_path):
+        root = tmp_path / "mbox"
+        client = CoordinatorClient(root)
+        job_id = client.submit(make_spec(0), job_id="rt-1")
+        assert client.state(job_id)["state"] == "submitted"
+        serve_once(root)
+        snapshot = client.state(job_id)
+        assert snapshot["state"] == "done"
+        report = RunReport.from_dict(snapshot["report"])
+        (solo,) = run_jobs([make_spec(0)])
+        assert report.to_dict() == solo.to_dict()
+
+    def test_malformed_submission_rejected_with_hint(self, tmp_path):
+        root = tmp_path / "mbox"
+        client = CoordinatorClient(root)
+        payload = make_spec(0).to_dict()
+        payload["wiat_for"] = payload.pop("wait_for")
+        (root / "inbox" / "typo.json").write_text(
+            json.dumps({"spec": payload})
+        )
+        serve_once(root)
+        snapshot = client.state("typo")
+        assert snapshot["state"] == "rejected"
+        assert "wait_for" in snapshot["error"]  # did-you-mean hint
+
+    def test_mailbox_cancel(self, tmp_path):
+        root = tmp_path / "mbox"
+        client = CoordinatorClient(root)
+        job_id = client.submit(make_spec(0))
+        client.cancel(job_id)
+        serve_once(root)
+        assert client.state(job_id)["state"] == "cancelled"
+
+    def test_overflow_submission_rejected(self, tmp_path):
+        root = tmp_path / "mbox"
+        client = CoordinatorClient(root)
+        ids = [client.submit(make_spec(i)) for i in range(3)]
+        serve_once(root, queue_limit=2)
+        states = [client.state(job_id)["state"] for job_id in ids]
+        assert sorted(states) == ["done", "done", "rejected"]
+
+    def test_client_jobs_listing(self, tmp_path):
+        root = tmp_path / "mbox"
+        client = CoordinatorClient(root)
+        client.submit(make_spec(0), job_id="a")
+        client.submit(make_spec(1), job_id="b")
+        serve_once(root)
+        listing = client.jobs()
+        assert [j["id"] for j in listing] == ["a", "b"]
+        assert all(j["state"] == "done" for j in listing)
+
+    def test_wait_times_out_without_coordinator(self, tmp_path):
+        client = CoordinatorClient(tmp_path / "mbox")
+        job_id = client.submit(make_spec(0))
+        with pytest.raises(ServeError, match="timed out"):
+            client.wait(job_id, timeout=0.05, poll_interval=0.01)
+
+    def test_serving_marker_lifecycle(self, tmp_path):
+        root = tmp_path / "mbox"
+        client = CoordinatorClient(root)
+        assert client.serving() is None
+        client.submit(make_spec(0))
+        serve_once(root, max_running=2)
+        # retired after serve() returns
+        assert client.serving() is None
+
+    def test_duplicate_client_job_id_rejected(self, tmp_path):
+        client = CoordinatorClient(tmp_path / "mbox")
+        client.submit(make_spec(0), job_id="same")
+        with pytest.raises(ServeError, match="duplicate"):
+            client.submit(make_spec(1), job_id="same")
+
+
+# ----------------------------------------------------------------------
+# Spec files as the submission API
+
+
+class TestSpecFiles:
+    def test_json_roundtrip_preserves_fingerprint(self, tmp_path):
+        spec = make_spec(0)
+        path = spec.to_file(tmp_path / "spec.json")
+        loaded = ExperimentSpec.from_file(path)
+        assert loaded == spec
+        assert loaded.fingerprint() == spec.fingerprint()
+
+    def test_toml_roundtrip(self, tmp_path):
+        spec = make_spec(1)
+        path = spec.to_file(tmp_path / "spec.toml")
+        loaded = ExperimentSpec.from_file(path)
+        assert loaded == spec
+
+    def test_unknown_field_gets_did_you_mean(self, tmp_path):
+        payload = make_spec(0).to_dict()
+        payload["wiat_for"] = payload.pop("wait_for")
+        path = tmp_path / "typo.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(Exception, match="wait_for"):
+            ExperimentSpec.from_file(path)
+
+    def test_submit_spec_by_path(self, tmp_path):
+        spec = make_spec(0)
+        path = spec.to_file(tmp_path / "spec.json")
+        (from_path,) = run_jobs([path])
+        (from_spec,) = run_jobs([spec])
+        assert from_path.to_dict() == from_spec.to_dict()
+
+
+# ----------------------------------------------------------------------
+# RunReport as the shared result payload
+
+
+class TestRunReport:
+    def test_json_roundtrip_is_lossless(self):
+        (report,) = run_jobs([make_spec(0)])
+        assert RunReport.from_json(report.to_json()) == report
+
+    def test_report_carries_spec_identity(self):
+        spec = make_spec(0)
+        (report,) = run_jobs([spec])
+        assert report.name == spec.name
+        assert report.scheme == spec.scheme
+        assert report.spec_fingerprint == spec.fingerprint()
+
+    def test_trace_report_points_at_stream(self, tmp_path):
+        (report,) = run_jobs([make_spec(0)], trace_dir=tmp_path)
+        trace = pathlib.Path(report.trace_path)
+        assert trace.exists()
+        lines = trace.read_text().splitlines()
+        assert len(lines) == report.num_steps
+        first = json.loads(lines[0])
+        assert first["step"] == 0

@@ -258,6 +258,64 @@ class TestTimeUnitRules:
             scope_path=SIM_PATH,
         ) == []
 
+    def test_time003_wallclock_read_in_serve(self):
+        findings = check(
+            "import time\nstamp = time.monotonic()\n",
+            scope_path="src/repro/serve/coordinator.py",
+        )
+        assert rules_of(findings) == ["TIME003"]
+
+    def test_time003_loop_time_in_serve(self):
+        findings = check(
+            "def quantum(loop):\n    return loop.time()\n",
+            scope_path="src/repro/serve/coordinator.py",
+        )
+        assert rules_of(findings) == ["TIME003"]
+
+    def test_time003_from_import(self):
+        findings = check(
+            "from time import perf_counter\n",
+            scope_path="src/repro/straggler/delays.py",
+        )
+        assert rules_of(findings) == ["TIME003"]
+
+    def test_time003_engine_is_det002_territory(self):
+        # The deterministic core is DET002's beat; TIME003 covers the
+        # complement, so exactly one rule fires per wall-clock read.
+        findings = check(
+            "import time\nt = time.time()\n",
+            scope_path="src/repro/engine/core.py",
+        )
+        assert "TIME003" not in rules_of(findings)
+
+    def test_time003_datetime_now(self):
+        findings = check(
+            "import datetime\nt = datetime.now()\n",
+            scope_path="src/repro/obs/tracer.py",
+        )
+        assert rules_of(findings) == ["TIME003"]
+
+    def test_time003_sleep_is_sanctioned(self):
+        # Sleeping paces execution; it produces no value that could
+        # contaminate a simulated-time result.
+        assert check(
+            "import time\nfrom time import sleep\n\n"
+            "def pace():\n    time.sleep(0.01)\n",
+            scope_path="src/repro/serve/coordinator.py",
+        ) == []
+
+    def test_time003_mailbox_is_sanctioned(self):
+        assert check(
+            "import time\ndeadline = time.monotonic() + 5\n",
+            scope_path="src/repro/serve/mailbox.py",
+        ) == []
+
+    def test_time003_out_of_scope(self):
+        assert check(
+            "import time\nstamp = time.time()\n",
+            scope_path="src/repro/cli/serve.py",
+        ) == []
+
 
 # ----------------------------------------------------------------------
 # Registry-hygiene rules
