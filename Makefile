@@ -4,7 +4,7 @@
 
 PYTHON ?= python
 
-.PHONY: check lint static static-fast test bench bench-placement bench-environment bench-staticcheck serve-smoke trace-demo
+.PHONY: check lint static static-fast test bench bench-placement bench-environment bench-staticcheck bench-serve trace-demo
 
 check: lint static test
 
@@ -50,12 +50,14 @@ bench-environment:
 bench-staticcheck:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_staticcheck.py
 
-# Serve smoke: 8 jobs through the file mailbox, asserting reports and
-# streamed traces are bit-for-bit sequential, traces re-aggregate
-# losslessly, and a live-mode injected failure never touches peers.
+# Serve benchmark: 8 jobs through the file mailbox, asserting reports
+# and streamed traces are bit-for-bit sequential, traces re-aggregate
+# losslessly, the shared worker pool beats per-job engines by >= 1.5x,
+# a SIGKILLed coordinator's successor resumes bit-identically, and a
+# live-mode injected failure never touches peers.
 # Writes BENCH_serve.json.
-serve-smoke:
-	PYTHONPATH=src $(PYTHON) benchmarks/smoke_serve.py
+bench-serve:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_serve.py
 
 trace-demo:
 	PYTHONPATH=src $(PYTHON) examples/traced_run.py

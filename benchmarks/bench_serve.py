@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Serve smoke: 8 concurrent jobs through the full mailbox protocol.
+"""Serve benchmark: shared worker pool vs per-job engines, plus the
+full mailbox smoke gates.
 
-A self-contained script — ``make serve-smoke`` and the CI step run it
-directly and archive its JSON report.  Three gates, all asserted (the
+A self-contained script — ``make bench-serve`` and the CI step run it
+directly and archive its JSON report.  Five gates, all asserted (the
 script exits non-zero on any violation):
 
 * **determinism** — 8 jobs submitted through a file mailbox and run by
@@ -10,28 +11,40 @@ script exits non-zero on any violation):
   round traces bit-for-bit identical to 8 sequential single-job runs;
 * **lossless traces** — each job's streamed trace re-reads and
   re-aggregates to exactly the loss trajectory its report carries;
+* **pool throughput** — the same 8-job grid drained by a shared
+  :class:`~repro.serve.WorkerPool` (engines stay resident between
+  quanta) must be at least ``MIN_SPEEDUP`` times faster than the
+  per-job-engine baseline (``pool_capacity=0``, which snapshots and
+  rebuilds every engine on every quantum) — with bit-identical
+  reports from both runs;
+* **kill/resume** — a coordinator subprocess is SIGKILLed mid-grid; a
+  successor takes over the mailbox from the stale marker, re-admits
+  the survivors from their checkpoints and finishes them with reports
+  and traces bit-for-bit identical to the never-interrupted run;
 * **failure isolation (live mode)** — rerunning the same 8 jobs in
   live (thread-pool) mode with one deliberately broken ninth job: the
   bad job FAILs, every peer still matches the deterministic reports.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/smoke_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import pathlib
 import platform
+import signal
+import subprocess
 import sys
 import tempfile
 import time
 
-sys.path.insert(
-    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
-)
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
 
 from repro import (  # noqa: E402
     Coordinator,
@@ -46,6 +59,10 @@ from repro import (  # noqa: E402
 
 NUM_JOBS = 8
 SCHEMES = ("is-gc-cr", "is-gc-fr", "is-gc-hr", "gc")
+#: Shared pool must beat the rebuild-every-quantum baseline by this
+#: factor on the 8-job grid (in practice it wins by far more; 1.5 is
+#: the regression floor CI enforces).
+MIN_SPEEDUP = 1.5
 
 
 def make_specs():
@@ -144,6 +161,144 @@ def check_trace_reaggregation(snapshots):
         assert aggregates[label].rounds == report["num_steps"]
 
 
+def _drain_grid(specs, pool_capacity):
+    """Drain the grid through one deterministic coordinator; return
+    (reports, pool stats)."""
+
+    async def scenario():
+        coordinator = Coordinator(
+            mode="deterministic",
+            max_running=4,
+            pool_capacity=pool_capacity,
+        )
+        with coordinator:
+            handles = [coordinator.submit(spec) for spec in specs]
+            await coordinator.drain()
+            stats = coordinator.pool.stats.to_dict()
+        return handles, stats
+
+    handles, stats = asyncio.run(scenario())
+    for handle in handles:
+        assert handle.state is JobState.DONE, (
+            f"{handle.job_id}: {handle.state.value} {handle.error}"
+        )
+    return [handle.report.to_dict() for handle in handles], stats
+
+
+def pool_throughput(specs):
+    """Shared pool vs per-job-engine baseline on the same grid.
+
+    ``pool_capacity=0`` forces every quantum through a full
+    snapshot → discard → rebuild → restore cycle: exactly the cost a
+    coordinator that kept no engines alive between quanta would pay.
+    The shared pool keeps running jobs resident and must win by
+    ``MIN_SPEEDUP`` while producing bit-identical reports.
+    """
+    start = time.perf_counter()
+    shared_reports, shared_stats = _drain_grid(specs, pool_capacity=None)
+    shared_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    baseline_reports, baseline_stats = _drain_grid(specs, pool_capacity=0)
+    baseline_seconds = time.perf_counter() - start
+
+    assert shared_reports == baseline_reports, (
+        "pooled run diverged from the per-job-engine baseline"
+    )
+    assert shared_stats["hits"] > 0, shared_stats
+    assert baseline_stats["restores"] > 0, baseline_stats
+    assert baseline_stats["evictions"] > baseline_stats["restores"] - 1, (
+        baseline_stats
+    )
+    speedup = baseline_seconds / shared_seconds
+    assert speedup >= MIN_SPEEDUP, (
+        f"shared pool only {speedup:.2f}x faster than per-job engines "
+        f"(gate: {MIN_SPEEDUP}x); shared={shared_seconds:.3f}s "
+        f"baseline={baseline_seconds:.3f}s"
+    )
+    return {
+        "min_speedup": MIN_SPEEDUP,
+        "speedup": round(speedup, 2),
+        "shared": {
+            "seconds": round(shared_seconds, 3),
+            "jobs_per_second": round(NUM_JOBS / shared_seconds, 2),
+            "pool": shared_stats,
+        },
+        "per_job_engine": {
+            "seconds": round(baseline_seconds, 3),
+            "jobs_per_second": round(NUM_JOBS / baseline_seconds, 2),
+            "pool": baseline_stats,
+        },
+    }
+
+
+def kill_resume(specs, snapshots, workdir):
+    """SIGKILL a serving coordinator mid-grid; a successor must finish
+    the survivors bit-identically to the never-interrupted run."""
+    root = workdir / "kill-mbox"
+    trace_dir = workdir / "kill-traces"
+    client = CoordinatorClient(root)
+    job_ids = [
+        client.submit(spec, job_id=f"kill-{i:02d}", trace=True)
+        for i, spec in enumerate(specs)
+    ]
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", str(root),
+            "--mode", "deterministic", "--trace-dir", str(trace_dir),
+            "--pool-capacity", "2", "--poll-interval", "0.02",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    killed_mid_run = False
+    try:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            states = [client.state(job_id) for job_id in job_ids]
+            if any(s.get("rounds_done", 0) >= 2 for s in states):
+                killed_mid_run = True
+                break
+            time.sleep(0.02)
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    assert killed_mid_run, "coordinator made no progress before kill"
+    assert (root / "coordinator.json").exists(), (
+        "killed coordinator should leave its serving marker behind"
+    )
+
+    # Successor: takes over the stale marker, restores checkpointed
+    # jobs, finishes the grid.
+    coordinator = Coordinator(
+        mode="deterministic",
+        max_running=4,
+        pool_capacity=2,
+        trace_dir=trace_dir,
+    )
+    with coordinator:
+        asyncio.run(coordinator.serve(ServeMailbox(root), once=True))
+
+    for job_id, snapshot in zip(job_ids, snapshots):
+        resumed = client.state(job_id)
+        assert resumed["state"] == "done", (
+            f"{job_id}: {resumed['state']} {resumed.get('error')}"
+        )
+        report = dict(resumed["report"])
+        baseline = dict(snapshot["report"])
+        resumed_trace = pathlib.Path(report.pop("trace_path"))
+        baseline_trace = pathlib.Path(baseline.pop("trace_path"))
+        assert report == baseline, (
+            f"{job_id} diverged after kill/resume:\n"
+            f"  resumed : {report}\n  baseline: {baseline}"
+        )
+        assert resumed_trace.read_bytes() == baseline_trace.read_bytes(), (
+            f"{job_id} trace diverged after kill/resume"
+        )
+
+
 def live_failure_isolation(specs, snapshots):
     """Live mode with one broken job: peers match the served reports."""
 
@@ -175,7 +330,7 @@ def live_failure_isolation(specs, snapshots):
 def main() -> int:
     specs = make_specs()
     report = {
-        "benchmark": "serve-smoke",
+        "benchmark": "serve",
         "python": platform.python_version(),
         "num_jobs": NUM_JOBS,
         "schemes": sorted({spec.scheme for spec in specs}),
@@ -198,6 +353,19 @@ def main() -> int:
 
         check_trace_reaggregation(snapshots)
         print("traces: re-read + re-aggregate losslessly")
+
+        report["pool"] = pool_throughput(specs)
+        print("pool: shared engines "
+              f"{report['pool']['speedup']}x faster than per-job "
+              f"engines (gate: {MIN_SPEEDUP}x)")
+
+        start = time.perf_counter()
+        kill_resume(specs, snapshots, workdir)
+        report["kill_resume_seconds"] = round(
+            time.perf_counter() - start, 3
+        )
+        print("kill/resume: successor coordinator finished the grid "
+              f"bit-identically ({report['kill_resume_seconds']}s)")
 
         start = time.perf_counter()
         live_failure_isolation(specs, snapshots)

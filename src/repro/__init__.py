@@ -51,6 +51,7 @@ See ``examples/quickstart.py`` for a runnable walk-through,
 """
 
 from .exceptions import (
+    AdmissionError,
     CodingError,
     ConfigurationError,
     DecodeError,
@@ -59,6 +60,7 @@ from .exceptions import (
     ReproError,
     ServeError,
     SimulationError,
+    SubmissionRejectedError,
     TrainingError,
 )
 from .types import DecodeResult, StepRecord, TrainingSummary
@@ -162,10 +164,12 @@ from .env import (
 )
 from .analysis import monte_carlo_recovery, recovery_curve, summarize_trials
 from .engine import (
+    EngineState,
     ExperimentSpec,
     RoundEngine,
     RunReport,
     build_engine,
+    build_run_report,
     make_strategy,
     register_backend,
     register_scheme,
@@ -189,7 +193,10 @@ from .serve import (
     JobFailedError,
     JobHandle,
     JobState,
+    PoolStats,
+    SchedulingClass,
     ServeMailbox,
+    WorkerPool,
     run_jobs,
 )
 
@@ -206,6 +213,8 @@ __all__ = [
     "TrainingError",
     "ObservabilityError",
     "ServeError",
+    "AdmissionError",
+    "SubmissionRejectedError",
     # types
     "DecodeResult",
     "StepRecord",
@@ -310,7 +319,9 @@ __all__ = [
     "SimulatedRuntime",
     # engine
     "RoundEngine",
+    "EngineState",
     "RunReport",
+    "build_run_report",
     "ExperimentSpec",
     "build_engine",
     "run_spec",
@@ -336,6 +347,9 @@ __all__ = [
     "JobHandle",
     "JobFailedError",
     "JobCancelledError",
+    "SchedulingClass",
+    "WorkerPool",
+    "PoolStats",
     "ServeMailbox",
     "CoordinatorClient",
     "__version__",

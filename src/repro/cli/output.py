@@ -1,0 +1,18 @@
+"""Shared terminal output helpers for run-style commands.
+
+``repro run`` and ``repro simulate`` print the same result block — the
+engine summary's one-line description plus a downsampled loss
+sparkline.  One emitter keeps the two byte-identical (and gives any
+future run-shaped command the same look for free).
+"""
+
+from __future__ import annotations
+
+
+def emit_summary(summary) -> None:
+    """Print an engine summary: describe() line + loss sparkline."""
+    from ..analysis.plotting import downsample, sparkline
+
+    print(summary.describe())
+    if getattr(summary, "loss_curve", None):
+        print("loss: " + sparkline(downsample(list(summary.loss_curve), 60)))

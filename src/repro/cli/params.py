@@ -52,6 +52,26 @@ def _parse_sweep_value(token: str):
     return token
 
 
+def _parse_sweep_axes(clauses: List[str]) -> dict:
+    """``--sweep FIELD=V1,V2`` clauses → an axes dict.
+
+    Shared by ``repro run --sweep`` and ``repro submit --sweep`` so the
+    two commands accept the exact same grammar (and therefore describe
+    the exact same grid — the bit-identity tests rely on it).
+    """
+    axes = {}
+    for clause in clauses:
+        name, sep, values = clause.partition("=")
+        if not sep or not values:
+            raise ReproError(
+                f"--sweep needs field=v1,v2,... , got {clause!r}"
+            )
+        axes[name.strip()] = [
+            _parse_sweep_value(tok) for tok in values.split(",") if tok
+        ]
+    return axes
+
+
 def _parse_param_value(token: str):
     """Model-parameter values: JSON when it parses (``[0,1]``, ``0.5``,
     ``null``), else a comma token list, else the sweep scalar rules."""

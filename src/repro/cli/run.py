@@ -3,28 +3,30 @@
 from __future__ import annotations
 
 import argparse
-import pathlib
 
 from ..analysis.reporting import Table
-from ..engine.report import RunReport
-from ..exceptions import ReproError
-from .params import _parse_sweep_value
+from ..engine.report import build_run_report
+from .output import emit_summary
+from .params import _parse_sweep_axes
 from .registry import register_command
 
 
-def run_spec_file(spec_path: str):
+def run_spec_file(spec_path: str, report_path: "str | None" = None):
     """Load and run a single spec file.
 
     Returns ``(report, summary, spec)`` — the structured
-    :class:`RunReport` is the same payload a :mod:`repro.serve` job
-    produces for this spec, so ``repro run`` and a submitted job report
-    identically.
+    :class:`~repro.engine.RunReport` comes from the shared
+    :func:`~repro.engine.report.build_run_report` builder (optionally
+    persisted to ``report_path``), the same payload a
+    :mod:`repro.serve` job produces for this spec, so ``repro run`` and
+    a submitted job report identically.
     """
     from ..engine.spec import ExperimentSpec, run_spec
 
     spec = ExperimentSpec.from_file(spec_path)
     summary = run_spec(spec)
-    return RunReport.from_summary(summary, spec=spec), summary, spec
+    report = build_run_report(summary, spec=spec, report_path=report_path)
+    return report, summary, spec
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -34,24 +36,13 @@ def cmd_run(args: argparse.Namespace) -> int:
     of a grid sweep over those fields; ``--jobs N`` fans the grid out
     over a process pool with bit-for-bit identical results.
     """
-    from ..analysis.plotting import downsample, sparkline
-
     if args.sweep:
         from ..engine.spec import ExperimentSpec
         from ..experiments.runner import executor_for_jobs
         from ..experiments.sweep import Sweep
 
         spec = ExperimentSpec.from_file(args.spec)
-        axes = {}
-        for clause in args.sweep:
-            name, sep, values = clause.partition("=")
-            if not sep or not values:
-                raise ReproError(
-                    f"--sweep needs field=v1,v2,... , got {clause!r}"
-                )
-            axes[name.strip()] = [
-                _parse_sweep_value(tok) for tok in values.split(",") if tok
-            ]
+        axes = _parse_sweep_axes(args.sweep)
         sweep = Sweep.over_spec(f"{spec.name} sweep", spec, axes)
         result = sweep.run(executor=executor_for_jobs(args.jobs))
         names = list(axes)
@@ -73,13 +64,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             table.add_row(*(point.params[k] for k in names), *cells)
         table.show()
         return 0 if result.ok else 1
-    report, summary, spec = run_spec_file(args.spec)
+    report, summary, spec = run_spec_file(args.spec, report_path=args.report)
     print(f"{spec.name} [{spec.scheme} / {report.backend} / {spec.rule}]")
-    print(summary.describe())
-    if getattr(summary, "loss_curve", None):
-        print("loss: " + sparkline(downsample(list(summary.loss_curve), 60)))
-    if args.report is not None:
-        pathlib.Path(args.report).write_text(report.to_json() + "\n")
+    emit_summary(summary)
     return 0
 
 

@@ -8,6 +8,14 @@ spec files into its inbox; ``repro jobs`` lists the published state
 snapshots; ``repro cancel`` requests a round-boundary cancellation.
 The commands work in either order — submissions made before the
 coordinator starts are picked up when it does.
+
+``repro submit --sweep FIELD=V1,V2`` fans a spec's parameter grid into
+one job per grid point — the *same* grid ``repro run --sweep`` builds
+(shared clause parser, same ``dataclasses.replace`` cells), so the
+fan-out produces bit-identical reports to the serial sweep.  ``repro
+jobs --watch`` is a polling dashboard over the published snapshots and
+streamed round traces; the wall clock here only paces the *display*
+(CLI layer — results never depend on it).
 """
 
 from __future__ import annotations
@@ -17,7 +25,12 @@ import asyncio
 import json
 
 from ..analysis.reporting import Table
+from .params import _parse_sweep_axes
 from .registry import register_command
+
+#: job states with no further transitions (mirrors the serve layer's
+#: terminal set plus the mailbox-only ``rejected``).
+_TERMINAL_STATES = frozenset(("done", "failed", "cancelled", "rejected"))
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -29,6 +42,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_running=args.max_running,
         queue_limit=args.queue_limit,
         trace_dir=args.trace_dir,
+        pool_capacity=args.pool_capacity,
     )
     mailbox = ServeMailbox(args.mailbox)
     print(
@@ -56,44 +70,150 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if failed == 0 else 1
 
 
-def cmd_submit(args: argparse.Namespace) -> int:
-    """Submit a spec file to a serve mailbox; optionally wait for it."""
-    from ..serve import CoordinatorClient
+def _print_rejection(exc) -> None:
+    """Render a structured rejection (reason / depth / retry hint)."""
+    print(f"rejected: {exc}")
+    record = getattr(exc, "record", None) or {}
+    details = record.get("details", record)
+    if isinstance(details, dict):
+        depth = details.get("queue_depth")
+        limit = details.get("queue_limit")
+        if depth is not None and limit is not None:
+            print(f"  queue depth {depth} / limit {limit}")
+    hint = getattr(exc, "retry_hint", "")
+    if hint:
+        print(f"  retry: {hint}")
 
-    client = CoordinatorClient(args.mailbox)
-    job_id = client.submit(
-        args.spec,
-        name=args.name,
-        weight=args.weight,
-        trace=True if args.trace else None,
-        job_id=args.job_id,
+
+def _wait_and_print(client, job_id: str, timeout: float) -> int:
+    """Wait one job to a terminal state; print its result lines."""
+    snapshot = client.wait(job_id, timeout=timeout)
+    print(f"{job_id}: {snapshot['state']}")
+    if snapshot.get("error"):
+        print(f"  {snapshot['error']}")
+    report = snapshot.get("report")
+    if isinstance(report, dict):
+        print(
+            f"  {report.get('num_steps', 0)} steps, "
+            f"{report.get('total_sim_time', 0.0):.2f}s simulated, "
+            f"final loss {report.get('final_loss', float('nan')):.4f}"
+        )
+    return 0 if snapshot["state"] == "done" else 1
+
+
+def _submit_sweep(client, args: argparse.Namespace) -> int:
+    """Fan a spec's parameter grid into one mailbox job per point.
+
+    The grid is built exactly as ``repro run --sweep`` builds it —
+    same clause parser, same :meth:`Sweep.combinations` row-major
+    order, same ``dataclasses.replace(base, **params)`` cells with the
+    base spec's own seed — so a drained mailbox holds reports
+    bit-identical to the serial sweep's summaries.  ``--jobs N``
+    additionally fans each cell into N seed-replicates whose seeds are
+    spawned in the parent (:func:`~repro.parallel.spawn_point_seeds`),
+    the same discipline the process-pool sweep executor uses.
+    """
+    import dataclasses
+
+    from ..engine.spec import ExperimentSpec
+    from ..exceptions import SubmissionRejectedError
+    from ..experiments.sweep import Sweep
+    from ..parallel import spawn_point_seeds
+
+    spec = ExperimentSpec.from_file(args.spec)
+    axes = _parse_sweep_axes(args.sweep)
+    # over_spec validates the axes against spec fields; the grid walk
+    # below matches Sweep.run's combos exactly (row-major order).
+    sweep = Sweep.over_spec(f"{spec.name} sweep", spec, axes)
+    combos = list(sweep.combinations())
+    replicas = max(1, args.jobs or 1)
+    seeds = (
+        spawn_point_seeds(spec.seed, len(combos) * replicas)
+        if replicas > 1 else None
     )
-    print(f"submitted {job_id}")
+    job_ids = []
+    for i, params in enumerate(combos):
+        cell = dataclasses.replace(spec, **params)
+        label = ",".join(f"{k}={params[k]}" for k in axes)
+        for r in range(replicas):
+            variant, name = cell, f"{spec.name}[{label}]"
+            if seeds is not None:
+                child = seeds[i * replicas + r]
+                variant = dataclasses.replace(
+                    cell, seed=int(child.generate_state(1)[0])
+                )
+                name = f"{name}#r{r}"
+            try:
+                job_id = client.submit(
+                    variant,
+                    name=name,
+                    weight=args.weight,
+                    trace=True if args.trace else None,
+                    priority=args.priority,
+                    deadline=args.deadline,
+                )
+            except SubmissionRejectedError as exc:
+                _print_rejection(exc)
+                return 1
+            print(f"submitted {job_id}")
+            job_ids.append(job_id)
+    print(
+        f"submitted {len(job_ids)} jobs over {len(combos)} grid points"
+    )
     if args.wait:
-        snapshot = client.wait(job_id, timeout=args.timeout)
-        print(f"{job_id}: {snapshot['state']}")
-        if snapshot.get("error"):
-            print(f"  {snapshot['error']}")
-        report = snapshot.get("report")
-        if isinstance(report, dict):
-            print(
-                f"  {report.get('num_steps', 0)} steps, "
-                f"{report.get('total_sim_time', 0.0):.2f}s simulated, "
-                f"final loss {report.get('final_loss', float('nan')):.4f}"
-            )
-        return 0 if snapshot["state"] == "done" else 1
+        failures = 0
+        for job_id in job_ids:
+            try:
+                failures += _wait_and_print(client, job_id, args.timeout)
+            except SubmissionRejectedError as exc:
+                _print_rejection(exc)
+                failures += 1
+        return 0 if failures == 0 else 1
     return 0
 
 
-def cmd_jobs(args: argparse.Namespace) -> int:
-    """List every job the mailbox's coordinator knows about."""
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a spec file to a serve mailbox; optionally wait for it.
+
+    With ``--sweep FIELD=V1,V2`` (repeatable) the spec becomes the base
+    of a grid and every grid point is submitted as its own job.
+    """
+    from ..exceptions import SubmissionRejectedError
     from ..serve import CoordinatorClient
 
     client = CoordinatorClient(args.mailbox)
+    if args.sweep:
+        return _submit_sweep(client, args)
+    try:
+        job_id = client.submit(
+            args.spec,
+            name=args.name,
+            weight=args.weight,
+            trace=True if args.trace else None,
+            job_id=args.job_id,
+            priority=args.priority,
+            deadline=args.deadline,
+        )
+    except SubmissionRejectedError as exc:
+        _print_rejection(exc)
+        return 1
+    print(f"submitted {job_id}")
+    if args.wait:
+        try:
+            return _wait_and_print(client, job_id, args.timeout)
+        except SubmissionRejectedError as exc:
+            _print_rejection(exc)
+            return 1
+    return 0
+
+
+def _render_jobs(client, args: argparse.Namespace):
+    """One dashboard frame: status line, job table, trace aggregates.
+
+    Returns ``(snapshots, serving)`` so the watch loop can decide
+    whether anything is still in flight.
+    """
     snapshots = client.jobs()
-    if args.json:
-        print(json.dumps(snapshots, indent=2, sort_keys=True))
-        return 0
     serving = client.serving()
     status = (
         f"coordinator: {serving['mode']} mode, pid {serving['pid']}"
@@ -117,6 +237,91 @@ def cmd_jobs(args: argparse.Namespace) -> int:
             detail,
         )
     table.show()
+    if getattr(args, "watch", False):
+        _render_trace_aggregates(snapshots)
+    return snapshots, serving
+
+
+def _render_trace_aggregates(snapshots) -> None:
+    """Aggregate every job's streamed round trace into a live table.
+
+    Traces are keyed by the job name (the runner's trace context), so
+    re-aggregating them groups rounds per job — p50/p95 step times and
+    wasted compute update as the coordinator streams more rounds.
+    """
+    import pathlib
+
+    from ..obs import aggregate_traces, read_traces
+
+    traces = []
+    for snap in snapshots:
+        path = snap.get("trace_path")
+        if not path or not pathlib.Path(path).exists():
+            continue
+        try:
+            traces.extend(read_traces(path))
+        except Exception:
+            # A half-written final line loses one frame of dashboard
+            # detail, never the run — the next poll rereads the file.
+            continue
+    if not traces:
+        return
+    table = Table(
+        title="Round traces",
+        columns=["job", "rounds", "mean step (s)", "p95 (s)",
+                 "wasted compute"],
+    )
+    for label, agg in aggregate_traces(traces).items():
+        table.add_row(
+            label,
+            agg.rounds,
+            round(agg.mean_step_time, 4),
+            round(agg.p95_step_time, 4),
+            agg.total_wasted_compute,
+        )
+    table.show()
+
+
+def _watch_jobs(client, args: argparse.Namespace) -> int:
+    """Re-render the dashboard until every known job is terminal.
+
+    The poll interval is wall clock, which is fine at the CLI layer:
+    it paces the display only, and every number shown comes from the
+    coordinator's published snapshots and traces.
+    """
+    import time
+
+    while True:
+        snapshots, serving = _render_jobs(client, args)
+        pending = [
+            s for s in snapshots
+            if s.get("state") not in _TERMINAL_STATES
+        ]
+        if not pending and snapshots:
+            failed = sum(
+                1 for s in snapshots
+                if s.get("state") in ("failed", "rejected")
+            )
+            print(f"all {len(snapshots)} jobs terminal ({failed} failed)")
+            return 0 if failed == 0 else 1
+        if serving is None and not pending:
+            print("no jobs and no coordinator; exiting watch")
+            return 0
+        time.sleep(args.interval)
+        print()
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    """List every job the mailbox's coordinator knows about."""
+    from ..serve import CoordinatorClient
+
+    client = CoordinatorClient(args.mailbox)
+    if args.watch:
+        return _watch_jobs(client, args)
+    if args.json:
+        print(json.dumps(client.jobs(), indent=2, sort_keys=True))
+        return 0
+    _render_jobs(client, args)
     return 0
 
 
@@ -162,6 +367,12 @@ def configure_serve(parser: argparse.ArgumentParser) -> None:
                         help="exit after this long with nothing to do")
     parser.add_argument("--poll-interval", type=float, default=0.05,
                         help="inbox poll period in seconds (default 0.05)")
+    parser.add_argument("--pool-capacity", type=int, default=None,
+                        metavar="N",
+                        help="live engines kept resident in the shared "
+                             "worker pool; excess jobs are parked as "
+                             "checkpoints and resumed on demand "
+                             "(default: --max-running)")
     parser.set_defaults(func=cmd_serve)
 
 
@@ -180,6 +391,22 @@ def configure_submit(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", action="store_true",
                         help="request round-trace streaming (needs the "
                              "coordinator's --trace-dir)")
+    parser.add_argument("--priority", type=int, default=0,
+                        help="scheduling-class priority; higher runs "
+                             "first (default 0)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SIM_SECONDS",
+                        help="soft deadline for earliest-deadline-first "
+                             "tie-breaking within a priority tier")
+    parser.add_argument("--sweep", action="append", default=None,
+                        metavar="FIELD=V1,V2",
+                        help="fan a grid over spec fields into one job "
+                             "per point (repeatable; same grammar and "
+                             "grid as `repro run --sweep`)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="with --sweep: seed-replicates per grid "
+                             "point (default 1 — the exact "
+                             "`repro run --sweep` grid)")
     parser.add_argument("--wait", action="store_true",
                         help="block until the job reaches a terminal "
                              "state and print its result")
@@ -194,6 +421,13 @@ def configure_jobs(parser: argparse.ArgumentParser) -> None:
     _add_mailbox_arg(parser)
     parser.add_argument("--json", action="store_true",
                         help="print raw JSON snapshots")
+    parser.add_argument("--watch", action="store_true",
+                        help="poll and re-render until every job is "
+                             "terminal; adds a live trace-aggregate "
+                             "table for traced jobs")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="--watch refresh period (default 1.0)")
     parser.set_defaults(func=cmd_jobs)
 
 

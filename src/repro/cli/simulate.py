@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 import argparse
-import pathlib
 
 import numpy as np
 
-from ..engine.report import RunReport
+from ..engine.report import build_run_report
+from .output import emit_summary
 from .params import _add_placement_args, _build_placement, _parse_model_params
 from .registry import register_command
 
@@ -72,18 +72,15 @@ def run_simulate(args: argparse.Namespace):
         cluster, SGD(args.lr), eval_data=dataset,
     )
     summary = trainer.run(max_steps=args.steps)
-    return RunReport.from_summary(summary), summary
+    return build_run_report(summary), summary
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run a short simulated training job and print its summary."""
-    from ..analysis.plotting import downsample, sparkline
-
     report, summary = run_simulate(args)
-    print(summary.describe())
-    print("loss: " + sparkline(downsample(list(summary.loss_curve), 60)))
+    emit_summary(summary)
     if args.report is not None:
-        pathlib.Path(args.report).write_text(report.to_json() + "\n")
+        report.write(args.report)
     return 0
 
 

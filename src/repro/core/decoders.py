@@ -175,6 +175,11 @@ class Decoder(abc.ABC):
         self._cache = cache
 
     @property
+    def rng(self) -> np.random.Generator:
+        """The fairness tie-break generator (checkpointing surface)."""
+        return self._rng
+
+    @property
     def placement(self) -> Placement:
         return self._placement
 

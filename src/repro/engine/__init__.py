@@ -25,7 +25,8 @@ from .backends import (
     RoundExecution,
 )
 from .core import RoundEngine
-from .report import RunReport
+from .report import RunReport, build_run_report
+from .state import EngineState
 from .rules import (
     AdaptiveMigration,
     AsyncUpdate,
@@ -60,7 +61,9 @@ __all__ = [
     "AsyncUpdate",
     "MigrationEvent",
     "ExperimentSpec",
+    "EngineState",
     "RunReport",
+    "build_run_report",
     "BuildContext",
     "SCHEME_REGISTRY",
     "BACKEND_REGISTRY",

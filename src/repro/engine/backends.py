@@ -100,6 +100,13 @@ class ExecutionBackend(abc.ABC):
     def on_strategy_change(self, strategy) -> None:
         """Hook invoked when a rule swaps the engine's strategy."""
 
+    def snapshot_state(self) -> Dict:
+        """JSON-safe mutable backend state (checkpointing)."""
+        return {}
+
+    def restore_state(self, engine: "RoundEngine", state) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+
 
 class FlatBackend(ExecutionBackend):
     """The :class:`ClusterSimulator` path (historical flat trainers)."""
@@ -134,6 +141,12 @@ class FlatBackend(ExecutionBackend):
             step_end=result.step_end,
             batch_losses=tuple(batch_losses),
         )
+
+    def snapshot_state(self):
+        return self._cluster.snapshot_state()
+
+    def restore_state(self, engine, state):
+        self._cluster.restore_state(state)
 
 
 class ActorBackend(ExecutionBackend):
@@ -240,6 +253,26 @@ class ActorBackend(ExecutionBackend):
         for worker in self.workers:
             worker.update_strategy(strategy)
 
+    def snapshot_state(self):
+        from .state import generator_state
+
+        return {
+            "clock": self._clock,
+            "rng": generator_state(self._rng),
+            "master_step": self.master.step,
+            "delays": self._delays.snapshot_state(),
+        }
+
+    def restore_state(self, engine, state):
+        from .state import set_generator_state
+
+        self._clock = float(state["clock"])
+        set_generator_state(self._rng, state["rng"])
+        self._delays.restore_state(state["delays"])
+        self.master.restore_progress(
+            int(state["master_step"]), engine.records
+        )
+
 
 @dataclass
 class ArrivalEvent:
@@ -319,3 +352,46 @@ class AsyncArrivalBackend(ExecutionBackend):
             "the async backend has no synchronous rounds; "
             "use RoundEngine.run_updates"
         )
+
+    def snapshot_state(self):
+        from .state import generator_state
+
+        events = []
+        for event in self._queue.snapshot_events():
+            if event.payload is not None:
+                raise TrainingError(
+                    "cannot checkpoint an event carrying a payload: "
+                    f"{event.kind!r} at t={event.time}"
+                )
+            events.append(
+                {"time": event.time, "kind": event.kind,
+                 "worker": event.worker}
+            )
+        return {
+            "clock": self._clock,
+            "rng": generator_state(self._rng),
+            "fetch_version": list(self.fetch_version),
+            "worker_step": list(self.worker_step),
+            "delays": self._delays.snapshot_state(),
+            "queue": events,
+        }
+
+    def restore_state(self, engine, state):
+        from .state import set_generator_state
+
+        self._clock = float(state["clock"])
+        set_generator_state(self._rng, state["rng"])
+        self.fetch_version = [int(v) for v in state["fetch_version"]]
+        self.worker_step = [int(v) for v in state["worker_step"]]
+        self._delays.restore_state(state["delays"])
+        # Re-pushing in pop order reproduces the heap's tie-breaking:
+        # the fresh insertion counter preserves relative FIFO order and
+        # stays below every future push.
+        self._queue = EventQueue()
+        for event in state["queue"]:
+            self._queue.push(
+                Event(
+                    float(event["time"]), str(event["kind"]),
+                    worker=event["worker"],
+                )
+            )

@@ -27,10 +27,22 @@ from ..exceptions import TrainingError
 from ..types import AsyncSummary, AsyncUpdateRecord, StepRecord, TrainingSummary
 from .backends import ExecutionBackend
 from .rules import UpdateRule
+from .state import (
+    MODE_ROUNDS,
+    MODE_UPDATES,
+    EngineState,
+    async_record_from_dict,
+    async_record_to_dict,
+    generator_state,
+    record_from_dict,
+    record_to_dict,
+    set_generator_state,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.tracer import RoundTracer
     from ..simulation.policies import WaitPolicy
+    from ..training.convergence import LossTracker
     from ..training.datasets import BatchStream, Dataset
     from ..training.models import Model
     from ..training.strategies import TrainingStrategy
@@ -68,6 +80,12 @@ class RoundEngine:
         #: the current run's step budget (adaptive rules amortise
         #: migration cost over the remaining steps).
         self.max_steps = 0
+        #: the active run's loss tracker (``None`` before ``start_run``).
+        self._tracker: "LossTracker | None" = None
+        #: ``MODE_ROUNDS``/``MODE_UPDATES`` while a run is active.
+        self._mode: str | None = None
+        #: async-run update budget (``start_updates``).
+        self._max_updates = 0
         backend.bind(self)
         self.tracer = tracer if tracer is not None else backend.tracer
         # A decode cache riding on the strategy reports its hit/miss
@@ -140,6 +158,71 @@ class RoundEngine:
         return record
 
     # ------------------------------------------------------------------
+    # Synchronous runs: start → bounded quanta → summary.  ``run()`` is
+    # the one-call form; coordinators call ``start_run`` once and then
+    # ``step_rounds(n)`` repeatedly, possibly against a ``restore``d
+    # engine — the trajectory is bit-identical either way.
+
+    def start_run(
+        self,
+        max_steps: int,
+        loss_threshold: Optional[float] = None,
+        smoothing_window: int = 5,
+    ) -> None:
+        """Begin a synchronous run (resets records and the tracker)."""
+        if max_steps <= 0:
+            raise TrainingError(f"max_steps must be positive, got {max_steps}")
+        from ..training.convergence import LossTracker
+
+        self._tracker = LossTracker(loss_threshold, smoothing_window)
+        self._mode = MODE_ROUNDS
+        self.max_steps = max_steps
+        self.records = []
+
+    @property
+    def run_complete(self) -> bool:
+        """Whether the active run has hit its budget or threshold."""
+        if self._mode == MODE_UPDATES:
+            return len(self.async_records) >= self._max_updates
+        if self._tracker is None:
+            raise TrainingError(
+                "no active run; call start_run() or start_updates() first"
+            )
+        return (
+            len(self.records) >= self.max_steps
+            or self._tracker.reached_threshold()
+        )
+
+    def step_rounds(self, num_rounds: int = 1) -> bool:
+        """Execute up to ``num_rounds`` rounds; True when the run is done.
+
+        Each round is one full quantum (compute → wait → decode →
+        update → record); stops early once the loss threshold or the
+        step budget is reached.
+        """
+        if self._mode != MODE_ROUNDS or self._tracker is None:
+            raise TrainingError(
+                "no active synchronous run; call start_run() first"
+            )
+        if num_rounds <= 0:
+            raise TrainingError(
+                f"num_rounds must be positive, got {num_rounds}"
+            )
+        for _ in range(num_rounds):
+            if self.run_complete:
+                return True
+            record = self.run_step(len(self.records))
+            self._tracker.record(record.loss)
+        return self.run_complete
+
+    def finish_run(self) -> TrainingSummary:
+        """Summarise the active synchronous run."""
+        if self._mode != MODE_ROUNDS or self._tracker is None:
+            raise TrainingError(
+                "no active synchronous run; call start_run() first"
+            )
+        return self.summarize(reached=self._tracker.reached_threshold())
+
     def run(
         self,
         max_steps: int,
@@ -147,21 +230,9 @@ class RoundEngine:
         smoothing_window: int = 5,
     ) -> TrainingSummary:
         """Train until ``loss_threshold`` or ``max_steps``."""
-        if max_steps <= 0:
-            raise TrainingError(f"max_steps must be positive, got {max_steps}")
-        from ..training.convergence import LossTracker
-
-        tracker = LossTracker(loss_threshold, smoothing_window)
-        self.max_steps = max_steps
-        self.records = []
-
-        for step in range(max_steps):
-            record = self.run_step(step)
-            tracker.record(record.loss)
-            if tracker.reached_threshold():
-                break
-
-        return self.summarize(reached=tracker.reached_threshold())
+        self.start_run(max_steps, loss_threshold, smoothing_window)
+        self.step_rounds(max_steps)
+        return self.finish_run()
 
     def summarize(self, reached: bool = False) -> TrainingSummary:
         """Aggregate :attr:`records` into a :class:`TrainingSummary`."""
@@ -183,27 +254,41 @@ class RoundEngine:
         )
 
     # ------------------------------------------------------------------
-    def run_updates(self, max_updates: int) -> AsyncSummary:
-        """Asynchronous mode: apply each arriving gradient immediately.
+    # Asynchronous runs: same start → bounded quanta → summary shape as
+    # the synchronous API, one master update per quantum.
 
-        Requires an :class:`~repro.engine.backends.AsyncArrivalBackend`
-        and an :class:`~repro.engine.rules.AsyncUpdate` rule.  Each
-        worker loops fetch → compute → upload independently; the master
-        applies every arrival, tagged with its *staleness* — how many
-        master updates happened since the worker fetched.
-        """
+    def start_updates(self, max_updates: int) -> None:
+        """Begin an asynchronous run (resets the arrival pipeline)."""
         if max_updates <= 0:
             raise TrainingError(
                 f"max_updates must be positive, got {max_updates}"
             )
-        backend = self.backend
-        backend.start()
+        self.backend.start()
         self.async_records = []
-        losses: List[float] = []
-        clock = 0.0
-        master_version = 0
+        self._mode = MODE_UPDATES
+        self._max_updates = max_updates
 
-        while len(self.async_records) < max_updates:
+    def step_updates(self, num_updates: int = 1) -> bool:
+        """Apply up to ``num_updates`` arrivals; True when the run is done.
+
+        Each quantum pops the earliest pending gradient, applies it,
+        records staleness/loss, and reschedules the worker.  The master
+        version and clock are derived from :attr:`async_records`, so a
+        restored engine continues exactly where the snapshot left off.
+        """
+        if self._mode != MODE_UPDATES:
+            raise TrainingError(
+                "no active asynchronous run; call start_updates() first"
+            )
+        if num_updates <= 0:
+            raise TrainingError(
+                f"num_updates must be positive, got {num_updates}"
+            )
+        backend = self.backend
+        for _ in range(num_updates):
+            if len(self.async_records) >= self._max_updates:
+                return True
+            master_version = len(self.async_records)
             event = backend.next_arrival()
             clock = event.time
             worker = event.worker
@@ -218,7 +303,6 @@ class RoundEngine:
             loss = self._eval_fn(
                 self.model, self.eval_data, fallback_losses=(batch_loss,)
             )
-            losses.append(loss)
             prev_time = (
                 self.async_records[-1].sim_time if self.async_records else 0.0
             )
@@ -238,13 +322,129 @@ class RoundEngine:
                 clock - prev_time
             )
             backend.schedule(worker, clock, version=master_version)
+        return len(self.async_records) >= self._max_updates
 
-        staleness_vals = [r.staleness for r in self.async_records]
+    def finish_updates(self) -> AsyncSummary:
+        """Summarise the active asynchronous run."""
+        records = self.async_records
+        if self._mode != MODE_UPDATES or not records:
+            raise TrainingError(
+                "no asynchronous updates recorded; call start_updates() "
+                "and step_updates() first"
+            )
+        staleness_vals = [r.staleness for r in records]
         return AsyncSummary(
-            num_updates=len(self.async_records),
-            total_sim_time=clock,
-            final_loss=losses[-1],
+            num_updates=len(records),
+            total_sim_time=records[-1].sim_time,
+            final_loss=records[-1].loss,
             mean_staleness=float(np.mean(staleness_vals)),
             max_staleness=int(max(staleness_vals)),
-            loss_curve=tuple(losses),
+            loss_curve=tuple(r.loss for r in records),
         )
+
+    def run_updates(self, max_updates: int) -> AsyncSummary:
+        """Asynchronous mode: apply each arriving gradient immediately.
+
+        Requires an :class:`~repro.engine.backends.AsyncArrivalBackend`
+        and an :class:`~repro.engine.rules.AsyncUpdate` rule.  Each
+        worker loops fetch → compute → upload independently; the master
+        applies every arrival, tagged with its *staleness* — how many
+        master updates happened since the worker fetched.
+        """
+        self.start_updates(max_updates)
+        self.step_updates(max_updates)
+        return self.finish_updates()
+
+    # ------------------------------------------------------------------
+    # Checkpointing.
+
+    def snapshot(self) -> EngineState:
+        """Capture the active run's full mutable state.
+
+        Valid at any round/update boundary of an active run.  The
+        returned :class:`EngineState` round-trips through JSON; feeding
+        it to :meth:`restore` on a *freshly built* engine for the same
+        spec resumes the run with bit-identical trajectories and traces.
+        """
+        if self._mode is None:
+            raise TrainingError(
+                "snapshot() requires an active run; call start_run() or "
+                "start_updates() first"
+            )
+        if self._mode == MODE_ROUNDS:
+            assert self._tracker is not None
+            budget = self.max_steps
+            threshold = self._tracker.threshold
+            window = self._tracker.window
+            losses = tuple(self._tracker.losses)
+            round_index = len(self.records)
+        else:
+            budget = self._max_updates
+            threshold = None
+            window = 1
+            losses = ()
+            round_index = len(self.async_records)
+        return EngineState(
+            mode=self._mode,
+            round_index=round_index,
+            params=tuple(float(v) for v in self.model.get_parameters()),
+            max_steps=budget,
+            loss_threshold=threshold,
+            smoothing_window=window,
+            records=tuple(record_to_dict(r) for r in self.records),
+            async_records=tuple(
+                async_record_to_dict(r) for r in self.async_records
+            ),
+            losses=losses,
+            rule=self.rule.snapshot_state(),
+            backend=self.backend.snapshot_state(),
+            strategy=self._strategy_state(),
+            tracer_scheme=(
+                self.tracer.scheme if self.tracer is not None else None
+            ),
+        )
+
+    def restore(self, state: EngineState) -> None:
+        """Resume a run captured by :meth:`snapshot`.
+
+        The engine must have been built for the same spec that produced
+        the snapshot (same model/strategy/backend/rule shapes); restore
+        then overwrites every piece of mutable run state, after which
+        :meth:`step_rounds` / :meth:`step_updates` continue bit-for-bit.
+        """
+        self.model.set_parameters(np.asarray(state.params, dtype=float))
+        self.records = [record_from_dict(r) for r in state.records]
+        self.async_records = [
+            async_record_from_dict(r) for r in state.async_records
+        ]
+        self._mode = state.mode
+        if state.mode == MODE_ROUNDS:
+            from ..training.convergence import LossTracker
+
+            tracker = LossTracker(state.loss_threshold, state.smoothing_window)
+            tracker.load_losses(state.losses)
+            self._tracker = tracker
+            self.max_steps = state.max_steps
+            self._max_updates = 0
+        else:
+            self._tracker = None
+            self._max_updates = state.max_steps
+        # Rule state may swap the strategy (adaptive migration replays
+        # its recorded events), so it restores before the strategy RNG.
+        self.rule.restore_state(self, state.rule)
+        self._restore_strategy_state(state.strategy)
+        self.backend.restore_state(self, state.backend)
+        if self.tracer is not None and state.tracer_scheme is not None:
+            self.tracer.set_context(scheme=state.tracer_scheme)
+
+    def _strategy_state(self) -> dict:
+        """Mutable strategy-side state: the decoder's fairness RNG."""
+        decoder = getattr(self.strategy, "decoder", None)
+        if decoder is None:
+            return {}
+        return {"decoder_rng": generator_state(decoder.rng)}
+
+    def _restore_strategy_state(self, state) -> None:
+        decoder = getattr(self.strategy, "decoder", None)
+        if decoder is not None and "decoder_rng" in state:
+            set_generator_state(decoder.rng, state["decoder_rng"])

@@ -19,6 +19,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
+import pathlib
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING, Any, Dict, Mapping, Optional, Tuple, Union,
@@ -153,6 +154,11 @@ class RunReport:
         return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------------
+    def write(self, path: "str | pathlib.Path") -> None:
+        """Persist the report as a JSON document (newline-terminated)."""
+        pathlib.Path(path).write_text(self.to_json() + "\n")
+
+    # ------------------------------------------------------------------
     def describe(self) -> str:
         """One-line human-readable summary of the run."""
         if self.kind == "async":
@@ -169,3 +175,28 @@ class RunReport:
         if self.trace_path:
             parts.append(f"trace {self.trace_path}")
         return ", ".join(parts)
+
+
+def build_run_report(
+    summary: Union[TrainingSummary, AsyncSummary],
+    *,
+    spec: "ExperimentSpec | None" = None,
+    name: Optional[str] = None,
+    trace_path: Optional[str] = None,
+    report_path: "str | pathlib.Path | None" = None,
+) -> RunReport:
+    """Assemble (and optionally persist) the canonical run report.
+
+    The single report-building path behind ``repro run``,
+    ``repro simulate`` and the serve runner — every consumer wraps its
+    engine summary here, so a spec run, an ad-hoc simulation and a
+    coordinator job all report through byte-identical payloads.  When
+    ``report_path`` is given the JSON document is written there too
+    (the CLI's ``--report`` flag).
+    """
+    report = RunReport.from_summary(
+        summary, name=name, spec=spec, trace_path=trace_path
+    )
+    if report_path is not None:
+        report.write(report_path)
+    return report

@@ -103,6 +103,13 @@ class UpdateRule:
         """The scheme name reported in the training summary."""
         return engine.strategy.name
 
+    def snapshot_state(self) -> Dict:
+        """JSON-safe mutable rule state (checkpointing); default none."""
+        return {}
+
+    def restore_state(self, engine: "RoundEngine", state) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+
 
 class SyncUpdate(UpdateRule):
     """Unbiased mean-gradient SGD update (sync/GC/IS-SGD/IS-GC)."""
@@ -126,6 +133,12 @@ class SyncUpdate(UpdateRule):
         )
         engine.model.set_parameters(params)
         return mean_grad
+
+    def snapshot_state(self):
+        return {"optimizer": self._optimizer.snapshot_state()}
+
+    def restore_state(self, engine, state):
+        self._optimizer.restore_state(state["optimizer"])
 
 
 class LocalUpdate(UpdateRule):
@@ -291,6 +304,53 @@ class AdaptiveMigration(SyncUpdate):
     def scheme_label(self, engine):
         return f"adaptive-is-gc ({len(self.migrations)} migrations)"
 
+    def snapshot_state(self):
+        from dataclasses import asdict
+
+        from .state import generator_state
+
+        state = super().snapshot_state()
+        state.update({
+            "penalty": self._penalty,
+            "rng": generator_state(self._rng),
+            "migrations": [asdict(event) for event in self.migrations],
+        })
+        return state
+
+    def restore_state(self, engine, state):
+        """Restore adaptive state, replaying the last migration.
+
+        The migrated placement is not serialised: ``rank_placements``
+        is deterministic in ``(n, c, wait_for, seed=step)``, so the
+        placement the run switched to is re-derived exactly from the
+        recorded migration step, and the rebuilt strategy shares this
+        rule's (restored) generator just like the original swap did.
+        """
+        from .state import set_generator_state
+
+        super().restore_state(engine, state)
+        self._penalty = float(state["penalty"])
+        set_generator_state(self._rng, state["rng"])
+        self.migrations = [
+            MigrationEvent(**event) for event in state["migrations"]
+        ]
+        if not self.migrations:
+            return
+        from ..training.strategies import ISGCStrategy
+
+        placement: Placement = engine.strategy.placement
+        ranking = rank_placements(
+            placement.num_workers,
+            placement.partitions_per_worker,
+            self._wait_for,
+            trials=1500,
+            seed=self.migrations[-1].step,
+        )
+        engine.strategy = ISGCStrategy(  # repro: noqa[REG001]
+            ranking[0].placement, wait_for=self._wait_for, rng=self._rng
+        )
+        engine.backend.on_strategy_change(engine.strategy)
+
 
 class AsyncUpdate(UpdateRule):
     """Apply each gradient the moment it arrives (the async extreme)."""
@@ -310,3 +370,9 @@ class AsyncUpdate(UpdateRule):
 
     def scheme_label(self, engine):
         return "async-sgd"
+
+    def snapshot_state(self):
+        return {"optimizer": self._optimizer.snapshot_state()}
+
+    def restore_state(self, engine, state):
+        self._optimizer.restore_state(state["optimizer"])

@@ -1,0 +1,247 @@
+"""Checkpointable run state: :class:`EngineState` and its field registry.
+
+A running :class:`~repro.engine.core.RoundEngine` is a first-class,
+suspendable value: ``engine.snapshot()`` captures *every* piece of
+mutable run state — model parameters, optimizer/update-rule state, RNG
+generator states, the loss tracker, the committed records and the
+backend's clock/queue — as an :class:`EngineState` that round-trips
+through JSON losslessly (floats serialise via ``repr``, which is exact
+for binary64; generator states are integer dicts).  ``restore()`` on a
+freshly built engine for the same spec resumes the run bit-for-bit:
+``snapshot → restore → continue`` produces the identical trajectory
+*and* identical JSONL traces as the uninterrupted run.
+
+Component state rides on the objects that own it: update rules,
+backends, delay models and optimizers each expose
+``snapshot_state()``/``restore_state()`` hooks (default: stateless),
+so a new stateful component only has to extend its own hook — the
+engine-level assembly here never changes.
+
+The module also exports :data:`CHECKPOINT_COVERED`, the authoritative
+list of attributes that may legally be assigned on engine / update-rule
+/ backend instances during a run.  The ``CKPT001`` static rule audits
+every such assignment in the engine layer against this registry, so a
+newly introduced piece of run state that is *not* captured by
+``snapshot()`` fails ``repro check`` instead of silently breaking
+resume determinism.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import TrainingError
+from ..types import AsyncUpdateRecord, StepRecord
+
+#: Bumped whenever the serialised layout changes incompatibly.
+STATE_VERSION = 1
+
+#: Snapshot modes: synchronous rounds vs. asynchronous updates.
+MODE_ROUNDS = "rounds"
+MODE_UPDATES = "updates"
+
+#: Attributes legally assigned on engine-layer instances *during a run*
+#: (i.e. outside ``__init__``/``bind``/``start``-style setup and the
+#: snapshot/restore/reset methods themselves), keyed by owner kind.
+#: Every name here is captured by :meth:`RoundEngine.snapshot` — either
+#: directly or via a component ``snapshot_state()`` hook.  CKPT001
+#: audits the engine layer against this registry.
+CHECKPOINT_COVERED: Mapping[str, frozenset] = {
+    # RoundEngine instances ("self" in core.py, "engine" in rule hooks).
+    "engine": frozenset({
+        "strategy",        # adaptive migration swap; re-derived on restore
+        "records",         # serialised verbatim
+        "async_records",   # serialised verbatim
+        "max_steps",       # run budget
+        "_tracker",        # LossTracker (threshold/window/losses)
+        "_mode",           # rounds vs updates
+        "_max_updates",    # async run budget
+    }),
+    # UpdateRule instances.
+    "rule": frozenset({
+        "_penalty",        # AdaptiveMigration simulated-time charge
+        "migrations",      # AdaptiveMigration event log
+    }),
+    # ExecutionBackend instances.
+    "backend": frozenset({
+        "_clock",          # actor/async simulated clock
+        "_queue",          # async pending arrivals
+        "fetch_version",   # async per-worker fetch versions
+        "worker_step",     # async per-worker batch cursors
+    }),
+}
+
+#: Within-round scratch attributes: assigned and consumed inside a
+#: single quantum, never live across a round boundary, therefore not
+#: part of the snapshot.  CKPT001 accepts these too.
+CHECKPOINT_TRANSIENT: Mapping[str, frozenset] = {
+    "engine": frozenset(),
+    "rule": frozenset({
+        "_start",          # LocalUpdate: round-start parameters
+    }),
+    "backend": frozenset(),
+}
+
+
+# ----------------------------------------------------------------------
+# RNG helpers — PCG64 (and friends) expose a JSON-safe state dict of
+# plain ints/strings through ``bit_generator.state``.
+
+def generator_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """The generator's full internal state as a JSON-safe dict."""
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_generator_state(rng: np.random.Generator, state: Mapping) -> None:
+    """Restore a state captured by :func:`generator_state`."""
+    rng.bit_generator.state = copy.deepcopy(dict(state))
+
+
+# ----------------------------------------------------------------------
+# Record (de)serialisation.
+
+def record_to_dict(record: StepRecord) -> Dict[str, Any]:
+    """A :class:`StepRecord` as a JSON-safe dict (extras included)."""
+    payload = asdict(record)
+    payload["extras"] = dict(record.extras)
+    return payload
+
+
+def record_from_dict(payload: Mapping[str, Any]) -> StepRecord:
+    """Inverse of :func:`record_to_dict`."""
+    data = dict(payload)
+    data["extras"] = dict(data.get("extras", {}))
+    return StepRecord(**data)
+
+
+def async_record_to_dict(record: AsyncUpdateRecord) -> Dict[str, Any]:
+    """An :class:`AsyncUpdateRecord` as a JSON-safe dict."""
+    return asdict(record)
+
+
+def async_record_from_dict(payload: Mapping[str, Any]) -> AsyncUpdateRecord:
+    """Inverse of :func:`async_record_to_dict`."""
+    return AsyncUpdateRecord(**payload)
+
+
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EngineState:
+    """Everything a :class:`RoundEngine` run mutates, JSON-serialisable.
+
+    ``mode`` distinguishes synchronous-round runs (``"rounds"``) from
+    asynchronous-update runs (``"updates"``); ``max_steps`` is the
+    corresponding budget (steps or updates).  ``rule`` / ``backend`` /
+    ``strategy`` carry the component ``snapshot_state()`` payloads.
+    """
+
+    mode: str
+    round_index: int
+    params: Tuple[float, ...]
+    max_steps: int
+    loss_threshold: Optional[float]
+    smoothing_window: int
+    records: Tuple[Mapping[str, Any], ...] = ()
+    async_records: Tuple[Mapping[str, Any], ...] = ()
+    losses: Tuple[float, ...] = ()
+    rule: Mapping[str, Any] = field(default_factory=dict)
+    backend: Mapping[str, Any] = field(default_factory=dict)
+    strategy: Mapping[str, Any] = field(default_factory=dict)
+    tracer_scheme: Optional[str] = None
+    version: int = STATE_VERSION
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MODE_ROUNDS, MODE_UPDATES):
+            raise TrainingError(
+                f"unknown engine-state mode {self.mode!r} "
+                f"(expected {MODE_ROUNDS!r} or {MODE_UPDATES!r})"
+            )
+        if self.round_index < 0:
+            raise TrainingError(
+                f"round_index must be >= 0, got {self.round_index}"
+            )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form; ``json.dumps``-able as-is."""
+        return {
+            "version": self.version,
+            "mode": self.mode,
+            "round_index": self.round_index,
+            "params": list(self.params),
+            "max_steps": self.max_steps,
+            "loss_threshold": self.loss_threshold,
+            "smoothing_window": self.smoothing_window,
+            "records": [dict(r) for r in self.records],
+            "async_records": [dict(r) for r in self.async_records],
+            "losses": list(self.losses),
+            "rule": dict(self.rule),
+            "backend": dict(self.backend),
+            "strategy": dict(self.strategy),
+            "tracer_scheme": self.tracer_scheme,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EngineState":
+        """Inverse of :meth:`to_dict`; validates the layout version."""
+        if not isinstance(payload, Mapping):
+            raise TrainingError(
+                f"engine state must be a mapping, got {type(payload).__name__}"
+            )
+        version = payload.get("version", STATE_VERSION)
+        if version != STATE_VERSION:
+            raise TrainingError(
+                f"engine state version {version} is not supported "
+                f"(this build reads version {STATE_VERSION})"
+            )
+        try:
+            return cls(
+                mode=payload["mode"],
+                round_index=int(payload["round_index"]),
+                params=tuple(float(v) for v in payload["params"]),
+                max_steps=int(payload["max_steps"]),
+                loss_threshold=payload.get("loss_threshold"),
+                smoothing_window=int(payload.get("smoothing_window", 1)),
+                records=tuple(dict(r) for r in payload.get("records", ())),
+                async_records=tuple(
+                    dict(r) for r in payload.get("async_records", ())
+                ),
+                losses=tuple(float(v) for v in payload.get("losses", ())),
+                rule=dict(payload.get("rule", {})),
+                backend=dict(payload.get("backend", {})),
+                strategy=dict(payload.get("strategy", {})),
+                tracer_scheme=payload.get("tracer_scheme"),
+                version=version,
+            )
+        except KeyError as exc:
+            raise TrainingError(f"engine state is missing field {exc}")
+
+    def to_json(self) -> str:
+        """Lossless JSON text (floats via ``repr``)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EngineState":
+        """Inverse of :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TrainingError(f"engine state is not valid JSON: {exc}")
+        return cls.from_dict(payload)
+
+    # ------------------------------------------------------------------
+    @property
+    def step_records(self) -> List[StepRecord]:
+        """The committed synchronous records as :class:`StepRecord`."""
+        return [record_from_dict(r) for r in self.records]
+
+    @property
+    def update_records(self) -> List[AsyncUpdateRecord]:
+        """The committed async records as :class:`AsyncUpdateRecord`."""
+        return [async_record_from_dict(r) for r in self.async_records]

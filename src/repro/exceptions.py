@@ -55,3 +55,73 @@ class ServeError(ReproError):
     :class:`repro.serve.JobFailedError` / :class:`repro.serve.JobCancelledError`
     subclasses when a client awaits the job's result.
     """
+
+
+class AdmissionError(ServeError):
+    """A structurally valid submission was refused at admission control.
+
+    Carries the structured context the coordinator publishes to
+    ``rejected/`` so clients can make an informed retry decision
+    instead of string-matching the message.
+
+    Attributes
+    ----------
+    reason:
+        Machine-readable cause, e.g. ``"queue_limit"``.
+    queue_depth:
+        Non-terminal jobs the coordinator held at rejection time.
+    queue_limit:
+        The coordinator's admission bound.
+    retry_hint:
+        Human-readable guidance (when resubmission can succeed).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "queue_limit",
+        queue_depth: int | None = None,
+        queue_limit: int | None = None,
+        retry_hint: str = "",
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit
+        self.retry_hint = retry_hint
+
+    def details(self) -> dict:
+        """The structured rejection payload (JSON-ready)."""
+        payload: dict = {"reason": self.reason}
+        if self.queue_depth is not None:
+            payload["queue_depth"] = self.queue_depth
+        if self.queue_limit is not None:
+            payload["queue_limit"] = self.queue_limit
+        if self.retry_hint:
+            payload["retry_hint"] = self.retry_hint
+        return payload
+
+
+class SubmissionRejectedError(ServeError):
+    """A mailbox submission landed in ``rejected/``.
+
+    Raised by :meth:`repro.serve.CoordinatorClient.wait` (and by
+    ``submit`` on a job id that was already rejected); carries the
+    rejection record so callers can read ``reason``/``retry_hint``
+    without re-opening the mailbox.
+    """
+
+    def __init__(self, message: str, *, record: dict | None = None):
+        super().__init__(message)
+        self.record = record if record is not None else {}
+
+    @property
+    def reason(self) -> str:
+        """The machine-readable rejection reason (may be empty)."""
+        return str(self.record.get("reason", ""))
+
+    @property
+    def retry_hint(self) -> str:
+        """Guidance on whether/when resubmission can succeed."""
+        return str(self.record.get("retry_hint", ""))

@@ -33,7 +33,12 @@ from .registry import (
 )
 from .events import RoundTrace, TRACE_SCHEMA_VERSION
 from .tracer import RoundTracer, null_tracer
-from .jsonl import TraceStreamWriter, read_traces, write_traces
+from .jsonl import (
+    TraceStreamWriter,
+    read_traces,
+    truncate_traces,
+    write_traces,
+)
 from .summary import SchemeAggregate, aggregate_traces
 
 __all__ = [
@@ -51,6 +56,7 @@ __all__ = [
     "RoundTracer",
     "null_tracer",
     "read_traces",
+    "truncate_traces",
     "write_traces",
     "TraceStreamWriter",
     "SchemeAggregate",

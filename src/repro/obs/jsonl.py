@@ -46,12 +46,20 @@ class TraceStreamWriter:
     point mid-run.
 
     Usable as a context manager; :meth:`close` is idempotent.
+
+    ``append=True`` resumes an existing stream instead of truncating
+    it — the checkpoint-restore path: the caller first trims the file
+    to the restored round count (:func:`truncate_traces`) and then
+    keeps streaming, so a resumed job's trace is indistinguishable
+    from an uninterrupted one.
     """
 
-    def __init__(self, path: PathLike):
+    def __init__(self, path: PathLike, append: bool = False):
         self._path = Path(path)
         try:
-            self._fh = self._path.open("w", encoding="utf-8")
+            self._fh = self._path.open(
+                "a" if append else "w", encoding="utf-8"
+            )
         except OSError as exc:
             raise ObservabilityError(
                 f"cannot open trace stream: {exc}"
@@ -96,6 +104,44 @@ class TraceStreamWriter:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def truncate_traces(path: PathLike, count: int) -> int:
+    """Trim a JSONL trace file to its first ``count`` lines.
+
+    The checkpoint-restore primitive: a job resumed from round ``k``
+    rewinds its trace stream to exactly ``k`` lines (dropping any
+    rounds streamed after the snapshot was taken — e.g. by a
+    coordinator killed between checkpoint and crash) before appending.
+    A missing file with ``count == 0`` is fine (nothing streamed yet).
+    Returns the number of lines kept.
+    """
+    if count < 0:
+        raise ObservabilityError(
+            f"cannot keep a negative trace count ({count})"
+        )
+    path = Path(path)
+    if not path.exists():
+        if count == 0:
+            return 0
+        raise ObservabilityError(f"trace file not found: {path}")
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read trace file: {exc}") from exc
+    if len(lines) < count:
+        raise ObservabilityError(
+            f"trace file {path} holds {len(lines)} lines; cannot keep "
+            f"{count}"
+        )
+    if len(lines) > count:
+        try:
+            path.write_text("".join(lines[:count]), encoding="utf-8")
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot rewrite trace file: {exc}"
+            ) from exc
+    return count
 
 
 def read_traces(path: PathLike) -> List[RoundTrace]:

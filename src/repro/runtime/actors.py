@@ -151,6 +151,12 @@ class MasterActor:
         self.records.append(record)
         self._step += 1
 
+    def restore_progress(self, step: int, records) -> None:
+        """Reset the step counter and record log (checkpoint restore)."""
+        self._step = step
+        self._pending = {}
+        self.records = list(records)
+
     def complete_step(
         self, accepted_workers: Sequence[int], now: float, wait_time: float
     ) -> None:

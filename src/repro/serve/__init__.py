@@ -16,6 +16,14 @@ Entry points:
   ``repro jobs`` / ``repro cancel`` — cross-process, over a file
   mailbox.
 
+Jobs are *suspendable values*: every engine round boundary can be
+snapshotted to a JSON-safe :class:`~repro.engine.EngineState`, which is
+how the shared :class:`WorkerPool` multiplexes more jobs than live
+engines, how ``checkpoints/`` mailbox records survive a coordinator
+kill, and why a resumed job's trajectory and trace are bit-identical
+to an uninterrupted run.  :class:`SchedulingClass` adds priority tiers
+and earliest-deadline-first tie-breaking on top of the fair scheduler.
+
 Deterministic mode guarantees that any interleaving of N jobs is
 bit-for-bit identical to N sequential ``repro run`` invocations; see
 ``docs/serving.md``.
@@ -29,13 +37,21 @@ from .jobs import (
     JobHandle,
     JobState,
 )
-from .mailbox import CoordinatorClient, ServeMailbox, Submission
+from .mailbox import (
+    CheckpointRecord,
+    CoordinatorClient,
+    ServeMailbox,
+    Submission,
+)
+from .pool import PoolStats, WorkerPool
 from .runner import JobRunner
 from .scheduler import (
+    DEFAULT_CLASS,
     FairScheduler,
     RandomOrderScheduler,
     RoundRobinScheduler,
     Scheduler,
+    SchedulingClass,
 )
 
 __all__ = [
@@ -51,7 +67,12 @@ __all__ = [
     "FairScheduler",
     "RoundRobinScheduler",
     "RandomOrderScheduler",
+    "SchedulingClass",
+    "DEFAULT_CLASS",
+    "WorkerPool",
+    "PoolStats",
     "ServeMailbox",
     "CoordinatorClient",
     "Submission",
+    "CheckpointRecord",
 ]

@@ -42,20 +42,21 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import json
 import pathlib
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..engine.spec import ExperimentSpec
-from ..exceptions import ServeError
+from ..exceptions import AdmissionError, ServeError
 from .jobs import Job, JobEvent, JobHandle, JobState
-from .runner import JobRunner
-from .scheduler import FairScheduler, Scheduler
+from .pool import WorkerPool
+from .scheduler import FairScheduler, Scheduler, SchedulingClass
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..engine.report import RunReport
-    from .mailbox import ServeMailbox
+    from .mailbox import CheckpointRecord, ServeMailbox
 
 
 class Coordinator:
@@ -78,6 +79,12 @@ class Coordinator:
         When set, every job streams its round trace to
         ``<trace_dir>/<job_id>.jsonl`` unless submitted with
         ``trace=False``.
+    pool_capacity:
+        How many live engines the shared :class:`WorkerPool` keeps
+        resident; jobs beyond that are parked as
+        :class:`~repro.engine.EngineState` snapshots and resumed
+        bit-identically on their next quantum.  Defaults to
+        ``max_running``.
     """
 
     def __init__(
@@ -88,6 +95,7 @@ class Coordinator:
         queue_limit: int = 64,
         scheduler: Optional[Scheduler] = None,
         trace_dir: "str | pathlib.Path | None" = None,
+        pool_capacity: Optional[int] = None,
     ):
         if mode not in ("live", "deterministic"):
             raise ServeError(
@@ -111,6 +119,11 @@ class Coordinator:
         self.trace_dir = (
             pathlib.Path(trace_dir) if trace_dir is not None else None
         )
+        self.pool = WorkerPool(
+            capacity=(
+                pool_capacity if pool_capacity is not None else max_running
+            )
+        )
         self._jobs: Dict[str, Job] = {}
         self._seq = itertools.count()
         self._inflight: set = set()
@@ -127,31 +140,56 @@ class Coordinator:
         spec: "ExperimentSpec | str | pathlib.Path",
         *,
         name: Optional[str] = None,
-        weight: int = 1,
+        weight: Optional[int] = None,
         trace: Optional[bool] = None,
         job_id: Optional[str] = None,
+        priority: Optional[int] = None,
+        deadline: Optional[float] = None,
+        scheduling_class: Optional[SchedulingClass] = None,
     ) -> JobHandle:
         """Admit one job; returns its :class:`JobHandle`.
 
         ``spec`` may be a spec object or a ``.json``/``.toml`` path
         (loaded through :meth:`ExperimentSpec.from_file`, so submission
         payloads get the same validation + did-you-mean errors).
-        Raises :class:`ServeError` when the queue is full, the weight
-        is invalid, or the coordinator is closed.
+        ``scheduling_class`` supplies default weight/priority/deadline;
+        the explicit keyword arguments override it field by field.
+        Raises :class:`~repro.exceptions.AdmissionError` (carrying the
+        queue depth and a retry hint) when the queue is full, and
+        :class:`ServeError` when the weight is invalid or the
+        coordinator is closed.
         """
         if self._closed:
             raise ServeError("coordinator is closed; no new submissions")
         if not isinstance(spec, ExperimentSpec):
             spec = ExperimentSpec.from_file(spec)
+        sched = scheduling_class
+        if weight is None:
+            weight = sched.weight if sched is not None else 1
+        if priority is None:
+            priority = sched.priority if sched is not None else 0
+        if deadline is None and sched is not None:
+            deadline = sched.deadline
         if weight < 1:
             raise ServeError(f"job weight must be >= 1, got {weight}")
+        if deadline is not None and deadline <= 0:
+            raise ServeError(
+                f"job deadline must be positive, got {deadline}"
+            )
         active = sum(
             1 for job in self._jobs.values() if not job.state.terminal
         )
         if active >= self.queue_limit:
-            raise ServeError(
+            raise AdmissionError(
                 f"admission rejected: {active} active jobs at the "
-                f"queue limit ({self.queue_limit})"
+                f"queue limit ({self.queue_limit})",
+                reason="queue_limit",
+                queue_depth=active,
+                queue_limit=self.queue_limit,
+                retry_hint=(
+                    "resubmit after a job reaches a terminal state "
+                    "(watch jobs/ for done/failed/cancelled)"
+                ),
             )
         seq = next(self._seq)
         if job_id is None:
@@ -163,6 +201,8 @@ class Coordinator:
             name=name if name is not None else spec.name,
             spec=spec,
             weight=int(weight),
+            priority=int(priority),
+            deadline=deadline,
             seq=seq,
         )
         if trace is None:
@@ -177,6 +217,8 @@ class Coordinator:
             job.trace_path = str(self.trace_dir / f"{job_id}.jsonl")
         self._jobs[job_id] = job
         self._emit_state(job)
+        if self._mailbox is not None:
+            self._mailbox.write_checkpoint(job, None)
         self._wake.set()
         return JobHandle(self, job)
 
@@ -217,6 +259,10 @@ class Coordinator:
         job.state = state
         self._emit_state(job, detail)
         if state.terminal:
+            self.pool.discard(job)
+            job.checkpoint_state = None
+            if self._mailbox is not None:
+                self._mailbox.clear_checkpoint(job.job_id)
             job.done_event.set()
             for queue in job.watchers:
                 queue.put_nowait(None)
@@ -237,17 +283,19 @@ class Coordinator:
             self._mailbox.write_state(job)
 
     def _start_job(self, job: Job) -> None:
-        """QUEUED → RUNNING: build the engine (isolated on failure)."""
+        """QUEUED → RUNNING: build the engine (isolated on failure).
+
+        Goes through the shared :class:`WorkerPool`, so a recovered job
+        (one carrying a ``checkpoint_state``) resumes from its snapshot
+        instead of round zero.
+        """
         try:
-            job.runner = JobRunner(
-                job.spec,
-                trace_path=job.trace_path,
-                trace_context=job.name,
-            )
+            self.pool.acquire(job)
         except Exception as exc:  # noqa: BLE001 - isolation boundary
             job.error = _summarize_error(exc)
             self._transition(job, JobState.FAILED)
             return
+        self.pool.release(job)
         self._transition(job, JobState.RUNNING)
 
     def _admit_queued(self) -> None:
@@ -317,11 +365,20 @@ class Coordinator:
             self._transition(job, JobState.DONE)
         elif job.cancel_requested:
             self._finish_cancel(job)
+        else:
+            # Still running: persist the round boundary so a killed
+            # coordinator resumes from here, then unpin the engine
+            # (the pool may park it under capacity pressure).
+            if self._mailbox is not None:
+                self._mailbox.write_checkpoint(
+                    job, job.runner.checkpoint()
+                )
+            self.pool.release(job)
 
     async def _run_one_deterministic(self, job: Job) -> None:
-        assert job.runner is not None
         try:
-            done = job.runner.step()
+            runner = self.pool.acquire(job)
+            done = runner.step()
         except Exception as exc:  # noqa: BLE001 - isolation boundary
             self._finish_quantum(job, exc)
         else:
@@ -329,16 +386,20 @@ class Coordinator:
         # Yield so submissions/watchers interleave at round boundaries.
         await asyncio.sleep(0)
 
-    def _launch_live(self, job: Job) -> "asyncio.Future":
-        assert job.runner is not None
+    def _launch_live(self, job: Job) -> "asyncio.Future | None":
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.max_running,
                 thread_name_prefix="repro-serve",
             )
         self._inflight.add(job)
+        try:
+            runner = self.pool.acquire(job)
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            self._finish_quantum(job, exc)
+            return None
         loop = asyncio.get_running_loop()
-        future = loop.run_in_executor(self._pool, job.runner.step)
+        future = loop.run_in_executor(self._pool, runner.step)
 
         def _done(fut: "asyncio.Future") -> None:
             outcome = fut.exception()
@@ -397,9 +458,17 @@ class Coordinator:
         approximately that many seconds with an empty inbox and no
         active jobs (measured in ``poll_interval`` sleeps, not by
         reading a wall clock).  With neither, serves until cancelled.
+
+        On startup the mailbox's ``checkpoints/`` records are scanned
+        and every non-terminal job is re-admitted — RUNNING jobs resume
+        from their last snapshotted round boundary, QUEUED ones from
+        round zero — so a coordinator killed mid-run completes its
+        jobs bit-identically after a restart (``announce`` has already
+        taken over the stale pid marker).
         """
         self._mailbox = mailbox
         mailbox.announce(self)
+        self._recover(mailbox)
         idle_polls = 0
         try:
             while True:
@@ -422,6 +491,61 @@ class Coordinator:
             mailbox.retire(self)
             self._mailbox = None
 
+    def _recover(self, mailbox: "ServeMailbox") -> None:
+        """Re-admit every checkpointed job the last coordinator left.
+
+        A job whose published state is already terminal only needs its
+        stale checkpoint cleared; everything else is resubmitted under
+        its original id/class, carrying the snapshotted engine state
+        (when one was written) so its first quantum continues exactly
+        where the dead coordinator stopped.
+        """
+        for record in mailbox.poll_checkpoints():
+            if record.job_id in self._jobs:
+                continue
+            published = self._published_state(mailbox, record.job_id)
+            if published in ("done", "failed", "cancelled"):
+                mailbox.clear_checkpoint(record.job_id)
+                continue
+            try:
+                handle = self.submit(
+                    record.spec,
+                    name=record.name,
+                    weight=record.weight,
+                    priority=record.priority,
+                    deadline=record.deadline,
+                    trace=False,
+                    job_id=record.job_id,
+                )
+            except ServeError as exc:
+                mailbox.clear_checkpoint(record.job_id)
+                mailbox._write_rejection_payload(
+                    record.job_id,
+                    f"recovery failed: {exc}",
+                    {"reason": "recovery_failed"},
+                )
+                continue
+            job = self._jobs[handle.job_id]
+            job.trace_path = record.trace_path
+            job.checkpoint_state = record.engine_state
+            job.rounds_done = record.rounds_done
+            # Re-persist the recovered state (submit wrote a fresh
+            # round-zero record) so a second crash resumes from the
+            # same boundary, not from scratch.
+            mailbox.write_checkpoint(job, record.engine_state)
+
+    @staticmethod
+    def _published_state(
+        mailbox: "ServeMailbox", job_id: str
+    ) -> Optional[str]:
+        path = mailbox.root / "jobs" / f"{job_id}.json"
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text()).get("state")
+        except ValueError:
+            return None
+
     def _poll_mailbox(self, mailbox: "ServeMailbox") -> int:
         admitted = 0
         for submission in mailbox.poll_submissions():
@@ -432,8 +556,12 @@ class Coordinator:
                     weight=submission.weight,
                     trace=submission.trace,
                     job_id=submission.job_id,
+                    priority=submission.priority,
+                    deadline=submission.deadline,
                 )
                 admitted += 1
+            except AdmissionError as exc:
+                mailbox.write_rejection(submission, str(exc), exc.details())
             except ServeError as exc:
                 mailbox.write_rejection(submission, str(exc))
         for job_id in mailbox.poll_cancels():
@@ -444,11 +572,16 @@ class Coordinator:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Refuse further submissions and release the thread pool."""
+        """Refuse further submissions and release the thread pool.
+
+        Unfinished engines are parked through the worker pool (their
+        state snapshotted onto the job records, trace streams closed).
+        """
         self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self.pool.clear()
 
     def __enter__(self) -> "Coordinator":
         return self

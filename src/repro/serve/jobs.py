@@ -98,6 +98,11 @@ class Job:
     name: str
     spec: "ExperimentSpec"
     weight: int = 1
+    #: scheduling-class priority tier; higher tiers preempt quanta.
+    priority: int = 0
+    #: optional deadline (simulated seconds); breaks credit ties
+    #: earliest-deadline-first within a priority tier.
+    deadline: Optional[float] = None
     state: JobState = JobState.QUEUED
     #: admission order; ties in the scheduler break on this.
     seq: int = 0
@@ -108,6 +113,9 @@ class Job:
     cancel_requested: bool = False
     #: the live engine wrapper once RUNNING (None while queued).
     runner: "JobRunner | None" = None
+    #: parked engine state while evicted from the worker pool (or
+    #: recovered from a mailbox checkpoint); consumed on re-acquire.
+    checkpoint_state: "object | None" = None
     #: scheduler bookkeeping (smooth weighted round-robin credit).
     credit: int = 0
     #: queues feeding active ``watch()`` streams.
@@ -126,6 +134,12 @@ class Job:
             "rounds_done": self.rounds_done,
             "spec_fingerprint": self.spec.fingerprint(),
         }
+        # Scheduling-class fields appear only when non-default, so
+        # default-class jobs keep the exact historical payload.
+        if self.priority != 0:
+            payload["priority"] = self.priority
+        if self.deadline is not None:
+            payload["deadline"] = self.deadline
         if self.trace_path is not None:
             payload["trace_path"] = self.trace_path
         if self.report is not None:

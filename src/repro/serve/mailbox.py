@@ -7,16 +7,30 @@ partial payload and the protocol needs no socket, daemon library or
 extra dependency.  Layout::
 
     <root>/
-      coordinator.json      # present while a coordinator is serving
-      inbox/<job_id>.json   # submissions, consumed in sorted order
+      coordinator.json          # present while a coordinator is serving
+      inbox/<job_id>.json       # submissions, consumed in sorted order
       cancel/<job_id>.cancel
-      jobs/<job_id>.json    # state snapshots, rewritten on progress
+      jobs/<job_id>.json        # state snapshots, rewritten on progress
       rejected/<job_id>.json
+      checkpoints/<job_id>.json # resumable job records (spec + engine
+                                # state), cleared on terminal states
 
 Submissions embed the full spec payload (``{"spec": {...}}``), so the
 coordinator revalidates through :meth:`ExperimentSpec.from_dict` and
 rejections land in ``rejected/`` with the original error message —
-including the spec layer's did-you-mean hints.
+including the spec layer's did-you-mean hints.  Admission rejections
+(queue limit) additionally carry structured context: a machine-readable
+``reason``, the queue depth/limit at rejection time, and a
+``retry_hint``.
+
+``checkpoints/`` is what makes jobs survive their coordinator: each
+record holds everything needed to re-admit the job (spec, name, weight,
+scheduling class, trace path) plus — once the job has run a quantum —
+its serialized :class:`~repro.engine.EngineState`.  A restarting
+coordinator re-admits every non-terminal checkpointed job and resumes
+it bit-identically (see :meth:`Coordinator.serve`).  The
+``coordinator.json`` marker embeds the serving pid; a new coordinator
+takes over a *stale* marker (dead pid) but refuses a live one.
 
 Two classes share the directory: :class:`ServeMailbox` is the
 coordinator side (poll, consume, publish state);
@@ -36,7 +50,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from ..engine.spec import ExperimentSpec
-from ..exceptions import ConfigurationError, ServeError
+from ..engine.state import EngineState
+from ..exceptions import (
+    ConfigurationError,
+    ServeError,
+    SubmissionRejectedError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .coordinator import Coordinator
@@ -46,7 +65,9 @@ _INBOX = "inbox"
 _JOBS = "jobs"
 _CANCEL = "cancel"
 _REJECTED = "rejected"
+_CHECKPOINTS = "checkpoints"
 _COORDINATOR = "coordinator.json"
+_SUBDIRS = (_INBOX, _JOBS, _CANCEL, _REJECTED, _CHECKPOINTS)
 
 #: terminal states a client's ``wait()`` stops on.
 _TERMINAL = ("done", "failed", "cancelled", "rejected")
@@ -59,6 +80,19 @@ def _atomic_write(path: pathlib.Path, payload: Dict[str, object]) -> None:
     os.replace(tmp, path)
 
 
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process we can see."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover - conservative default
+        return False
+    return True
+
+
 @dataclass
 class Submission:
     """One decoded inbox entry."""
@@ -68,6 +102,8 @@ class Submission:
     name: Optional[str] = None
     weight: int = 1
     trace: Optional[bool] = None
+    priority: int = 0
+    deadline: Optional[float] = None
 
     @classmethod
     def from_payload(
@@ -95,9 +131,68 @@ class Submission:
             raise ServeError(
                 f"submission {job_id!r} has non-string name {name!r}"
             )
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ServeError(
+                f"submission {job_id!r} has non-integer priority "
+                f"{priority!r}"
+            )
+        deadline = payload.get("deadline")
+        if deadline is not None:
+            if isinstance(deadline, bool) or not isinstance(
+                deadline, (int, float)
+            ):
+                raise ServeError(
+                    f"submission {job_id!r} has non-numeric deadline "
+                    f"{deadline!r}"
+                )
+            deadline = float(deadline)
         return cls(
             job_id=job_id, spec=spec, name=name,
             weight=weight, trace=trace,
+            priority=priority, deadline=deadline,
+        )
+
+
+@dataclass
+class CheckpointRecord:
+    """One decoded ``checkpoints/`` entry (a resumable job)."""
+
+    job_id: str
+    spec: ExperimentSpec
+    name: str
+    weight: int = 1
+    priority: int = 0
+    deadline: Optional[float] = None
+    trace_path: Optional[str] = None
+    rounds_done: int = 0
+    engine_state: Optional[EngineState] = None
+
+    @classmethod
+    def from_payload(
+        cls, job_id: str, payload: Dict[str, object]
+    ) -> "CheckpointRecord":
+        if not isinstance(payload, dict) or "spec" not in payload:
+            raise ServeError(
+                f"checkpoint {job_id!r} is missing the 'spec' payload"
+            )
+        engine_state = payload.get("engine_state")
+        return cls(
+            job_id=job_id,
+            spec=ExperimentSpec.from_dict(payload["spec"]),
+            name=str(payload.get("name", job_id)),
+            weight=int(payload.get("weight", 1)),
+            priority=int(payload.get("priority", 0)),
+            deadline=(
+                float(payload["deadline"])
+                if payload.get("deadline") is not None else None
+            ),
+            trace_path=payload.get("trace_path"),
+            rounds_done=int(payload.get("rounds_done", 0)),
+            engine_state=(
+                EngineState.from_dict(engine_state)
+                if engine_state is not None else None
+            ),
         )
 
 
@@ -106,13 +201,31 @@ class ServeMailbox:
 
     def __init__(self, root: "str | pathlib.Path"):
         self.root = pathlib.Path(root)
-        for sub in (_INBOX, _JOBS, _CANCEL, _REJECTED):
+        for sub in _SUBDIRS:
             (self.root / sub).mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
     def announce(self, coordinator: "Coordinator") -> None:
-        """Publish that a coordinator is serving this mailbox."""
-        _atomic_write(self.root / _COORDINATOR, {
+        """Publish that a coordinator is serving this mailbox.
+
+        Refuses when another *live* process already holds the marker;
+        a stale marker (dead pid — e.g. a killed coordinator) is taken
+        over silently, which is what lets a restarted coordinator
+        resume the mailbox's checkpointed jobs.
+        """
+        marker = self.root / _COORDINATOR
+        if marker.exists():
+            try:
+                existing = json.loads(marker.read_text())
+                pid = int(existing.get("pid", -1))
+            except (ValueError, TypeError):
+                pid = -1
+            if pid > 0 and pid != os.getpid() and _pid_alive(pid):
+                raise ServeError(
+                    f"mailbox {self.root} is already served by live "
+                    f"coordinator pid {pid}"
+                )
+        _atomic_write(marker, {
             "mode": coordinator.mode,
             "max_running": coordinator.max_running,
             "queue_limit": coordinator.queue_limit,
@@ -140,7 +253,9 @@ class ServeMailbox:
                 submission = Submission.from_payload(job_id, payload)
             except (ServeError, ConfigurationError, ValueError) as exc:
                 path.unlink()
-                self._write_rejection_payload(job_id, str(exc))
+                self._write_rejection_payload(
+                    job_id, str(exc), {"reason": "invalid_submission"}
+                )
                 continue
             path.unlink()
             yield submission
@@ -160,16 +275,90 @@ class ServeMailbox:
             self.root / _JOBS / f"{job.job_id}.json", job.snapshot()
         )
 
-    def write_rejection(self, submission: Submission, reason: str) -> None:
-        """Record that a well-formed submission failed admission."""
-        self._write_rejection_payload(submission.job_id, reason)
+    def write_rejection(
+        self,
+        submission: Submission,
+        reason: str,
+        details: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Record that a well-formed submission failed admission.
 
-    def _write_rejection_payload(self, job_id: str, reason: str) -> None:
-        _atomic_write(self.root / _REJECTED / f"{job_id}.json", {
+        ``details`` carries the structured context (machine-readable
+        ``reason``, ``queue_depth``/``queue_limit``, ``retry_hint``)
+        of an :class:`~repro.exceptions.AdmissionError`.
+        """
+        self._write_rejection_payload(submission.job_id, reason, details)
+
+    def _write_rejection_payload(
+        self,
+        job_id: str,
+        reason: str,
+        details: Optional[Dict[str, object]] = None,
+    ) -> None:
+        payload: Dict[str, object] = {
             "id": job_id,
             "state": "rejected",
             "error": reason,
-        })
+        }
+        if details:
+            payload.update(details)
+        _atomic_write(self.root / _REJECTED / f"{job_id}.json", payload)
+
+    # ------------------------------------------------------------------
+    def write_checkpoint(
+        self, job: "Job", state: "EngineState | None"
+    ) -> None:
+        """Persist one job's resumable record (spec + engine state).
+
+        Written at admission (``state=None`` — the job can restart from
+        round zero) and refreshed at every round boundary once the job
+        runs, so a killed coordinator loses at most the quantum that
+        was in flight.
+        """
+        payload: Dict[str, object] = {
+            "id": job.job_id,
+            "name": job.name,
+            "weight": job.weight,
+            "rounds_done": job.rounds_done,
+            "spec": job.spec.to_dict(),
+            "engine_state": state.to_dict() if state is not None else None,
+        }
+        if job.priority != 0:
+            payload["priority"] = job.priority
+        if job.deadline is not None:
+            payload["deadline"] = job.deadline
+        if job.trace_path is not None:
+            payload["trace_path"] = job.trace_path
+        _atomic_write(
+            self.root / _CHECKPOINTS / f"{job.job_id}.json", payload
+        )
+
+    def clear_checkpoint(self, job_id: str) -> None:
+        """Drop a terminal job's checkpoint record (idempotent)."""
+        path = self.root / _CHECKPOINTS / f"{job_id}.json"
+        if path.exists():
+            path.unlink()
+
+    def poll_checkpoints(self) -> List[CheckpointRecord]:
+        """Decode every checkpoint record, in sorted (job id) order.
+
+        Unreadable records are rejected (with the parse error) rather
+        than wedging recovery of the readable ones.
+        """
+        records = []
+        for path in sorted((self.root / _CHECKPOINTS).glob("*.json")):
+            job_id = path.stem
+            try:
+                payload = json.loads(path.read_text())
+                records.append(CheckpointRecord.from_payload(job_id, payload))
+            except (ServeError, ConfigurationError, ValueError) as exc:
+                path.unlink()
+                self._write_rejection_payload(
+                    job_id,
+                    f"unreadable checkpoint: {exc}",
+                    {"reason": "invalid_checkpoint"},
+                )
+        return records
 
 
 class CoordinatorClient:
@@ -183,7 +372,7 @@ class CoordinatorClient:
 
     def __init__(self, root: "str | pathlib.Path"):
         self.root = pathlib.Path(root)
-        for sub in (_INBOX, _JOBS, _CANCEL, _REJECTED):
+        for sub in _SUBDIRS:
             (self.root / sub).mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -197,7 +386,7 @@ class CoordinatorClient:
     def _fresh_job_id(self) -> str:
         taken = {
             path.stem
-            for sub in (_INBOX, _JOBS, _REJECTED)
+            for sub in (_INBOX, _JOBS, _REJECTED, _CHECKPOINTS)
             for path in (self.root / sub).glob("*.json")
         }
         i = 0
@@ -213,12 +402,27 @@ class CoordinatorClient:
         weight: int = 1,
         trace: Optional[bool] = None,
         job_id: Optional[str] = None,
+        priority: int = 0,
+        deadline: Optional[float] = None,
     ) -> str:
-        """Drop one submission into the inbox; returns its job id."""
+        """Drop one submission into the inbox; returns its job id.
+
+        Reusing the id of an already *rejected* submission raises
+        :class:`~repro.exceptions.SubmissionRejectedError` carrying the
+        structured rejection record (reason, queue depth, retry hint).
+        """
         if not isinstance(spec, ExperimentSpec):
             spec = ExperimentSpec.from_file(spec)
         if job_id is None:
             job_id = self._fresh_job_id()
+        rejected = self.root / _REJECTED / f"{job_id}.json"
+        if rejected.exists():
+            record = json.loads(rejected.read_text())
+            raise SubmissionRejectedError(
+                f"job id {job_id!r} was rejected: "
+                f"{record.get('error', 'unknown reason')}",
+                record=record,
+            )
         target = self.root / _INBOX / f"{job_id}.json"
         if target.exists() or (self.root / _JOBS / f"{job_id}.json").exists():
             raise ServeError(f"duplicate job id {job_id!r}")
@@ -230,6 +434,12 @@ class CoordinatorClient:
             payload["name"] = name
         if trace is not None:
             payload["trace"] = trace
+        # Scheduling-class fields ride along only when non-default, so
+        # default-class payloads stay byte-identical to the old format.
+        if priority != 0:
+            payload["priority"] = int(priority)
+        if deadline is not None:
+            payload["deadline"] = float(deadline)
         _atomic_write(target, payload)
         return job_id
 
@@ -270,14 +480,23 @@ class CoordinatorClient:
     ) -> Dict[str, object]:
         """Block until ``job_id`` reaches a terminal state.
 
-        Returns the final snapshot; raises :class:`ServeError` when the
-        timeout expires first.  The deadline uses the monotonic clock
-        purely for flow control — nothing from it enters the result.
+        Returns the final snapshot; raises
+        :class:`~repro.exceptions.SubmissionRejectedError` (carrying
+        the structured record) when the submission was rejected, and
+        :class:`ServeError` when the timeout expires first.  The
+        deadline uses the monotonic clock purely for flow control —
+        nothing from it enters the result.
         """
         deadline = time.monotonic() + timeout
         while True:
             snapshot = self.state(job_id)
             if snapshot is not None and snapshot.get("state") in _TERMINAL:
+                if snapshot.get("state") == "rejected":
+                    raise SubmissionRejectedError(
+                        f"job {job_id!r} was rejected: "
+                        f"{snapshot.get('error', 'unknown reason')}",
+                        record=snapshot,
+                    )
                 return snapshot
             if time.monotonic() >= deadline:
                 raise ServeError(

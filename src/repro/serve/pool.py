@@ -1,0 +1,173 @@
+"""Shared engine slots for multiplexed jobs: :class:`WorkerPool`.
+
+A coordinator may hold far more admitted jobs than it can keep as live
+engines: every :class:`~repro.serve.runner.JobRunner` owns a dataset,
+partitioned batch streams, a coded strategy and a simulator — cheap to
+*step* but comparatively expensive to *build*.  The pool bounds how
+many of those engines exist at once and multiplexes all jobs over
+them:
+
+* ``acquire(job)`` returns the job's resident runner (a *hit*), or
+  rebuilds one — from the job's checkpoint when it was previously
+  evicted — and makes it resident (a *build*/*restore*);
+* when residency exceeds ``capacity``, the least-recently-used
+  unpinned job is *evicted*: its engine state is snapshotted onto the
+  job record (:attr:`~repro.serve.jobs.Job.checkpoint_state`) and the
+  engine discarded, so the job can resume bit-identically later;
+* jobs whose quantum is in flight are *pinned* and never evicted.
+
+Because eviction goes through the same
+:class:`~repro.engine.EngineState` snapshot/restore path as coordinator
+crash recovery, a pooled job's trajectory is bit-for-bit identical no
+matter how many times it bounced out of the pool — the determinism
+tests pin this.  ``capacity=0`` degenerates to a per-quantum
+build/restore cycle (the "per-job engine" baseline the serve benchmark
+measures the shared pool against).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict
+
+from ..exceptions import ServeError
+from .runner import JobRunner
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .jobs import Job
+
+
+@dataclass
+class PoolStats:
+    """Counters for pool effectiveness (surfaced by the benchmark)."""
+
+    builds: int = 0
+    restores: int = 0
+    hits: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (benchmark/report payloads)."""
+        return {
+            "builds": self.builds,
+            "restores": self.restores,
+            "hits": self.hits,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class _Slot:
+    job: "Job"
+    runner: JobRunner
+    pinned: bool = field(default=False)
+
+
+class WorkerPool:
+    """An LRU-bounded set of live job engines.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident engines (``>= 0``).  ``0`` forces a
+        snapshot/rebuild round-trip on every quantum — functionally
+        identical, maximally memory-frugal, and the benchmark's
+        baseline.
+    """
+
+    def __init__(self, capacity: int = 4):
+        if capacity < 0:
+            raise ServeError(
+                f"pool capacity must be >= 0, got {capacity}"
+            )
+        self.capacity = capacity
+        self._slots: "OrderedDict[str, _Slot]" = OrderedDict()
+        self.stats = PoolStats()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def resident(self, job_id: str) -> bool:
+        """Whether ``job_id`` currently holds a live engine."""
+        return job_id in self._slots
+
+    # ------------------------------------------------------------------
+    def acquire(self, job: "Job") -> JobRunner:
+        """The job's live runner, rebuilding from its checkpoint if
+        it was evicted; pins the slot until :meth:`release`."""
+        slot = self._slots.get(job.job_id)
+        if slot is not None:
+            self.stats.hits += 1
+            slot.pinned = True
+            self._slots.move_to_end(job.job_id)
+            return slot.runner
+        runner = JobRunner(
+            job.spec,
+            trace_path=job.trace_path,
+            trace_context=job.name,
+            checkpoint=job.checkpoint_state,
+        )
+        if job.checkpoint_state is not None:
+            self.stats.restores += 1
+            job.checkpoint_state = None
+        self.stats.builds += 1
+        self._slots[job.job_id] = _Slot(job=job, runner=runner, pinned=True)
+        job.runner = runner
+        return runner
+
+    def release(self, job: "Job") -> None:
+        """Unpin the job's slot and shrink residency back to capacity."""
+        slot = self._slots.get(job.job_id)
+        if slot is None:
+            return
+        slot.pinned = False
+        self._shrink()
+
+    def discard(self, job: "Job") -> None:
+        """Drop a terminal job's engine without snapshotting it."""
+        slot = self._slots.pop(job.job_id, None)
+        if slot is not None:
+            job.runner = None
+
+    def evict(self, job: "Job") -> None:
+        """Park one job: snapshot its engine onto the job and drop it."""
+        slot = self._slots.get(job.job_id)
+        if slot is None:
+            return
+        if slot.pinned:
+            raise ServeError(
+                f"cannot evict job {job.job_id!r}: quantum in flight"
+            )
+        del self._slots[job.job_id]
+        self._park(slot)
+
+    def _park(self, slot: _Slot) -> None:
+        job = slot.job
+        if not slot.runner.finished:
+            job.checkpoint_state = slot.runner.checkpoint()
+        slot.runner.release()
+        job.runner = None
+        self.stats.evictions += 1
+
+    def _shrink(self) -> None:
+        """Evict LRU unpinned slots until residency fits capacity."""
+        while len(self._slots) > self.capacity:
+            victim_id = None
+            for job_id, slot in self._slots.items():
+                if not slot.pinned:
+                    victim_id = job_id
+                    break
+            if victim_id is None:
+                return  # everything in flight; shrink on next release
+            self._park(self._slots.pop(victim_id))
+
+    def clear(self) -> None:
+        """Park every unpinned resident job (coordinator shutdown)."""
+        for job_id in [
+            job_id
+            for job_id, slot in self._slots.items()
+            if not slot.pinned
+        ]:
+            self._park(self._slots.pop(job_id))

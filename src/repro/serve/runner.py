@@ -2,8 +2,11 @@
 
 :meth:`RoundEngine.run` owns the canonical training loop (step →
 loss-tracker → early stop).  Interleaving many jobs means suspending
-that loop between rounds, so the runner re-expresses it as an explicit
-state machine with *exactly* the same step sequence and stopping rule:
+that loop between rounds, so the runner drives the engine through its
+resumable API — :meth:`~repro.engine.RoundEngine.start_run` once, then
+one :meth:`~repro.engine.RoundEngine.step_rounds` quantum per
+``step()`` call, then :meth:`~repro.engine.RoundEngine.finish_run` —
+which is *exactly* the same step sequence and stopping rule, so
 ``JobRunner`` run to completion produces, bit for bit, the
 :class:`~repro.types.TrainingSummary` of ``engine.run(...)`` on the
 same spec.  The determinism tests pin this equivalence, which is what
@@ -11,27 +14,43 @@ makes the coordinator's deterministic mode meaningful — N interleaved
 jobs produce the same results as N sequential ``repro run``
 invocations.
 
-Jobs under the ``async`` update rule have no round boundary the engine
-exposes (arrivals are a continuous stream), so an async job runs as a
-single monolithic quantum.
+Jobs under the ``async`` update rule step in fixed quanta of
+:data:`ASYNC_QUANTUM` master updates, so they are preemptible and
+checkpointable like synchronous jobs (the engine derives its master
+version and clock from the recorded updates, making the cut points
+invisible to the trajectory).
+
+Checkpointing: :meth:`JobRunner.checkpoint` captures the engine's
+:class:`~repro.engine.EngineState` at the current round boundary;
+constructing a runner with ``checkpoint=`` rebuilds the engine from
+the spec, restores that state, rewinds the trace stream to the
+checkpointed round count, and continues — bit-identically to a run
+that was never interrupted.  This is how the
+:class:`~repro.serve.pool.WorkerPool` parks evicted jobs and how a
+restarted coordinator resumes RUNNING jobs after a crash.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from ..engine.report import RunReport
+from ..engine.report import RunReport, build_run_report
 from ..engine.spec import build_engine
 from ..exceptions import ServeError
-from ..obs import RoundTracer, TraceStreamWriter
+from ..obs import RoundTracer, TraceStreamWriter, truncate_traces
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..engine.state import EngineState
     from ..engine.spec import ExperimentSpec
     from ..types import StepRecord
 
+#: master updates per quantum for ``async``-rule jobs: large enough to
+#: amortise the scheduling overhead, small enough to preempt promptly.
+ASYNC_QUANTUM = 32
+
 
 class JobRunner:
-    """Builds a spec's engine and exposes a one-round ``step()`` API.
+    """Builds a spec's engine and exposes a one-quantum ``step()`` API.
 
     Parameters
     ----------
@@ -44,6 +63,11 @@ class JobRunner:
         job's round trace there — one JSONL line per round, flushed as
         the round completes (requires the flat backend, like all
         tracing).
+    checkpoint:
+        An :class:`~repro.engine.EngineState` from a previous runner's
+        :meth:`checkpoint`; the rebuilt engine restores it and the
+        trace file is rewound to the checkpointed round count before
+        streaming resumes.
     """
 
     def __init__(
@@ -51,11 +75,13 @@ class JobRunner:
         spec: "ExperimentSpec",
         trace_path: Optional[str] = None,
         trace_context: Optional[str] = None,
+        checkpoint: "EngineState | None" = None,
     ):
         self.spec = spec
         self.tracer: RoundTracer | None = None
         self._stream: TraceStreamWriter | None = None
         self._streamed = 0
+        resumed_rounds = checkpoint.round_index if checkpoint is not None else 0
         if trace_path is not None:
             if spec.rule == "async":
                 raise ServeError(
@@ -66,25 +92,34 @@ class JobRunner:
                 scheme=trace_context if trace_context is not None
                 else spec.name
             )
-            self._stream = TraceStreamWriter(trace_path)
+            if checkpoint is not None:
+                # Drop any rounds streamed after the snapshot was cut,
+                # then continue in place: the resumed file is
+                # line-for-line the uninterrupted stream.
+                truncate_traces(trace_path, resumed_rounds)
+            self._stream = TraceStreamWriter(
+                trace_path, append=checkpoint is not None
+            )
         self.engine = build_engine(spec, tracer=self.tracer)
-        self._step = 0
         self._finished = False
         self._summary = None
-        # Mirrors RoundEngine.run: same tracker, same reset, same
-        # stopping rule — the golden determinism tests pin this.
-        from ..training.convergence import LossTracker
-
-        self._tracker = LossTracker(
-            spec.loss_threshold, spec.smoothing_window
-        )
-        self.engine.max_steps = spec.max_steps
-        self.engine.records = []
+        if spec.rule == "async":
+            self.engine.start_updates(spec.max_steps)
+        else:
+            self.engine.start_run(
+                spec.max_steps,
+                loss_threshold=spec.loss_threshold,
+                smoothing_window=spec.smoothing_window,
+            )
+        if checkpoint is not None:
+            self.engine.restore(checkpoint)
 
     # ------------------------------------------------------------------
     @property
     def rounds_done(self) -> int:
-        return self._step
+        if self.spec.rule == "async":
+            return len(self.engine.async_records)
+        return len(self.engine.records)
 
     @property
     def finished(self) -> bool:
@@ -99,26 +134,34 @@ class JobRunner:
         """Run one quantum; returns ``True`` when the job just finished.
 
         For synchronous rules a quantum is one engine round; for the
-        ``async`` rule it is the whole run (no exposed round boundary).
+        ``async`` rule it is :data:`ASYNC_QUANTUM` master updates.
         """
         if self._finished:
             raise ServeError("job already finished; step() after end")
         if self.spec.rule == "async":
-            self._summary = self.engine.run_updates(self.spec.max_steps)
-            self._step = self._summary.num_updates
-            self._finished = True
-            return True
-        record = self.engine.run_step(self._step)
-        self._tracker.record(record.loss)
-        self._step += 1
+            if self.engine.step_updates(ASYNC_QUANTUM):
+                self._summary = self.engine.finish_updates()
+                self._finished = True
+            return self._finished
+        done = self.engine.step_rounds(1)
         self._stream_new_traces()
-        if self._tracker.reached_threshold() or self._step >= self.spec.max_steps:
-            self._summary = self.engine.summarize(
-                reached=self._tracker.reached_threshold()
-            )
+        if done:
+            self._summary = self.engine.finish_run()
             self._finished = True
             self._close_stream()
         return self._finished
+
+    def checkpoint(self) -> "EngineState":
+        """The engine's full mutable state at this round boundary.
+
+        JSON-round-trippable; handing it to a new ``JobRunner`` for the
+        same spec (``checkpoint=``) resumes the job bit-identically.
+        """
+        if self._finished:
+            raise ServeError(
+                "job already finished; nothing left to checkpoint"
+            )
+        return self.engine.snapshot()
 
     def _stream_new_traces(self) -> None:
         """Flush traces recorded since the last round to the stream."""
@@ -139,12 +182,22 @@ class JobRunner:
         self._finished = True
         self._close_stream()
 
+    def release(self) -> None:
+        """Close the trace stream without finishing (pool eviction).
+
+        The stream reopens in append mode when the job is resumed from
+        its checkpoint; the job itself stays live.
+        """
+        if self._stream is not None:
+            self._stream_new_traces()
+            self._stream.close()
+
     # ------------------------------------------------------------------
     def report(self) -> RunReport:
         """The finished job's result payload."""
         if self._summary is None:
             raise ServeError("job has no result yet; step() to completion")
-        return RunReport.from_summary(
+        return build_run_report(
             self._summary,
             spec=self.spec,
             trace_path=(

@@ -194,6 +194,25 @@ class ClusterSimulator:
         self._delays.reset()
         self._failures.reset()
 
+    def snapshot_state(self) -> Dict:
+        """JSON-safe mutable simulator state (checkpointing).
+
+        The failure models are pure functions of ``(worker, step)`` and
+        carry no mutable state, so clock + RNG + delay-model state is
+        the complete picture.
+        """
+        return {
+            "clock": self._clock,
+            "rng": copy.deepcopy(self._rng.bit_generator.state),
+            "delays": self._delays.snapshot_state(),
+        }
+
+    def restore_state(self, state) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+        self._clock = float(state["clock"])
+        self._rng.bit_generator.state = copy.deepcopy(dict(state["rng"]))
+        self._delays.restore_state(state["delays"])
+
     # ------------------------------------------------------------------
     def run_round(self, step: int, policy: WaitPolicy) -> RoundResult:
         """Simulate one synchronous round under ``policy``.

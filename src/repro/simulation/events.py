@@ -64,6 +64,18 @@ class EventQueue:
             raise SimulationError("peek at empty event queue")
         return self._heap[0][2]
 
+    def snapshot_events(self) -> list:
+        """Queued events in pop order, non-destructively (checkpointing).
+
+        Re-pushing the returned events into a fresh queue reproduces
+        this queue's pop order exactly: the sort key is the same
+        ``(time, insertion sequence)`` pair the heap orders by.
+        """
+        return [
+            item[2]
+            for item in sorted(self._heap, key=lambda item: item[:2])
+        ]
+
     def __len__(self) -> int:
         return len(self._heap)
 

@@ -23,6 +23,8 @@ SPEC      ``SPEC001`` infeasible spec files, ``SPEC002`` infeasible
           spec literals
 PAR       ``PAR001`` arithmetic per-task seeds at a process-pool
           boundary (use ``SeedSequence.spawn``)
+CKPT      ``CKPT001`` engine-layer run-path assignment not covered by
+          the ``EngineState`` checkpoint registry
 FLOW      whole-project RNG dataflow: ``FLOW001`` Generator into a
           cached/batched kernel, ``FLOW002`` Generator/derived seed
           across a pool dispatch, ``FLOW003`` draw order depending on
@@ -77,7 +79,14 @@ from .report import (
 from .specrules import spec_feasibility_problems
 
 # Importing the rule modules registers their rules.
-from . import determinism, parallelism, registries, specrules, timeunits  # noqa: F401
+from . import (  # noqa: F401
+    checkpoint,
+    determinism,
+    parallelism,
+    registries,
+    specrules,
+    timeunits,
+)
 from . import flowrules, ximports, xreg  # noqa: F401
 
 __all__ = [

@@ -40,6 +40,18 @@ class DelayModel(abc.ABC):
         must override.  Called by :meth:`ClusterSimulator.reset`.
         """
 
+    def snapshot_state(self) -> dict:
+        """JSON-safe mutable state (checkpointing).
+
+        Mirrors :meth:`reset`: the default is stateless (``{}``);
+        stateful subclasses override, and wrapper models recurse into
+        their inner models.
+        """
+        return {}
+
+    def restore_state(self, state) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+
     def sample_round(
         self, workers: Sequence[int], step: int, rng: np.random.Generator
     ) -> np.ndarray:
@@ -202,6 +214,12 @@ class BernoulliStraggler(DelayModel):
     def reset(self) -> None:
         self._inner.reset()
 
+    def snapshot_state(self) -> dict:
+        return {"inner": self._inner.snapshot_state()}
+
+    def restore_state(self, state) -> None:
+        self._inner.restore_state(state["inner"])
+
 
 class PersistentStragglers(DelayModel):
     """A fixed set of chronically slow workers (the "enduring straggler").
@@ -233,6 +251,16 @@ class PersistentStragglers(DelayModel):
     def reset(self) -> None:
         self._slow.reset()
         self._fast.reset()
+
+    def snapshot_state(self) -> dict:
+        return {
+            "slow": self._slow.snapshot_state(),
+            "fast": self._fast.snapshot_state(),
+        }
+
+    def restore_state(self, state) -> None:
+        self._slow.restore_state(state["slow"])
+        self._fast.restore_state(state["fast"])
 
 
 class DiurnalDelay(DelayModel):
@@ -272,6 +300,12 @@ class DiurnalDelay(DelayModel):
 
     def reset(self) -> None:
         self._base.reset()
+
+    def snapshot_state(self) -> dict:
+        return {"base": self._base.snapshot_state()}
+
+    def restore_state(self, state) -> None:
+        self._base.restore_state(state["base"])
 
 
 class BurstyDelay(DelayModel):
@@ -324,6 +358,23 @@ class BurstyDelay(DelayModel):
         self._in_burst.clear()
         self._burst.reset()
 
+    def snapshot_state(self) -> dict:
+        # JSON object keys are strings; worker ids round-trip via str().
+        return {
+            "in_burst": {
+                str(worker): bursting
+                for worker, bursting in sorted(self._in_burst.items())
+            },
+            "burst": self._burst.snapshot_state(),
+        }
+
+    def restore_state(self, state) -> None:
+        self._in_burst = {
+            int(worker): bool(bursting)
+            for worker, bursting in state["in_burst"].items()
+        }
+        self._burst.restore_state(state["burst"])
+
 
 class MixtureDelay(DelayModel):
     """Per-step mixture: with probability ``weights[k]`` use model ``k``."""
@@ -346,3 +397,12 @@ class MixtureDelay(DelayModel):
     def reset(self) -> None:
         for model in self._models:
             model.reset()
+
+    def snapshot_state(self) -> dict:
+        return {
+            "models": [model.snapshot_state() for model in self._models]
+        }
+
+    def restore_state(self, state) -> None:
+        for model, inner in zip(self._models, state["models"]):
+            model.restore_state(inner)

@@ -35,8 +35,20 @@ class LossTracker:
         return list(self._losses)
 
     @property
+    def threshold(self) -> Optional[float]:
+        return self._threshold
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
     def num_steps(self) -> int:
         return len(self._losses)
+
+    def load_losses(self, losses) -> None:
+        """Replace the recorded curve (checkpoint restore)."""
+        self._losses = [float(v) for v in losses]
 
     def record(self, loss: float) -> None:
         """Append one loss value; rejects NaN/inf (divergence)."""

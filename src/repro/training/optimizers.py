@@ -102,3 +102,21 @@ class SGD:
         """Clear momentum state and the step counter."""
         self._velocity = None
         self._step = 0
+
+    def snapshot_state(self) -> dict:
+        """JSON-safe mutable state (checkpointing)."""
+        return {
+            "step": self._step,
+            "velocity": (
+                None if self._velocity is None
+                else [float(v) for v in self._velocity]
+            ),
+        }
+
+    def restore_state(self, state) -> None:
+        """Restore state captured by :meth:`snapshot_state`."""
+        self._step = int(state["step"])
+        velocity = state["velocity"]
+        self._velocity = (
+            None if velocity is None else np.asarray(velocity, dtype=float)
+        )

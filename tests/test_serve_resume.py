@@ -1,0 +1,719 @@
+"""Resumable serving: worker-pool eviction, crash recovery, scheduling
+classes and the sweep submission front end.
+
+The properties under test extend ``tests/test_serve.py``'s
+interleaved-equals-sequential invariant across *process* boundaries:
+
+* a :class:`~repro.serve.WorkerPool` may park any non-running job as a
+  checkpoint and rebuild it later — results stay bit-identical at any
+  capacity, including the degenerate capacity-0 pool that rebuilds
+  every quantum;
+* a SIGKILLed coordinator leaves behind per-quantum checkpoint records
+  and a stale serving marker; a restarted coordinator takes the marker
+  over, re-admits every non-terminal job and completes them — reports
+  *and* streamed traces bit-identical to runs that were never
+  interrupted;
+* :class:`~repro.serve.SchedulingClass` priorities drain strictly
+  higher tiers first while SWRR fairness (±1 quantum) holds within
+  each tier, with earliest-deadline-first tie-breaking;
+* ``repro submit --sweep`` fans the exact ``repro run --sweep`` grid
+  into mailbox jobs, bit-identical to the serial sweep.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CoordinatorClient, ExperimentSpec, ServeError, run_jobs
+from repro.cli import main as cli_main
+from repro.engine.report import build_run_report
+from repro.engine.spec import run_spec_variation
+from repro.exceptions import AdmissionError, SubmissionRejectedError
+from repro.experiments.sweep import Sweep
+from repro.serve import (
+    Coordinator,
+    FairScheduler,
+    SchedulingClass,
+    ServeMailbox,
+    WorkerPool,
+)
+from repro.serve.jobs import Job
+from repro.serve.runner import JobRunner
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def make_spec(i, max_steps=6, **over):
+    base = dict(
+        name=f"resume-test-{i}",
+        scheme="is-gc-cr",
+        num_workers=4,
+        partitions_per_worker=2,
+        wait_for=2,
+        max_steps=max_steps,
+        seed=50 + i,
+    )
+    base.update(over)
+    return ExperimentSpec(**base)
+
+
+def tiny_spec(**over):
+    """A spec small enough to fan out by the hundred."""
+    base = dict(
+        name="sweep-cell",
+        scheme="sync-sgd",
+        num_workers=2,
+        partitions_per_worker=1,
+        wait_for=2,
+        max_steps=2,
+        seed=0,
+        dataset={
+            "kind": "classification",
+            "samples": 64,
+            "features": 4,
+            "num_classes": 2,
+            "separation": 3.0,
+            "batch_size": 16,
+        },
+    )
+    base.update(over)
+    return ExperimentSpec(**base)
+
+
+def strip_trace(payload):
+    payload = dict(payload)
+    payload.pop("trace_path", None)
+    return payload
+
+
+def drain(mailbox_root, **kwargs):
+    """Serve the mailbox once, in-process, deterministically."""
+    coord = Coordinator(mode="deterministic", **kwargs)
+    mailbox = ServeMailbox(mailbox_root)
+    with coord:
+        asyncio.run(coord.serve(mailbox, once=True))
+    return coord
+
+
+def run_coordinator(specs, *, pool_capacity, trace_dir=None, mailbox=None):
+    """Drain ``specs`` through one coordinator with a bounded pool."""
+    coord = Coordinator(
+        mode="deterministic",
+        max_running=4,
+        queue_limit=max(64, len(specs)),
+        trace_dir=trace_dir,
+        pool_capacity=pool_capacity,
+    )
+
+    async def _run():
+        handles = [coord.submit(spec) for spec in specs]
+        if mailbox is not None:
+            await coord.serve(mailbox, once=True)
+        else:
+            await coord.drain()
+        return [await h.result() for h in handles]
+
+    with coord:
+        return asyncio.run(_run()), coord
+
+
+# ----------------------------------------------------------------------
+# Worker-pool eviction determinism
+
+
+class TestWorkerPoolDeterminism:
+    def test_capacity_zero_rebuilds_every_quantum(self):
+        specs = [make_spec(i) for i in range(4)]
+        baseline = run_jobs(specs)
+        reports, coord = run_coordinator(specs, pool_capacity=0)
+        assert [r.to_dict() for r in reports] == [
+            r.to_dict() for r in baseline
+        ]
+        stats = coord.pool.stats
+        assert stats.evictions > 0
+        assert stats.restores > 0
+
+    @pytest.mark.parametrize("capacity", [1, 2])
+    def test_bounded_pool_bit_identical_with_traces(self, capacity, tmp_path):
+        specs = [make_spec(i) for i in range(4)]
+        solo = []
+        for i, spec in enumerate(specs):
+            solo.extend(
+                run_jobs([spec], trace_dir=tmp_path / f"solo-{i}")
+            )
+        reports, coord = run_coordinator(
+            specs, pool_capacity=capacity,
+            trace_dir=tmp_path / "pooled",
+        )
+        assert [strip_trace(r.to_dict()) for r in reports] == [
+            strip_trace(r.to_dict()) for r in solo
+        ]
+        for pooled, straight in zip(reports, solo):
+            assert (
+                pathlib.Path(pooled.trace_path).read_bytes()
+                == pathlib.Path(straight.trace_path).read_bytes()
+            )
+        assert coord.pool.stats.evictions > 0
+
+    def test_async_jobs_survive_eviction(self):
+        specs = [make_spec(i, rule="async", max_steps=40) for i in range(3)]
+        baseline = run_jobs(specs)
+        reports, _ = run_coordinator(specs, pool_capacity=0)
+        assert [r.to_dict() for r in reports] == [
+            r.to_dict() for r in baseline
+        ]
+
+
+class TestWorkerPoolMechanics:
+    def test_pinned_slot_refuses_eviction(self):
+        pool = WorkerPool(capacity=2)
+        job = Job(job_id="j0", name="j0", spec=make_spec(0), seq=0)
+        pool.acquire(job)
+        with pytest.raises(ServeError):
+            pool.evict(job)
+        pool.release(job)
+        pool.evict(job)
+        assert job.runner is None
+        assert job.checkpoint_state is not None
+
+    def test_lru_eviction_and_hits(self):
+        pool = WorkerPool(capacity=1)
+        jobs = [
+            Job(job_id=f"j{i}", name=f"j{i}", spec=make_spec(i), seq=i)
+            for i in range(2)
+        ]
+        pool.acquire(jobs[0]); pool.release(jobs[0])
+        runner = pool.acquire(jobs[0])
+        assert runner is jobs[0].runner
+        assert pool.stats.hits == 1
+        pool.release(jobs[0])
+        pool.acquire(jobs[1]); pool.release(jobs[1])
+        # j0 was least recently used and unpinned: parked to snapshot.
+        assert jobs[0].runner is None
+        assert jobs[0].checkpoint_state is not None
+        assert pool.stats.evictions == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ServeError):
+            WorkerPool(capacity=-1)
+
+    def test_clear_parks_everything(self):
+        pool = WorkerPool(capacity=4)
+        job = Job(job_id="j0", name="j0", spec=make_spec(0), seq=0)
+        pool.acquire(job)
+        pool.release(job)
+        pool.clear()
+        assert job.runner is None
+        assert job.checkpoint_state is not None
+
+    def test_runner_resumes_from_parked_state(self):
+        spec = make_spec(0)
+        straight = JobRunner(spec)
+        while not straight.step():
+            pass
+        baseline = straight.report().to_dict()
+
+        first = JobRunner(spec)
+        first.step(); first.step()
+        state = first.checkpoint()
+        first.release()
+        second = JobRunner(spec, checkpoint=state)
+        assert second.rounds_done == 2
+        while not second.step():
+            pass
+        assert second.report().to_dict() == baseline
+
+
+# ----------------------------------------------------------------------
+# Crash recovery across real process boundaries
+
+
+def _submit_jobs(mailbox_root, specs, tmp_path, trace=True):
+    client = CoordinatorClient(mailbox_root)
+    ids = []
+    for i, spec in enumerate(specs):
+        path = tmp_path / f"spec-{i}.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        ids.append(client.submit(path, trace=True if trace else None))
+    return client, ids
+
+
+class TestCrashRecovery:
+    def test_sigkill_then_restart_completes_bit_identical(self, tmp_path):
+        specs = [make_spec(i, max_steps=8) for i in range(3)]
+        solo = []
+        for i, spec in enumerate(specs):
+            solo.extend(run_jobs([spec], trace_dir=tmp_path / f"solo-{i}"))
+
+        mb = tmp_path / "mb"
+        trace_dir = tmp_path / "traces"
+        client, ids = _submit_jobs(mb, specs, tmp_path)
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve", str(mb),
+                "--mode", "deterministic", "--trace-dir", str(trace_dir),
+                "--poll-interval", "0.02",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # Wait until at least one job has made round progress, so
+            # the kill lands mid-run with live checkpoints on disk.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                snaps = [client.state(job_id) or {} for job_id in ids]
+                if any(
+                    int(s.get("rounds_done", 0) or 0) >= 2 for s in snaps
+                ):
+                    break
+                if all(s.get("state") == "done" for s in snaps):
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("coordinator made no progress before kill")
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        # The killed coordinator left its marker and checkpoints.
+        assert (mb / "coordinator.json").exists()
+        assert list((mb / "checkpoints").glob("*.json"))
+
+        # A fresh coordinator takes over the stale marker, re-admits
+        # every non-terminal job from its checkpoint, and completes.
+        drain(mb, trace_dir=trace_dir, max_running=2)
+        for job_id, straight in zip(ids, solo):
+            snap = client.state(job_id)
+            assert snap["state"] == "done", snap
+            assert strip_trace(snap["report"]) == strip_trace(
+                straight.to_dict()
+            )
+            assert (
+                pathlib.Path(snap["report"]["trace_path"]).read_bytes()
+                == pathlib.Path(straight.trace_path).read_bytes()
+            )
+        # Terminal jobs leave no checkpoint records behind.
+        assert list((mb / "checkpoints").glob("*.json")) == []
+
+    def test_stale_marker_taken_over(self, tmp_path):
+        mb = tmp_path / "mb"
+        client, ids = _submit_jobs(
+            mb, [make_spec(0, max_steps=3)], tmp_path, trace=False
+        )
+        # A dead pid: a subprocess that has already exited.
+        dead = subprocess.Popen([sys.executable, "-c", "pass"])
+        dead.wait()
+        (mb / "coordinator.json").write_text(json.dumps({
+            "mode": "deterministic", "max_running": 4,
+            "queue_limit": 64, "pid": dead.pid,
+        }))
+        drain(mb)
+        assert client.state(ids[0])["state"] == "done"
+
+    def test_live_foreign_coordinator_refused(self, tmp_path):
+        mb = tmp_path / "mb"
+        ServeMailbox(mb)  # create layout
+        holder = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(30)"]
+        )
+        try:
+            (mb / "coordinator.json").write_text(json.dumps({
+                "mode": "live", "max_running": 4,
+                "queue_limit": 64, "pid": holder.pid,
+            }))
+            with pytest.raises(ServeError, match="already served"):
+                drain(mb)
+        finally:
+            holder.kill()
+            holder.wait()
+
+    def test_recovery_restores_scheduling_class(self, tmp_path):
+        # A checkpointed high-priority job keeps its class on re-admission.
+        mb = tmp_path / "mb"
+        client = CoordinatorClient(mb)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(make_spec(0, max_steps=3).to_dict()))
+        job_id = client.submit(
+            spec_path, priority=2, deadline=9.0, weight=3
+        )
+        coord = Coordinator(mode="deterministic")
+        mailbox = ServeMailbox(mb)
+        with coord:
+            asyncio.run(coord.serve(mailbox, once=True))
+        record = json.loads((mb / "jobs" / f"{job_id}.json").read_text())
+        assert record["state"] == "done"
+        assert record["priority"] == 2
+        assert record["deadline"] == 9.0
+        assert record["weight"] == 3
+
+
+# ----------------------------------------------------------------------
+# Scheduling classes: priorities, deadlines, per-tier fairness
+
+
+def _class_jobs(entries):
+    return [
+        Job(
+            job_id=f"fake-{i}",
+            name=f"fake-{i}",
+            spec=None,
+            weight=w,
+            priority=p,
+            deadline=d,
+            seq=i,
+        )
+        for i, (w, p, d) in enumerate(entries)
+    ]
+
+
+class TestSchedulingClasses:
+    def test_scheduling_class_validation(self):
+        with pytest.raises(ServeError):
+            SchedulingClass(weight=0)
+        with pytest.raises(ServeError):
+            SchedulingClass(deadline=0.0)
+        assert SchedulingClass().priority == 0
+
+    def test_top_tier_drains_first(self):
+        jobs = _class_jobs([(1, 0, None), (1, 2, None), (1, 2, None)])
+        scheduler = FairScheduler()
+        picks = [scheduler.pick(jobs).job_id for _ in range(10)]
+        assert set(picks) == {"fake-1", "fake-2"}
+
+    def test_earliest_deadline_breaks_ties(self):
+        jobs = _class_jobs([
+            (1, 0, None), (1, 0, 5.0), (1, 0, 1.0),
+        ])
+        scheduler = FairScheduler()
+        # Equal weights, equal credit: first pick goes to the tightest
+        # deadline; jobs without deadlines sort last.
+        assert scheduler.pick(jobs).job_id == "fake-2"
+
+    def test_default_class_reduces_to_classic_swrr(self):
+        # priority 0 / no deadline must reproduce the historical
+        # scheduler's smooth-WRR decisions exactly (same credits, same
+        # admission-order tie-break) — the byte-compat guarantee for
+        # default-class jobs.
+        weights = [3, 1, 2]
+        jobs = _class_jobs([(w, 0, None) for w in weights])
+        scheduler = FairScheduler()
+        picks = [scheduler.pick(jobs).job_id for _ in range(50)]
+
+        credits = [0] * len(weights)
+        reference = []
+        for _ in range(50):
+            credits = [c + w for c, w in zip(credits, weights)]
+            best = max(range(len(weights)), key=lambda i: (credits[i], -i))
+            credits[best] -= sum(weights)
+            reference.append(f"fake-{best}")
+        assert picks == reference
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        weights=st.lists(
+            st.integers(min_value=1, max_value=5), min_size=2, max_size=5
+        ),
+        priorities=st.lists(
+            st.integers(min_value=0, max_value=2), min_size=2, max_size=5
+        ),
+        data=st.data(),
+    )
+    def test_swrr_within_each_priority_tier(
+        self, weights, priorities, data
+    ):
+        n = min(len(weights), len(priorities))
+        weights, priorities = weights[:n], priorities[:n]
+        deadlines = [
+            data.draw(
+                st.one_of(
+                    st.none(),
+                    st.floats(
+                        min_value=0.1, max_value=100,
+                        allow_nan=False, allow_infinity=False,
+                    ),
+                )
+            )
+            for _ in range(n)
+        ]
+        jobs = _class_jobs(list(zip(weights, priorities, deadlines)))
+        scheduler = FairScheduler()
+        quanta = 60 * sum(weights)
+        counts = {job.job_id: 0 for job in jobs}
+        for _ in range(quanta):
+            counts[scheduler.pick(jobs).job_id] += 1
+        top = max(priorities)
+        tier = [j for j in jobs if j.priority == top]
+        tier_weight = sum(j.weight for j in tier)
+        # Only the top tier runs while it has runnable jobs...
+        for job in jobs:
+            if job.priority != top:
+                assert counts[job.job_id] == 0
+        # ...and within it, each job's share is proportional ±1.
+        for job in tier:
+            expected = quanta * job.weight / tier_weight
+            assert abs(counts[job.job_id] - expected) <= 1
+
+    def test_coordinator_accepts_scheduling_class(self):
+        spec = make_spec(0, max_steps=2)
+        coord = Coordinator(mode="deterministic")
+
+        async def scenario():
+            gold = coord.submit(
+                spec, scheduling_class=SchedulingClass(
+                    name="gold", priority=2, weight=3, deadline=40.0
+                )
+            )
+            plain = coord.submit(make_spec(1, max_steps=2))
+            await coord.drain()
+            return gold, plain
+
+        with coord:
+            gold, plain = asyncio.run(scenario())
+        assert gold._job.priority == 2
+        assert gold._job.weight == 3
+        assert gold._job.deadline == 40.0
+        assert plain._job.priority == 0
+        assert plain._job.deadline is None
+
+
+# ----------------------------------------------------------------------
+# Structured admission rejections
+
+
+class TestStructuredRejection:
+    def test_admission_error_carries_details(self):
+        coord = Coordinator(mode="deterministic", queue_limit=1)
+
+        async def scenario():
+            coord.submit(make_spec(0, max_steps=2))
+            with pytest.raises(AdmissionError) as excinfo:
+                coord.submit(make_spec(1, max_steps=2))
+            details = excinfo.value.details()
+            assert details["reason"] == "queue_limit"
+            assert details["queue_depth"] == 1
+            assert details["queue_limit"] == 1
+            assert "resubmit" in details["retry_hint"]
+            await coord.drain()
+
+        with coord:
+            asyncio.run(scenario())
+
+    def test_rejected_record_is_structured(self, tmp_path):
+        mb = tmp_path / "mb"
+        client = CoordinatorClient(mb)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(make_spec(0, max_steps=2).to_dict())
+        )
+        ids = [client.submit(spec_path) for _ in range(3)]
+        drain(mb, queue_limit=1)
+        rejected = [
+            json.loads(p.read_text())
+            for p in sorted((mb / "rejected").glob("*.json"))
+        ]
+        assert len(rejected) == 2
+        for record in rejected:
+            assert record["state"] == "rejected"
+            assert record["reason"] == "queue_limit"
+            assert record["queue_depth"] >= 1
+            assert record["queue_limit"] == 1
+            assert "resubmit" in record["retry_hint"]
+            assert "admission rejected" in record["error"]
+        done = client.state(ids[0])
+        assert done["state"] == "done"
+
+    def test_wait_raises_structured_rejection(self, tmp_path):
+        mb = tmp_path / "mb"
+        client = CoordinatorClient(mb)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(make_spec(0, max_steps=2).to_dict())
+        )
+        ids = [client.submit(spec_path) for _ in range(2)]
+        drain(mb, queue_limit=1)
+        with pytest.raises(SubmissionRejectedError) as excinfo:
+            client.wait(ids[1], timeout=5)
+        assert excinfo.value.reason == "queue_limit"
+        assert "resubmit" in excinfo.value.retry_hint
+
+    def test_resubmitting_rejected_id_raises(self, tmp_path):
+        mb = tmp_path / "mb"
+        client = CoordinatorClient(mb)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(make_spec(0, max_steps=2).to_dict())
+        )
+        ids = [client.submit(spec_path) for _ in range(2)]
+        drain(mb, queue_limit=1)
+        with pytest.raises(SubmissionRejectedError):
+            client.submit(spec_path, job_id=ids[1])
+
+
+# ----------------------------------------------------------------------
+# The sweep submission front end
+
+
+class TestSweepSubmission:
+    def test_hundred_jobs_bit_identical_to_serial_sweep(self, tmp_path):
+        base = tiny_spec()
+        spec_path = tmp_path / "base.json"
+        spec_path.write_text(json.dumps(base.to_dict()))
+        mb = tmp_path / "mb"
+        seeds = ",".join(str(s) for s in range(25))
+        rc = cli_main([
+            "submit", str(mb), str(spec_path),
+            "--sweep", f"seed={seeds}",
+            "--sweep", "learning_rate=0.1,0.3",
+            "--sweep", "wait_for=1,2",
+        ])
+        assert rc == 0
+        client = CoordinatorClient(mb)
+        pending = [
+            s for s in client.jobs() if s["state"] == "submitted"
+        ]
+        assert len(pending) == 100
+        drain(mb, queue_limit=128)
+
+        axes = {
+            "seed": list(range(25)),
+            "learning_rate": [0.1, 0.3],
+            "wait_for": [1, 2],
+        }
+        sweep = Sweep.over_spec("ground truth", base, axes)
+        snapshots = sorted(
+            (json.loads(p.read_text())
+             for p in (mb / "jobs").glob("*.json")),
+            key=lambda s: s["id"],
+        )
+        assert len(snapshots) == 100
+        for snap, params in zip(snapshots, sweep.combinations()):
+            assert snap["state"] == "done"
+            cell = dataclasses.replace(base, **params)
+            expected = build_run_report(
+                run_spec_variation(base, **params), spec=cell
+            ).to_dict()
+            assert strip_trace(snap["report"]) == strip_trace(expected)
+
+    def test_replicates_spawn_parent_seeds(self, tmp_path):
+        base = tiny_spec()
+        spec_path = tmp_path / "base.json"
+        spec_path.write_text(json.dumps(base.to_dict()))
+        mb = tmp_path / "mb"
+        rc = cli_main([
+            "submit", str(mb), str(spec_path),
+            "--sweep", "wait_for=1,2", "--jobs", "3",
+        ])
+        assert rc == 0
+        client = CoordinatorClient(mb)
+        assert len(client.jobs()) == 6
+        # Deterministic: the same command produces the same specs.
+        mb2 = tmp_path / "mb2"
+        cli_main([
+            "submit", str(mb2), str(spec_path),
+            "--sweep", "wait_for=1,2", "--jobs", "3",
+        ])
+        first = sorted(
+            json.loads(p.read_text())["spec"]["seed"]
+            for p in (mb / "inbox").glob("*.json")
+        )
+        second = sorted(
+            json.loads(p.read_text())["spec"]["seed"]
+            for p in (mb2 / "inbox").glob("*.json")
+        )
+        assert first == second
+        assert len(set(first)) == 6  # distinct per replicate
+
+    def test_sweep_with_class_flags(self, tmp_path):
+        base = tiny_spec()
+        spec_path = tmp_path / "base.json"
+        spec_path.write_text(json.dumps(base.to_dict()))
+        mb = tmp_path / "mb"
+        rc = cli_main([
+            "submit", str(mb), str(spec_path),
+            "--sweep", "wait_for=1,2",
+            "--priority", "2", "--deadline", "60", "--weight", "2",
+        ])
+        assert rc == 0
+        payloads = [
+            json.loads(p.read_text())
+            for p in sorted((mb / "inbox").glob("*.json"))
+        ]
+        assert len(payloads) == 2
+        for payload in payloads:
+            assert payload["priority"] == 2
+            assert payload["deadline"] == 60.0
+            assert payload["weight"] == 2
+
+    def test_bad_sweep_clause_fails_cleanly(self, tmp_path, capsys):
+        base = tiny_spec()
+        spec_path = tmp_path / "base.json"
+        spec_path.write_text(json.dumps(base.to_dict()))
+        rc = cli_main([
+            "submit", str(tmp_path / "mb"), str(spec_path),
+            "--sweep", "wait_for",
+        ])
+        assert rc != 0
+
+
+# ----------------------------------------------------------------------
+# The jobs --watch dashboard
+
+
+class TestWatch:
+    def test_watch_exits_when_all_terminal(self, tmp_path, capsys):
+        mb = tmp_path / "mb"
+        client = CoordinatorClient(mb)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(make_spec(0, max_steps=3).to_dict())
+        )
+        client.submit(spec_path, trace=True)
+        drain(mb, trace_dir=tmp_path / "traces")
+        rc = cli_main([
+            "jobs", str(mb), "--watch", "--interval", "0.01",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all 1 jobs terminal (0 failed)" in out
+        # The dashboard aggregates the streamed round traces.
+        assert "Round traces" in out
+        assert "resume-test-0" in out
+
+    def test_watch_reports_failures_in_exit_code(self, tmp_path, capsys):
+        mb = tmp_path / "mb"
+        client = CoordinatorClient(mb)
+        spec_path = tmp_path / "spec.json"
+        # wait_for larger than num_workers fails at build time.
+        bad = dict(make_spec(0, max_steps=2).to_dict(), wait_for=99)
+        spec_path.write_text(json.dumps(bad))
+        client.submit(spec_path)
+        drain(mb)
+        rc = cli_main([
+            "jobs", str(mb), "--watch", "--interval", "0.01",
+        ])
+        assert rc == 1
+        assert "1 failed" in capsys.readouterr().out
+
+    def test_watch_empty_mailbox_exits(self, tmp_path, capsys):
+        mb = tmp_path / "mb"
+        CoordinatorClient(mb)
+        rc = cli_main([
+            "jobs", str(mb), "--watch", "--interval", "0.01",
+        ])
+        assert rc == 0
+        assert "no jobs and no coordinator" in capsys.readouterr().out

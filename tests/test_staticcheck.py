@@ -744,6 +744,144 @@ class TestParallelismRules:
 
 
 # ----------------------------------------------------------------------
+# Checkpoint-coverage rule
+
+ENGINE_PATH = "src/repro/engine/core.py"
+RULES_PATH = "src/repro/engine/rules.py"
+BACKENDS_PATH = "src/repro/engine/backends.py"
+
+
+class TestCheckpointRule:
+    def test_ckpt001_uncovered_engine_attribute(self):
+        findings = check(
+            """
+            class RoundEngine:
+                def step_rounds(self, n):
+                    self._warmup_left = 3
+            """,
+            scope_path=ENGINE_PATH,
+        )
+        assert rules_of(findings) == ["CKPT001"]
+        assert "_warmup_left" in findings[0].message
+        assert "CHECKPOINT_COVERED['engine']" in findings[0].message
+
+    def test_ckpt001_covered_attributes_clean(self):
+        assert check(
+            """
+            class RoundEngine:
+                def step_rounds(self, n):
+                    self.records = []
+                    self._mode = "rounds"
+            """,
+            scope_path=ENGINE_PATH,
+        ) == []
+
+    def test_ckpt001_setup_and_checkpoint_methods_exempt(self):
+        assert check(
+            """
+            class RoundEngine:
+                def __init__(self):
+                    self.anything = 1
+                def start_run(self, max_steps):
+                    self.whatever = 2
+                def restore(self, state):
+                    self.other = 3
+                def snapshot(self):
+                    self.scratch = 4
+                def reset(self):
+                    self.gone = 5
+            """,
+            scope_path=ENGINE_PATH,
+        ) == []
+
+    def test_ckpt001_rule_kind_and_engine_param(self):
+        findings = check(
+            """
+            class MyRule:
+                def apply(self, engine, aggregate, recovered):
+                    self._penalty += 1.0
+                    engine.records = []
+                    engine.scratch = 1
+                    self._cache = {}
+            """,
+            scope_path=RULES_PATH,
+        )
+        assert rules_of(findings) == ["CKPT001", "CKPT001"]
+        assert "engine.scratch" in findings[0].message
+        assert "self._cache" in findings[1].message
+        assert "CHECKPOINT_COVERED['rule']" in findings[1].message
+
+    def test_ckpt001_transient_scratch_accepted(self):
+        # LocalUpdate's round-start parameters are registered as
+        # within-round scratch (CHECKPOINT_TRANSIENT), not snapshot
+        # state — the rule accepts both registries.
+        assert check(
+            """
+            class LocalUpdate:
+                def compute_partitions(self, engine, step):
+                    self._start = engine.model.parameters
+            """,
+            scope_path=RULES_PATH,
+        ) == []
+
+    def test_ckpt001_backend_clock_covered(self):
+        findings = check(
+            """
+            class ActorBackend:
+                def execute_round(self, engine, step, policy):
+                    self._clock = 7.0
+                    self._round_cache = {}
+            """,
+            scope_path=BACKENDS_PATH,
+        )
+        assert rules_of(findings) == ["CKPT001"]
+        assert "_round_cache" in findings[0].message
+
+    def test_ckpt001_augassign_audited(self):
+        findings = check(
+            """
+            class RoundEngine:
+                def step_rounds(self, n):
+                    self._drift += 1
+            """,
+            scope_path=ENGINE_PATH,
+        )
+        assert rules_of(findings) == ["CKPT001"]
+
+    def test_ckpt001_out_of_scope(self):
+        assert check(
+            "class X:\n"
+            "    def step(self):\n"
+            "        self.anything = 1\n",
+            scope_path="src/repro/serve/runner.py",
+        ) == []
+
+    def test_ckpt001_noqa_suppression(self):
+        assert check(
+            """
+            class RoundEngine:
+                def step_rounds(self, n):
+                    self._scratch = 1  # repro: noqa[CKPT001]
+            """,
+            scope_path=ENGINE_PATH,
+        ) == []
+
+    def test_ckpt001_registry_matches_snapshot_fields(self):
+        # The registry itself must stay honest: every non-transient
+        # engine attribute it lists is restored by RoundEngine.restore,
+        # so a registry entry snapshot() stopped writing would fail
+        # here rather than silently pass the static audit.
+        import inspect
+
+        from repro.engine import core
+        from repro.engine.state import CHECKPOINT_COVERED
+
+        source = inspect.getsource(core.RoundEngine)
+        for attr in CHECKPOINT_COVERED["engine"]:
+            assert f"self.{attr}" in source, attr
+
+
+# ----------------------------------------------------------------------
 # The acceptance gate: the repo itself is clean.
 
 
